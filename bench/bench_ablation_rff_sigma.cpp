@@ -1,0 +1,69 @@
+// Extension ablation: RFF bandwidth (sigma) vs generalization.
+//
+// The paper fixes one Gaussian-RFF encoding; this repo's reproduction found
+// the bandwidth sigma is the lever that trades in-distribution fit against
+// out-of-distribution transfer: small sigma = smooth field that interpolates
+// kernel values at frequencies the training masks under-constrain, large
+// sigma = sharper fit that overfits the training family's spectral support.
+// This bench quantifies that trade-off (train on B2v, test on B2v and B2m).
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "io/csv.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int train_n = flags.get_int("train", 24);
+  const int test_n = flags.get_int("test", 4);
+  const int epochs = flags.get_int("nitho-epochs", 80);
+  std::printf("== Ablation: RFF bandwidth sigma vs OOD transfer ==\n\n");
+
+  LithoConfig lc;
+  lc.tile_nm = 512;
+  lc.raster_px = 512;
+  lc.analysis_px = 64;
+  lc.sim_px = 32;
+  lc.spectrum_crop = 31;
+  GoldenEngine engine(lc);
+  const Dataset train = engine.make_dataset(DatasetKind::B2v, train_n, 1);
+  const Dataset id_test = engine.make_dataset(DatasetKind::B2v, test_n, 2);
+  const Dataset ood_test = engine.make_dataset(DatasetKind::B2m, test_n, 3);
+
+  CsvWriter csv(out_dir() + "/ablation_rff_sigma.csv",
+                {"sigma", "id_psnr_db", "ood_psnr_db"});
+  TablePrinter tp({"sigma", "ID PSNR", "OOD PSNR"}, 12);
+  for (double sigma : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    NithoConfig mc;
+    mc.rank = 14;
+    mc.encoding.features = 64;
+    mc.encoding.sigma = sigma;
+    mc.hidden = 32;
+    NithoModel model(mc, lc.tile_nm, lc.optics.wavelength_nm, lc.optics.na);
+    NithoTrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch = 4;
+    tc.train_px = 32;
+    train_nitho(model, sample_ptrs(train), tc);
+
+    auto avg = [&](const Dataset& ds) {
+      double acc = 0.0;
+      for (const Sample& s : ds.samples) {
+        acc += psnr(s.aerial, predict_aerial(model, s, 64));
+      }
+      return acc / static_cast<double>(ds.samples.size());
+    };
+    const double id = avg(id_test), ood = avg(ood_test);
+    tp.row({fmt(sigma, 1), fmt(id, 2), fmt(ood, 2)});
+    csv.row({fmt(sigma, 2), fmt(id, 3), fmt(ood, 3)});
+  }
+  tp.rule();
+  std::printf(
+      "\nExpected shape: ID PSNR is flat-to-rising in sigma while OOD PSNR\n"
+      "peaks near sigma ~ 1 and decays — the smoothness prior of the\n"
+      "coordinate field is what buys mask-family generalization.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Extension ablation: "restoring the lithography system".
+//
+// The paper argues Nitho learns the *system* (source + pupil), not the
+// masks.  Here we instantiate four different optical systems — annular,
+// circular, quadrupole illumination, and an aberrated (defocused) pupil —
+// build golden data for each, train one neural field per system on the same
+// mask family, and show each field restores its own system's imaging.  The
+// cross-system matrix quantifies how different the systems actually are.
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "io/csv.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int train_n = flags.get_int("train", 20);
+  const int test_n = flags.get_int("test", 4);
+  const int epochs = flags.get_int("nitho-epochs", 80);
+  std::printf("== Ablation: one neural field per optical system ==\n\n");
+
+  struct System {
+    const char* name;
+    LithoConfig cfg;
+  };
+  std::vector<System> systems;
+  {
+    LithoConfig base;
+    base.tile_nm = 512;
+    base.raster_px = 512;
+    base.analysis_px = 64;
+    base.sim_px = 32;
+    base.spectrum_crop = 31;
+    System annular{"annular", base};
+    System circular{"circular", base};
+    circular.cfg.optics.source.shape = SourceShape::Circular;
+    circular.cfg.optics.source.sigma_in = 0.0;
+    circular.cfg.optics.source.sigma_out = 0.7;
+    System quad{"quadrupole", base};
+    quad.cfg.optics.source.shape = SourceShape::Quadrupole;
+    System defocus{"defocus60nm", base};
+    defocus.cfg.optics.pupil.defocus_nm = 60.0;
+    systems = {annular, circular, quad, defocus};
+  }
+
+  CsvWriter csv(out_dir() + "/ablation_source.csv",
+                {"trained_on", "evaluated_on", "psnr_db"});
+  TablePrinter tp({"train\\eval", "annular", "circular", "quadrupole",
+                   "defocus60nm"},
+                  13);
+
+  std::vector<std::unique_ptr<GoldenEngine>> engines;
+  std::vector<Dataset> tests;
+  for (const System& s : systems) {
+    engines.push_back(std::make_unique<GoldenEngine>(s.cfg));
+    tests.push_back(engines.back()->make_dataset(DatasetKind::B2m, test_n, 50));
+  }
+
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const Dataset train = engines[i]->make_dataset(DatasetKind::B2m, train_n, 60);
+    NithoConfig mc;
+    mc.rank = 14;
+    mc.encoding.features = 64;
+    mc.hidden = 32;
+    NithoModel model(mc, systems[i].cfg.tile_nm,
+                     systems[i].cfg.optics.wavelength_nm,
+                     systems[i].cfg.optics.na);
+    NithoTrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch = 4;
+    tc.train_px = 32;
+    train_nitho(model, sample_ptrs(train), tc);
+
+    std::vector<std::string> row = {systems[i].name};
+    for (std::size_t j = 0; j < systems.size(); ++j) {
+      double acc = 0.0;
+      for (const Sample& s : tests[j].samples) {
+        acc += psnr(s.aerial, predict_aerial(model, s, 64));
+      }
+      acc /= static_cast<double>(tests[j].samples.size());
+      row.push_back(fmt(acc, 2));
+      csv.row({systems[i].name, systems[j].name, fmt(acc, 3)});
+    }
+    tp.row(row);
+  }
+  tp.rule();
+  std::printf(
+      "\nExpected shape: the diagonal dominates every row — each field\n"
+      "restores exactly the optical system whose images it was fit to,\n"
+      "including the complex-valued (defocused) pupil.  Off-diagonal decay\n"
+      "measures how distinguishable the systems are through 1 um tiles.\n");
+  return 0;
+}

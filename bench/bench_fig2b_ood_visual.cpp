@@ -1,0 +1,59 @@
+// Fig. 2(b): visual comparison of generalization on OOD data.
+// Models trained on B1 and B2v (cached from Table III when available) are
+// applied to B1opc and B2m tiles; per-tile montages of
+// [mask | resist GT | TEMPO | DOINN | Nitho] are written as PGM.
+
+#include <cstdio>
+
+#include "baselines/image_trainer.hpp"
+#include "common.hpp"
+#include "io/pgm.hpp"
+#include "nitho/fast_litho.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env(BenchConfig::from_flags(flags));
+  std::printf("== Fig. 2(b): OOD generalization visualization ==\n\n");
+
+  const DatasetKind train_kinds[2] = {DatasetKind::B1, DatasetKind::B2v};
+  const DatasetKind test_kinds[2] = {DatasetKind::B1opc, DatasetKind::B2m};
+  const double thr = env.resist_threshold();
+  const int px = env.litho().analysis_px;
+
+  for (int p = 0; p < 2; ++p) {
+    const std::string tag = dataset_name(train_kinds[p]);
+    const auto train = sample_ptrs(env.train_set(train_kinds[p]));
+    auto tempo = env.trained_tempo(tag, train);
+    auto doinn = env.trained_doinn(tag, train);
+    auto nitho = env.trained_nitho(tag, train);
+
+    const Dataset& test = env.test_set(test_kinds[p]);
+    for (int i = 0; i < std::min<int>(2, static_cast<int>(test.samples.size()));
+         ++i) {
+      const Sample& s = test.samples[static_cast<std::size_t>(i)];
+      const Grid<double> zt = binarize(
+          predict_aerial(*tempo, s, env.cfg().baseline_px, px), thr);
+      const Grid<double> zd = binarize(
+          predict_aerial(*doinn, s, env.cfg().baseline_px, px), thr);
+      const Grid<double> zn = binarize(predict_aerial(*nitho, s, px), thr);
+      const std::string path = out_dir() + "/fig2b_" + tag + "_to_" +
+                               dataset_name(test_kinds[p]) + "_" +
+                               std::to_string(i) + ".pgm";
+      write_pgm_montage(path, {s.mask_coarse, s.resist, zt, zd, zn});
+      const double miou_t = miou(s.resist, zt);
+      const double miou_d = miou(s.resist, zd);
+      const double miou_n = miou(s.resist, zn);
+      std::printf("%s -> %s tile %d: mIOU  TEMPO %.3f  DOINN %.3f  Nitho %.3f"
+                  "  (%s)\n",
+                  tag.c_str(), dataset_name(test_kinds[p]).c_str(), i, miou_t,
+                  miou_d, miou_n, path.c_str());
+    }
+  }
+  std::printf("\nMontage panels: mask | resist GT | TEMPO | DOINN | Nitho.\n"
+              "Paper shape: baselines hallucinate/miss shapes on OOD tiles,\n"
+              "Nitho stays faithful to the ground truth.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 4: visualization of Nitho results in the aerial and resist stages.
+// One tile per family: [mask | resist GT | TEMPO | DOINN | Nitho resist |
+// Nitho aerial] montages, using the models trained on that family.
+
+#include <cstdio>
+
+#include "baselines/image_trainer.hpp"
+#include "common.hpp"
+#include "io/pgm.hpp"
+#include "nitho/fast_litho.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env(BenchConfig::from_flags(flags));
+  std::printf("== Fig. 4: result visualization per dataset ==\n\n");
+
+  const DatasetKind kinds[] = {DatasetKind::B1, DatasetKind::B2m,
+                               DatasetKind::B2v};
+  const double thr = env.resist_threshold();
+  const int px = env.litho().analysis_px;
+  for (const DatasetKind kind : kinds) {
+    const std::string tag = dataset_name(kind);
+    const auto train = sample_ptrs(env.train_set(kind));
+    auto tempo = env.trained_tempo(tag, train);
+    auto doinn = env.trained_doinn(tag, train);
+    auto nitho = env.trained_nitho(tag, train);
+
+    const Sample& s = env.test_set(kind).samples.front();
+    const Grid<double> aerial_n = predict_aerial(*nitho, s, px);
+    const Grid<double> zt =
+        binarize(predict_aerial(*tempo, s, env.cfg().baseline_px, px), thr);
+    const Grid<double> zd =
+        binarize(predict_aerial(*doinn, s, env.cfg().baseline_px, px), thr);
+    const Grid<double> zn = binarize(aerial_n, thr);
+
+    const std::string path = out_dir() + "/fig4_" + tag + ".pgm";
+    write_pgm_montage(path, {s.mask_coarse, s.resist, zt, zd, zn, aerial_n});
+    std::printf("%-6s  PSNR(aerial) %.2f dB  mIOU(resist) %.4f  -> %s\n",
+                tag.c_str(), psnr(s.aerial, aerial_n), miou(s.resist, zn),
+                path.c_str());
+  }
+  std::printf("\nMontage panels: mask | resist GT | TEMPO | DOINN | Nitho "
+              "resist | Nitho aerial.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 6(b): ablation on the optical-kernel dimension.
+// Sweeps the kernel width m = n below and above the Eq.-10 optimum (29 for
+// 1 um tiles at lambda=193 nm, NA=1.35) and reports test PSNR per dataset.
+// The curve should rise and then flatten at the physics-derived optimum.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "io/csv.hpp"
+#include "optics/resolution.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchConfig bc = BenchConfig::from_flags(flags);
+  bc.nitho_epochs = flags.get_int("nitho-epochs", 30);
+  if (!flags.has("train")) bc.train_count = 16;
+  BenchEnv env(bc);
+
+  const int optimum = kernel_dim(env.litho().tile_nm,
+                                 env.litho().optics.wavelength_nm,
+                                 env.litho().optics.na);
+  std::printf("== Fig. 6(b): PSNR vs kernel width/height (Eq.-10 optimum: %d) ==\n\n",
+              optimum);
+
+  const std::vector<int> dims = flags.get_bool("full")
+                                    ? std::vector<int>{9, 15, 21, 29, 37, 45}
+                                    : std::vector<int>{9, 15, 21, 29, 37};
+  const DatasetKind kinds[] = {DatasetKind::B1, DatasetKind::B2m,
+                               DatasetKind::B2v};
+
+  CsvWriter csv(out_dir() + "/fig6b_kernel_size.csv",
+                {"kernel_dim", "dataset", "psnr_db"});
+  TablePrinter tp({"KernelDim", "B1", "B2m", "B2v"}, 11);
+
+  for (int dim : dims) {
+    std::vector<std::string> row = {std::to_string(dim)};
+    for (const DatasetKind kind : kinds) {
+      const std::string tag =
+          dataset_name(kind) + "-kdim" + std::to_string(dim);
+      auto model = env.trained_nitho(tag, sample_ptrs(env.train_set(kind)),
+                                     -1, -1, dim);
+      const double p = env.eval_nitho(*model, env.test_set(kind)).psnr;
+      row.push_back(fmt(p, 2));
+      csv.row({std::to_string(dim), dataset_name(kind), fmt(p, 3)});
+    }
+    tp.row(row);
+  }
+  tp.rule();
+  std::printf(
+      "\nPaper shape: PSNR climbs with kernel size and flattens at the\n"
+      "resolution-limit optimum (%d here, 57 at the paper's 2 um tiles) —\n"
+      "beyond it the pupil passes no additional information.\n",
+      optimum);
+  return 0;
+}

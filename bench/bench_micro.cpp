@@ -1,0 +1,161 @@
+// Microbenchmarks (google-benchmark): the computational primitives behind
+// every experiment — FFTs, eigensolver, TCC build, SOCS imaging, CMLP
+// forward/backward, convolution.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/spectral.hpp"
+#include "math/hermitian_eig.hpp"
+#include "nitho/cmlp.hpp"
+#include "nitho/encoding.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_conv.hpp"
+#include "nn/optimizer.hpp"
+#include "litho/simulator.hpp"
+#include "optics/resolution.hpp"
+#include "optics/socs.hpp"
+#include "optics/tcc.hpp"
+
+namespace nitho {
+namespace {
+
+void BM_Fft1d(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<cd> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = cd(rng.normal(), rng.normal());
+  const FftPlan<double>& plan = fft_plan_d(n);
+  for (auto _ : state) {
+    plan.forward(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1d)->Arg(64)->Arg(243)->Arg(256)->Arg(1024);
+
+void BM_Fft2d(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Grid<cd> g(n, n);
+  for (auto& v : g) v = cd(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    fft2_inplace(g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_Fft2d)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FftCropCentered(benchmark::State& state) {
+  Rng rng(3);
+  Grid<double> img(1024, 1024);
+  for (auto& v : img) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fft2_crop_centered(img, 63));
+  }
+}
+BENCHMARK(BM_FftCropCentered);
+
+void BM_HermitianEigh(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  Grid<cd> a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = cd(rng.normal(), 0.0);
+    for (int j = i + 1; j < n; ++j) {
+      const cd v(rng.normal(), rng.normal());
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eigh(a));
+  }
+}
+BENCHMARK(BM_HermitianEigh)->Arg(64)->Arg(225)->Unit(benchmark::kMillisecond);
+
+void BM_TccBuild(benchmark::State& state) {
+  OpticalSystem sys;
+  const int kdim = kernel_dim(512, sys.wavelength_nm, sys.na);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_tcc(sys, 512, kdim));
+  }
+}
+BENCHMARK(BM_TccBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SocsAerial(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  OpticalSystem sys;
+  const int kdim = kernel_dim(512, sys.wavelength_nm, sys.na);
+  const Grid<cd> tcc = build_tcc(sys, 512, kdim);
+  const SocsKernels socs = socs_decompose(tcc, kdim, 0.0, rank);
+  Rng rng(5);
+  Grid<cd> spec(kdim, kdim);
+  for (auto& v : spec) v = cd(rng.normal() * 0.05, rng.normal() * 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(socs_aerial(socs.kernels, spec, 64));
+  }
+  state.SetLabel("rank=" + std::to_string(socs.rank()));
+}
+BENCHMARK(BM_SocsAerial)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_CmlpForward(benchmark::State& state) {
+  CmlpConfig cfg;
+  cfg.in_features = 96;
+  cfg.hidden = 48;
+  cfg.blocks = 2;
+  cfg.out = 24;
+  Cmlp mlp(cfg);
+  EncodingConfig ec;
+  ec.features = 96;
+  const nn::Tensor coords = encode_coordinates(29, 29, ec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.forward(nn::make_leaf(coords, false)));
+  }
+  state.SetLabel("29x29 coords");
+}
+BENCHMARK(BM_CmlpForward)->Unit(benchmark::kMillisecond);
+
+void BM_CmlpTrainStep(benchmark::State& state) {
+  CmlpConfig cfg;
+  cfg.in_features = 96;
+  cfg.hidden = 48;
+  cfg.blocks = 2;
+  cfg.out = 24;
+  Cmlp mlp(cfg);
+  EncodingConfig ec;
+  ec.features = 96;
+  const nn::Tensor coords = encode_coordinates(29, 29, ec);
+  nn::Tensor target({29 * 29, 24, 2});
+  Rng rng(6);
+  target.randn(rng, 0.1f);
+  nn::Adam opt(mlp.parameters(), 1e-3f);
+  for (auto _ : state) {
+    opt.zero_grad();
+    nn::Var loss = nn::mse_loss(mlp.forward(nn::make_leaf(coords, false)), target);
+    nn::backward(loss);
+    opt.step();
+    benchmark::DoNotOptimize(loss->value[0]);
+  }
+}
+BENCHMARK(BM_CmlpTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_Conv2d(benchmark::State& state) {
+  Rng rng(7);
+  nn::Tensor x({16, 64, 64});
+  x.randn(rng, 1.0f);
+  nn::Tensor w({16, 16, 3, 3});
+  w.randn(rng, 0.1f);
+  nn::Var vw = nn::make_leaf(w, false);
+  nn::Var vb = nn::make_leaf(nn::Tensor({16}), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::conv2d(nn::make_leaf(x, false), vw, vb));
+  }
+}
+BENCHMARK(BM_Conv2d)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nitho
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table I: model comparison — training pair, network modeling target,
+// architecture and size, for TEMPO-like / DOINN-like / Nitho.
+
+#include <cstdio>
+
+#include "baselines/doinn.hpp"
+#include "baselines/tempo.hpp"
+#include "common.hpp"
+#include "io/csv.hpp"
+#include "nitho/model.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  (void)flags;
+  std::printf("== Table I: comparisons between Nitho and SOTA ==\n\n");
+
+  TempoModel tempo;
+  DoinnModel doinn;
+  NithoConfig mc;
+  mc.rank = 24;
+  mc.encoding.features = 96;
+  mc.hidden = 48;
+  mc.blocks = 2;
+  NithoModel nitho(mc, 1024, 193.0, 1.35);
+
+  const double t_mb = tempo.parameter_bytes() / 1048576.0;
+  const double d_mb = doinn.parameter_bytes() / 1048576.0;
+  const double n_mb = nitho.parameter_bytes() / 1048576.0;
+
+  TablePrinter tp({"", "TEMPO", "DOINN", "Nitho"}, 22);
+  tp.row({"Training pair", "Mask-Aerial", "Mask-Resist", "Mask-Aerial"});
+  tp.row({"Network modeling", "S(T*G(.))", "H(S(T*G(.)))", "F(T)"});
+  tp.row({"Network arch.", "cGAN (enc-dec)", "FNO+CNN", "CMLP"});
+  tp.row({"Params (this repo)", std::to_string(tempo.parameter_count()),
+          std::to_string(doinn.parameter_count()),
+          std::to_string(nitho.parameter_count())});
+  tp.row({"Size (this repo, MB)", fmt(t_mb, 3), fmt(d_mb, 3), fmt(n_mb, 3)});
+  tp.row({"Size (paper, MB)", "~31", "~1.3", "0.41"});
+  tp.rule();
+  std::printf(
+      "\nShape check: Nitho uses %.0f%% of DOINN's parameters "
+      "(paper: 31%%) and %.1f%% of TEMPO's (paper: ~1%%).\n",
+      100.0 * nitho.parameter_count() / doinn.parameter_count(),
+      100.0 * nitho.parameter_count() / tempo.parameter_count());
+  std::printf(
+      "Note: all models are scaled down jointly for 2-core CPU training; "
+      "the ordering TEMPO >> DOINN >> Nitho is preserved (DESIGN.md §3).\n");
+
+  CsvWriter csv(out_dir() + "/table1_model_size.csv",
+                {"model", "params", "bytes", "paper_mb"});
+  csv.row({"TEMPO-like", std::to_string(tempo.parameter_count()),
+           std::to_string(tempo.parameter_bytes()), "31"});
+  csv.row({"DOINN-like", std::to_string(doinn.parameter_count()),
+           std::to_string(doinn.parameter_bytes()), "1.3"});
+  csv.row({"Nitho", std::to_string(nitho.parameter_count()),
+           std::to_string(nitho.parameter_bytes()), "0.41"});
+  return 0;
+}

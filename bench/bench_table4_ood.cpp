@@ -1,0 +1,98 @@
+// Table IV: comparison on out-of-distribution (OOD) datasets.
+//
+// Train on X, test on Y with a different mask distribution: B1 -> B1opc,
+// B2m -> B2v, B2v -> B2m.  "Drop" is the change versus the in-distribution
+// test result.  Reuses Table III's cached models when available.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "io/csv.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+namespace {
+
+struct PaperRow {
+  const char* train;
+  const char* test;
+  double tempo_mpa, tempo_miou, doinn_mpa, doinn_miou, nitho_mpa, nitho_miou;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"B1", "B1opc", 90.25, 86.15, 98.03, 94.76, 99.43, 99.17},
+    {"B2m", "B2v", 99.40, 71.86, 99.64, 78.31, 99.58, 97.33},
+    {"B2v", "B2m", 66.06, 55.82, 76.43, 68.73, 98.08, 97.18},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env(BenchConfig::from_flags(flags));
+  std::printf("== Table IV: comparison with SOTA on OOD datasets ==\n\n");
+
+  const DatasetKind pairs[3][2] = {
+      {DatasetKind::B1, DatasetKind::B1opc},
+      {DatasetKind::B2m, DatasetKind::B2v},
+      {DatasetKind::B2v, DatasetKind::B2m},
+  };
+
+  CsvWriter csv(out_dir() + "/table4_ood.csv",
+                {"train", "test", "model", "mpa_pct", "miou_pct", "drop_mpa",
+                 "drop_miou"});
+  TablePrinter tp({"Train", "Test", "Model", "mPA%", "mIOU%", "dropPA",
+                   "dropIOU", "paperPA", "paperIOU"},
+                  10);
+
+  double avg_drop_miou[3] = {0, 0, 0};
+  for (int p = 0; p < 3; ++p) {
+    const DatasetKind train_kind = pairs[p][0];
+    const DatasetKind test_kind = pairs[p][1];
+    const std::string tag = dataset_name(train_kind);
+    const auto train = sample_ptrs(env.train_set(train_kind));
+
+    auto tempo = env.trained_tempo(tag, train);
+    auto doinn = env.trained_doinn(tag, train);
+    auto nitho = env.trained_nitho(tag, train);
+
+    // In-distribution reference: B1opc has no ID test in the paper either;
+    // use the training family's test split.
+    const Dataset& id_test = env.test_set(train_kind);
+    const Dataset& ood_test = env.test_set(test_kind);
+
+    const EvalResult id[3] = {env.eval_image(*tempo, id_test),
+                              env.eval_image(*doinn, id_test),
+                              env.eval_nitho(*nitho, id_test)};
+    const EvalResult ood[3] = {env.eval_image(*tempo, ood_test),
+                               env.eval_image(*doinn, ood_test),
+                               env.eval_nitho(*nitho, ood_test)};
+
+    const char* names[3] = {"TEMPO", "DOINN", "Nitho"};
+    const double paper_pa[3] = {kPaper[p].tempo_mpa, kPaper[p].doinn_mpa,
+                                kPaper[p].nitho_mpa};
+    const double paper_iou[3] = {kPaper[p].tempo_miou, kPaper[p].doinn_miou,
+                                 kPaper[p].nitho_miou};
+    for (int m = 0; m < 3; ++m) {
+      const double drop_pa = 100.0 * (id[m].mpa - ood[m].mpa);
+      const double drop_iou = 100.0 * (id[m].miou - ood[m].miou);
+      avg_drop_miou[m] += drop_iou / 3.0;
+      tp.row({dataset_name(train_kind), dataset_name(test_kind), names[m],
+              fmt(ood[m].mpa * 100.0, 2), fmt(ood[m].miou * 100.0, 2),
+              fmt(drop_pa, 2), fmt(drop_iou, 2), fmt(paper_pa[m], 2),
+              fmt(paper_iou[m], 2)});
+      csv.row({dataset_name(train_kind), dataset_name(test_kind), names[m],
+               fmt(ood[m].mpa * 100.0, 3), fmt(ood[m].miou * 100.0, 3),
+               fmt(drop_pa, 3), fmt(drop_iou, 3)});
+    }
+    tp.rule();
+  }
+
+  std::printf("\nAverage mIOU drop: TEMPO %.2f  DOINN %.2f  Nitho %.2f\n",
+              avg_drop_miou[0], avg_drop_miou[1], avg_drop_miou[2]);
+  std::printf(
+      "Paper shape: Nitho's average drop is ~1%% while TEMPO/DOINN drop\n"
+      "~22%%/17%% mIOU — the learned optical kernels are mask-independent.\n");
+  return 0;
+}

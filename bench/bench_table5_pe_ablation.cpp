@@ -1,0 +1,55 @@
+// Table V: ablation study for positional encoding on the B1 dataset.
+// Trains Nitho with (a) no PE (plain Gaussian projection), (b) NeRF's
+// axis-aligned PE, (c) the paper's complex Gaussian RFF PE.
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "io/csv.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env(BenchConfig::from_flags(flags));
+  std::printf("== Table V: positional-encoding ablation (B1) ==\n\n");
+
+  const auto train = sample_ptrs(env.train_set(DatasetKind::B1));
+  const Dataset& test = env.test_set(DatasetKind::B1);
+
+  struct Variant {
+    EncodingKind kind;
+    const char* label;
+    double paper_mse, paper_me, paper_psnr;
+  };
+  const Variant variants[] = {
+      {EncodingKind::None, "None", 537.32, 19.38, 25.33},
+      {EncodingKind::NerfPe, "NeRF PE", 1.79, 0.81, 48.83},
+      {EncodingKind::GaussianRff, "Ours (RFF)", 1.32, 0.51, 50.75},
+  };
+
+  CsvWriter csv(out_dir() + "/table5_pe_ablation.csv",
+                {"encoding", "mse_1e5", "me_1e2", "psnr_db"});
+  TablePrinter tp({"Type", "MSE(1e-5)", "ME(1e-2)", "PSNR", "paperMSE",
+                   "paperPSNR"},
+                  12);
+  for (const Variant& v : variants) {
+    // The RFF variant is exactly Table III's B1 model; share its cache slot.
+    const std::string tag =
+        v.kind == EncodingKind::GaussianRff
+            ? "B1"
+            : "B1-pe" + std::to_string(static_cast<int>(v.kind));
+    auto model = env.trained_nitho(tag, train, -1, -1, -1, v.kind);
+    const EvalResult r = env.eval_nitho(*model, test);
+    tp.row({v.label, fmt(r.mse * 1e5, 2), fmt(r.max_error * 1e2, 2),
+            fmt(r.psnr, 2), fmt(v.paper_mse, 2), fmt(v.paper_psnr, 2)});
+    csv.row({v.label, fmt(r.mse * 1e5, 3), fmt(r.max_error * 1e2, 3),
+             fmt(r.psnr, 3)});
+  }
+  tp.rule();
+  std::printf(
+      "\nPaper shape: no PE collapses (25 dB); NeRF PE recovers ~49 dB; the\n"
+      "isotropic complex RFF PE is best (50.75 dB).\n");
+  return 0;
+}

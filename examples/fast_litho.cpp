@@ -1,0 +1,85 @@
+// Fast lithography (paper §III-C1): learned kernels are stored and used
+// exactly like calibrated TCC kernels — SOCS only, no network inference.
+// This example trains once, exports kernels, then batch-simulates a stream
+// of fresh masks, comparing throughput and accuracy against the rigorous
+// reference simulator.
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/trainer.hpp"
+
+using namespace nitho;
+
+int main() {
+  std::printf("Fast lithography with learned optical kernels\n");
+  std::printf("=============================================\n\n");
+
+  LithoConfig litho;
+  litho.tile_nm = 512;
+  litho.raster_px = 512;
+  litho.analysis_px = 64;
+  litho.sim_px = 32;
+  litho.spectrum_crop = 31;
+  GoldenEngine engine(litho);
+
+  // Train briefly on mixed layouts and export the kernels.
+  const Dataset train = engine.make_dataset(DatasetKind::B2m, 16, 5);
+  NithoConfig mc;
+  mc.rank = 14;
+  mc.encoding.features = 64;
+  mc.hidden = 32;
+  NithoModel model(mc, litho.tile_nm, litho.optics.wavelength_nm,
+                   litho.optics.na);
+  NithoTrainConfig tc;
+  tc.epochs = 80;
+  tc.batch = 4;
+  tc.train_px = 32;
+  train_nitho(model, sample_ptrs(train), tc);
+  const FastLitho fast = FastLitho::from_model(model, litho.resist.threshold);
+  fast.save("learned_kernels.bin");
+  std::printf("exported %d learned kernels (%dx%d) to learned_kernels.bin\n\n",
+              fast.rank(), fast.kernel_dim(), fast.kernel_dim());
+
+  // Stream fresh masks through both engines.
+  const int n = 12;
+  Rng rng(777);
+  std::vector<Grid<double>> masks;
+  for (int i = 0; i < n; ++i) {
+    masks.push_back(rasterize(make_layout(DatasetKind::B2m, 512, rng), 1));
+  }
+  const double tile_um2 = 0.512 * 0.512;
+
+  WallTimer t;
+  std::vector<Grid<double>> fast_aerials;
+  for (const auto& m : masks) {
+    fast_aerials.push_back(fast.aerial_from_mask(m, litho.analysis_px));
+  }
+  const double fast_s = t.seconds();
+
+  t.reset();
+  std::vector<Grid<double>> ref_aerials;
+  for (const auto& m : masks) ref_aerials.push_back(engine.reference_aerial(m));
+  const double ref_s = t.seconds();
+
+  double worst_psnr = 1e9;
+  for (int i = 0; i < n; ++i) {
+    worst_psnr = std::min(worst_psnr, psnr(ref_aerials[static_cast<std::size_t>(i)],
+                                           fast_aerials[static_cast<std::size_t>(i)]));
+  }
+  std::printf("fast SOCS (learned kernels): %6.2f um^2/s\n",
+              n * tile_um2 / fast_s);
+  std::printf("rigorous Abbe reference:     %6.2f um^2/s\n",
+              n * tile_um2 / ref_s);
+  std::printf("speedup: %.0fx, worst-tile PSNR vs reference: %.2f dB\n",
+              ref_s / fast_s, worst_psnr);
+  std::printf(
+      "\n(The paper reports ~90x over its reference simulator with <1%%\n"
+      "accuracy loss; the exact factor depends on the reference's source\n"
+      "sampling, the shape — orders of magnitude at high fidelity — holds.)\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Inverse lithography (ILT) with learned optical kernels.
+//
+// The paper motivates SOCS kernels for "inverse imaging calculation tasks
+// such as mask optimization".  Because this repo's whole imaging chain is
+// differentiable, the learned kernels drop straight into a gradient-based
+// mask optimizer (MOSAIC-style ILT at miniature scale):
+//
+//   theta  --sigmoid-->  mask  --FFT crop-->  spectrum  --SOCS-->  aerial
+//
+// and we descend || aerial - target ||^2 plus a binarization penalty.
+// The optimized mask prints the intended pattern with visibly higher
+// fidelity than the unoptimized design.
+
+#include <cstdio>
+
+#include "fft/spectral.hpp"
+#include "io/pgm.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/trainer.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+
+using namespace nitho;
+
+int main() {
+  std::printf("Inverse lithography with learned kernels\n");
+  std::printf("========================================\n\n");
+
+  LithoConfig litho;
+  litho.tile_nm = 512;
+  litho.raster_px = 512;
+  litho.analysis_px = 64;
+  litho.sim_px = 32;
+  litho.spectrum_crop = 31;
+  GoldenEngine engine(litho);
+  const int kdim = engine.kernel_dim();
+
+  // 1. Learn the optical kernels from imaging data (as a fab without TCC
+  //    access would).
+  const Dataset train = engine.make_dataset(DatasetKind::B1, 16, 11);
+  NithoConfig mc;
+  mc.rank = 14;
+  mc.encoding.features = 64;
+  mc.hidden = 32;
+  NithoModel model(mc, litho.tile_nm, litho.optics.wavelength_nm,
+                   litho.optics.na);
+  NithoTrainConfig tc;
+  tc.epochs = 60;
+  tc.batch = 4;
+  tc.train_px = 32;
+  train_nitho(model, sample_ptrs(train), tc);
+
+  // Kernels as a constant tensor [r, kdim, kdim, 2].
+  const std::vector<Grid<cd>> ks = model.export_kernels();
+  nn::Tensor kt({static_cast<int>(ks.size()), kdim, kdim, 2});
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    for (std::size_t p = 0; p < ks[i].size(); ++p) {
+      kt[static_cast<std::int64_t>((i * ks[i].size() + p) * 2)] =
+          static_cast<float>(ks[i][p].real());
+      kt[static_cast<std::int64_t>((i * ks[i].size() + p) * 2 + 1)] =
+          static_cast<float>(ks[i][p].imag());
+    }
+  }
+
+  // 2. Target: the *intended* design of a fresh tile (what should print).
+  Rng rng(77);
+  const Layout design = make_b1_layout(512, rng);
+  const Grid<double> design_raster = rasterize(design, 1);
+  const int s = 64;  // optimization grid
+  const Grid<double> intended64 = downsample_area(design_raster, 512 / s);
+  const Grid<double> intended_bin = binarize(intended64, 0.5);
+  // Desired aerial: bright where the design prints, dark elsewhere, pushed
+  // past the resist threshold with margin.
+  nn::Tensor target({32, 32});
+  const Grid<double> intended32 = downsample_area(intended64, 2);
+  for (std::size_t i = 0; i < intended32.size(); ++i) {
+    target[static_cast<std::int64_t>(i)] =
+        intended32[i] > 0.5 ? 0.6f : 0.05f;
+  }
+
+  // 3. Optimize mask pixels through the differentiable SOCS forward.
+  nn::Tensor theta({s, s});
+  for (std::size_t i = 0; i < intended64.size(); ++i) {
+    theta[static_cast<std::int64_t>(i)] = intended64[i] > 0.5 ? 1.5f : -1.5f;
+  }
+  nn::Var vtheta = nn::make_leaf(theta, true);
+  nn::Adam opt({vtheta}, 0.05f);
+  double first_loss = 0.0, last_loss = 0.0;
+  const int iters = 150;
+  for (int it = 0; it < iters; ++it) {
+    opt.zero_grad();
+    nn::Var mask = nn::sigmoid(vtheta);
+    nn::Var spectrum = nn::fft2c_crop(mask, kdim);
+    nn::Var aerial =
+        nn::abs2_sum0(nn::socs_field_from_spectrum(spectrum, kt, 32));
+    nn::Var fit = nn::mse_loss(aerial, target);
+    // Binarization penalty mean(mask * (1 - mask)) = mean(mask) - mean(mask^2).
+    nn::Var bin = nn::sub(nn::mean(mask), nn::mean(nn::square(mask)));
+    nn::Var loss = nn::add(fit, nn::scale(bin, 0.02f));
+    nn::backward(loss);
+    opt.step();
+    if (it == 0) first_loss = fit->value[0];
+    last_loss = fit->value[0];
+  }
+  std::printf("ILT: %d iterations, imaging loss %.3e -> %.3e\n", iters,
+              first_loss, last_loss);
+
+  // 4. Verify with the *golden* engine (not the learned kernels): print
+  //    fidelity of the unoptimized vs optimized mask.
+  auto print_with_golden = [&](const Grid<double>& mask64) {
+    const Grid<double> mask512 = upsample_nearest(mask64, 512 / s);
+    const Sample sm = engine.make_sample(binarize(mask512, 0.5));
+    return sm.resist;
+  };
+  const Grid<double> printed_plain = print_with_golden(intended_bin);
+  Grid<double> optimized(s, s);
+  for (int i = 0; i < s * s; ++i) {
+    optimized[static_cast<std::size_t>(i)] =
+        1.0 / (1.0 + std::exp(-vtheta->value[i]));
+  }
+  const Grid<double> optimized_bin = binarize(optimized, 0.5);
+  const Grid<double> printed_opt = print_with_golden(optimized_bin);
+
+  const double fidelity_plain = miou(intended_bin, printed_plain);
+  const double fidelity_opt = miou(intended_bin, printed_opt);
+  std::printf("print fidelity vs intent (mIOU): unoptimized %.4f -> "
+              "ILT mask %.4f\n",
+              fidelity_plain, fidelity_opt);
+  write_pgm_montage("inverse_litho.pgm",
+                    {intended_bin, optimized_bin, printed_plain, printed_opt});
+  std::printf(
+      "wrote inverse_litho.pgm (intent | optimized mask | print of intent |\n"
+      "print of optimized mask).  Gradients flowed through the learned\n"
+      "kernels; fidelity verified with the independent golden simulator.\n");
+  return fidelity_opt >= fidelity_plain ? 0 : 1;
+}

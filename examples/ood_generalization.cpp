@@ -1,0 +1,88 @@
+// Out-of-distribution generalization (the paper's Fig. 2b / Table IV story):
+// train Nitho and a DOINN-like image-learning baseline on *via* masks only,
+// then simulate *metal* and *OPC'ed* masks.  The neural field transfers
+// because it learned the optical system, not the mask distribution.
+
+#include <cstdio>
+
+#include "baselines/doinn.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/model.hpp"
+#include "nitho/trainer.hpp"
+
+using namespace nitho;
+
+namespace {
+
+double avg_psnr_nitho(const NithoModel& m, const Dataset& ds, int px) {
+  double acc = 0.0;
+  for (const Sample& s : ds.samples) acc += psnr(s.aerial, predict_aerial(m, s, px));
+  return acc / static_cast<double>(ds.samples.size());
+}
+
+double avg_psnr_image(const ImageModel& m, const Dataset& ds, int px) {
+  double acc = 0.0;
+  for (const Sample& s : ds.samples) {
+    acc += psnr(s.aerial, predict_aerial(m, s, 32, px));
+  }
+  return acc / static_cast<double>(ds.samples.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Out-of-distribution generalization demo\n");
+  std::printf("=======================================\n\n");
+
+  LithoConfig litho;
+  litho.tile_nm = 512;
+  litho.raster_px = 512;
+  litho.analysis_px = 64;
+  litho.sim_px = 32;
+  litho.spectrum_crop = 31;
+  GoldenEngine engine(litho);
+
+  const Dataset train_vias = engine.make_dataset(DatasetKind::B2v, 24, 10);
+  const Dataset test_vias = engine.make_dataset(DatasetKind::B2v, 4, 20);
+  const Dataset test_metal = engine.make_dataset(DatasetKind::B2m, 4, 30);
+  const Dataset test_opc = engine.make_dataset(DatasetKind::B1opc, 4, 40);
+  std::printf("training distribution: %zu via tiles ONLY\n\n",
+              train_vias.samples.size());
+
+  NithoConfig mc;
+  mc.rank = 14;
+  mc.encoding.features = 64;
+  mc.hidden = 32;
+  NithoModel nitho(mc, litho.tile_nm, litho.optics.wavelength_nm,
+                   litho.optics.na);
+  NithoTrainConfig tc;
+  tc.epochs = 100;
+  tc.batch = 4;
+  tc.train_px = 32;
+  train_nitho(nitho, sample_ptrs(train_vias), tc);
+
+  DoinnModel doinn;
+  ImageTrainConfig ic;
+  ic.epochs = 12;
+  ic.px = 32;
+  train_image_model(doinn, sample_ptrs(train_vias), ic);
+
+  const int px = litho.analysis_px;
+  std::printf("%-22s %-12s %-12s\n", "test set", "DOINN-like", "Nitho");
+  std::printf("%-22s %-12.2f %-12.2f\n", "vias (in-dist)",
+              avg_psnr_image(doinn, test_vias, px),
+              avg_psnr_nitho(nitho, test_vias, px));
+  std::printf("%-22s %-12.2f %-12.2f\n", "metal (OOD)",
+              avg_psnr_image(doinn, test_metal, px),
+              avg_psnr_nitho(nitho, test_metal, px));
+  std::printf("%-22s %-12.2f %-12.2f   (aerial PSNR, dB)\n", "OPC'ed (OOD)",
+              avg_psnr_image(doinn, test_opc, px),
+              avg_psnr_nitho(nitho, test_opc, px));
+
+  std::printf(
+      "\nThe image-learning baseline collapses on mask families it never\n"
+      "saw; Nitho's kernels are mask-independent, like a real simulator.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// OPC robustness: rule-based OPC (edge bias, serifs, SRAFs) changes mask
+// statistics drastically — and OPC'ed masks are exactly what production
+// lithography simulators must handle.  Nitho trained on plain B1 masks is
+// evaluated on their OPC'ed counterparts (the paper's B1 -> B1opc row),
+// and the printed-image improvement from OPC is demonstrated with the
+// golden engine.
+
+#include <cstdio>
+
+#include "fft/spectral.hpp"
+#include "layout/opc.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/trainer.hpp"
+
+using namespace nitho;
+
+int main() {
+  std::printf("OPC robustness demo\n===================\n\n");
+
+  LithoConfig litho;
+  litho.tile_nm = 512;
+  litho.raster_px = 512;
+  litho.analysis_px = 64;
+  litho.sim_px = 32;
+  litho.spectrum_crop = 31;
+  GoldenEngine engine(litho);
+
+  // Train on plain B1 only.
+  const Dataset train = engine.make_dataset(DatasetKind::B1, 20, 3);
+  NithoConfig mc;
+  mc.rank = 14;
+  mc.encoding.features = 64;
+  mc.hidden = 32;
+  NithoModel model(mc, litho.tile_nm, litho.optics.wavelength_nm,
+                   litho.optics.na);
+  NithoTrainConfig tc;
+  tc.epochs = 80;
+  tc.batch = 4;
+  tc.train_px = 32;
+  train_nitho(model, sample_ptrs(train), tc);
+
+  // Evaluate the same designs plain vs OPC'ed.
+  std::printf("%-8s %-14s %-14s %-16s\n", "design", "plain PSNR", "OPC'ed PSNR",
+              "OPC print gain");
+  Rng rng(99);
+  double plain_acc = 0.0, opc_acc = 0.0;
+  const int n = 4;
+  for (int i = 0; i < n; ++i) {
+    const Layout base = make_b1_layout(512, rng);
+    const Layout opc = apply_rule_based_opc(base);
+    const Sample sp = engine.make_sample(rasterize(base, 1));
+    const Sample so = engine.make_sample(rasterize(opc, 1));
+
+    const double psnr_plain =
+        psnr(sp.aerial, predict_aerial(model, sp, litho.analysis_px));
+    const double psnr_opc =
+        psnr(so.aerial, predict_aerial(model, so, litho.analysis_px));
+    plain_acc += psnr_plain / n;
+    opc_acc += psnr_opc / n;
+
+    // How much closer is the OPC'ed print to the *intended* design?
+    const Grid<double> target = downsample_area(rasterize(base, 1), 8);
+    const Grid<double> intended = binarize(target, 0.5);
+    const double fidelity_plain = miou(intended, sp.resist);
+    const double fidelity_opc = miou(intended, so.resist);
+    std::printf("%-8d %-14.2f %-14.2f %+.4f mIOU\n", i, psnr_plain, psnr_opc,
+                fidelity_opc - fidelity_plain);
+  }
+  std::printf("\naverage Nitho PSNR: plain %.2f dB, OPC'ed %.2f dB "
+              "(drop %.2f dB)\n",
+              plain_acc, opc_acc, plain_acc - opc_acc);
+  std::printf(
+      "Nitho simulates decorated masks it never saw with nearly the same\n"
+      "accuracy (paper Table IV: 0.02%% mPA drop B1 -> B1opc), and the\n"
+      "golden engine confirms OPC decorations improve pattern fidelity.\n");
+  return 0;
+}

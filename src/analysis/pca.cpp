@@ -1,0 +1,88 @@
+#include "analysis/pca.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace nitho {
+namespace {
+
+// Modified Gram-Schmidt over the rows of v (k x d).
+void orthonormalize_rows(Grid<double>& v) {
+  const int k = v.rows(), d = v.cols();
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < i; ++j) {
+      double dot = 0.0;
+      for (int c = 0; c < d; ++c) dot += v(i, c) * v(j, c);
+      for (int c = 0; c < d; ++c) v(i, c) -= dot * v(j, c);
+    }
+    double norm = 0.0;
+    for (int c = 0; c < d; ++c) norm += v(i, c) * v(i, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      // Degenerate direction; reset to a unit vector (rare, tiny data).
+      for (int c = 0; c < d; ++c) v(i, c) = c == i % d ? 1.0 : 0.0;
+    } else {
+      for (int c = 0; c < d; ++c) v(i, c) /= norm;
+    }
+  }
+}
+
+}  // namespace
+
+PcaResult pca(const Grid<double>& data, int k, int iters, std::uint64_t seed) {
+  const int n = data.rows(), d = data.cols();
+  check(n >= 2 && d >= 1, "pca needs at least two observations");
+  check(k >= 1 && k <= std::min(n, d), "bad component count");
+
+  PcaResult out;
+  out.mean.assign(static_cast<std::size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < d; ++j) out.mean[static_cast<std::size_t>(j)] += data(i, j);
+  for (double& m : out.mean) m /= n;
+
+  Grid<double> x(n, d);  // centered
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < d; ++j)
+      x(i, j) = data(i, j) - out.mean[static_cast<std::size_t>(j)];
+
+  Grid<double> v(k, d);
+  Rng rng(seed);
+  for (auto& e : v) e = rng.normal();
+  orthonormalize_rows(v);
+
+  Grid<double> xv(n, k), next(k, d);
+  for (int it = 0; it < iters; ++it) {
+    // xv = X V^T ; next = (X^T xv)^T == xv^T X.
+    for (int i = 0; i < n; ++i)
+      for (int c = 0; c < k; ++c) {
+        double acc = 0.0;
+        for (int j = 0; j < d; ++j) acc += x(i, j) * v(c, j);
+        xv(i, c) = acc;
+      }
+    next.fill(0.0);
+    for (int i = 0; i < n; ++i)
+      for (int c = 0; c < k; ++c) {
+        const double w = xv(i, c);
+        if (w == 0.0) continue;
+        for (int j = 0; j < d; ++j) next(c, j) += w * x(i, j);
+      }
+    orthonormalize_rows(next);
+    v = next;
+  }
+
+  out.components = v;
+  out.projected = Grid<double>(n, k);
+  out.variances.assign(static_cast<std::size_t>(k), 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int c = 0; c < k; ++c) {
+      double acc = 0.0;
+      for (int j = 0; j < d; ++j) acc += x(i, j) * v(c, j);
+      out.projected(i, c) = acc;
+      out.variances[static_cast<std::size_t>(c)] += acc * acc / n;
+    }
+  return out;
+}
+
+}  // namespace nitho

@@ -1,0 +1,24 @@
+#pragma once
+// Principal component analysis via subspace iteration on the (implicit)
+// covariance.  Used to pre-reduce mask features and as the deterministic
+// half of the Fig. 2(a) embedding pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "math/grid.hpp"
+
+namespace nitho {
+
+struct PcaResult {
+  Grid<double> components;        ///< k x d, orthonormal rows
+  std::vector<double> variances;  ///< explained variance per component
+  Grid<double> projected;         ///< n x k scores (centered data . comp^T)
+  std::vector<double> mean;       ///< d feature means
+};
+
+/// data: n x d observations (rows).  k <= min(n, d) components.
+PcaResult pca(const Grid<double>& data, int k, int iters = 60,
+              std::uint64_t seed = 1);
+
+}  // namespace nitho

@@ -1,0 +1,154 @@
+#include "analysis/tsne.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace nitho {
+namespace {
+
+// Row-wise conditional probabilities with a per-point bandwidth found by
+// bisection so that the entropy matches log(perplexity).
+Grid<double> conditional_p(const Grid<double>& d2, double perplexity) {
+  const int n = d2.rows();
+  Grid<double> p(n, n, 0.0);
+  const double target_entropy = std::log(perplexity);
+  parallel_for(n, [&](std::int64_t i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e300;
+    std::vector<double> row(static_cast<std::size_t>(n));
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0;
+      for (int j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            j == i ? 0.0 : std::exp(-beta * d2(static_cast<int>(i), j));
+        sum += row[static_cast<std::size_t>(j)];
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta);
+        continue;
+      }
+      double entropy = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double pj = row[static_cast<std::size_t>(j)] / sum;
+        if (pj > 1e-12) entropy -= pj * std::log(pj);
+      }
+      if (std::abs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e300 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta);
+      }
+    }
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) sum += row[static_cast<std::size_t>(j)];
+    if (sum <= 0.0) sum = 1.0;
+    for (int j = 0; j < n; ++j)
+      p(static_cast<int>(i), j) = row[static_cast<std::size_t>(j)] / sum;
+  });
+  return p;
+}
+
+}  // namespace
+
+Grid<double> tsne(const Grid<double>& data, const TsneConfig& cfg) {
+  const int n = data.rows(), d = data.cols();
+  check(n >= 5, "tsne needs at least a handful of points");
+  check(cfg.perplexity > 1.0 && cfg.perplexity < n,
+        "perplexity must lie in (1, n)");
+
+  // Pairwise squared distances in feature space.
+  Grid<double> d2(n, n, 0.0);
+  parallel_for(n, [&](std::int64_t i) {
+    for (int j = 0; j < n; ++j) {
+      if (j == static_cast<int>(i)) continue;
+      double acc = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = data(static_cast<int>(i), c) - data(j, c);
+        acc += diff * diff;
+      }
+      d2(static_cast<int>(i), j) = acc;
+    }
+  });
+
+  // Symmetrized joint probabilities.
+  Grid<double> p = conditional_p(d2, cfg.perplexity);
+  Grid<double> pj(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      pj(i, j) = std::max((p(i, j) + p(j, i)) / (2.0 * n), 1e-12);
+
+  Grid<double> y(n, 2);
+  Rng rng(cfg.seed);
+  for (auto& v : y) v = rng.normal(0.0, 1e-2);
+  Grid<double> vel(n, 2, 0.0), gains(n, 2, 1.0);
+
+  const double lr = cfg.learning_rate > 0.0
+                        ? cfg.learning_rate
+                        : std::max(n / cfg.early_exaggeration, 50.0);
+
+  const int exaggeration_iters = cfg.iters / 4;
+  std::vector<double> num(static_cast<std::size_t>(n) * n);
+  for (int iter = 0; iter < cfg.iters; ++iter) {
+    const double exag = iter < exaggeration_iters ? cfg.early_exaggeration : 1.0;
+    // Student-t affinities.
+    double qsum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) {
+          num[static_cast<std::size_t>(i) * n + j] = 0.0;
+          continue;
+        }
+        const double dy0 = y(i, 0) - y(j, 0);
+        const double dy1 = y(i, 1) - y(j, 1);
+        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        num[static_cast<std::size_t>(i) * n + j] = v;
+        qsum += v;
+      }
+    }
+    const double inv_qsum = 1.0 / std::max(qsum, 1e-12);
+    // Gradient + momentum update with adaptive gains.
+    const double momentum = iter < cfg.iters / 2 ? 0.5 : 0.8;
+    for (int i = 0; i < n; ++i) {
+      double g0 = 0.0, g1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double v = num[static_cast<std::size_t>(i) * n + j];
+        const double coeff = 4.0 * (exag * pj(i, j) - v * inv_qsum) * v;
+        g0 += coeff * (y(i, 0) - y(j, 0));
+        g1 += coeff * (y(i, 1) - y(j, 1));
+      }
+      const double g[2] = {g0, g1};
+      for (int c = 0; c < 2; ++c) {
+        gains(i, c) = (g[c] > 0.0) == (vel(i, c) > 0.0)
+                          ? std::max(0.01, gains(i, c) * 0.8)
+                          : std::min(gains(i, c) + 0.2, 20.0);
+        vel(i, c) = momentum * vel(i, c) - lr * gains(i, c) * g[c];
+        // Displacement clip: keeps miniature datasets from blowing up
+        // during early exaggeration without affecting converged dynamics.
+        vel(i, c) = std::clamp(vel(i, c), -25.0, 25.0);
+        y(i, c) += vel(i, c);
+      }
+    }
+    // Recenter.
+    double m0 = 0.0, m1 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      m0 += y(i, 0);
+      m1 += y(i, 1);
+    }
+    m0 /= n;
+    m1 /= n;
+    for (int i = 0; i < n; ++i) {
+      y(i, 0) -= m0;
+      y(i, 1) -= m1;
+    }
+  }
+  return y;
+}
+
+}  // namespace nitho

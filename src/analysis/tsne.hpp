@@ -1,0 +1,23 @@
+#pragma once
+// Exact (O(n^2)) t-distributed Stochastic Neighbor Embedding, used to
+// regenerate the dataset-distribution visualization of Fig. 2(a).
+
+#include <cstdint>
+
+#include "math/grid.hpp"
+
+namespace nitho {
+
+struct TsneConfig {
+  double perplexity = 20.0;
+  int iters = 400;
+  /// <= 0 uses the openTSNE heuristic max(n / early_exaggeration, 50).
+  double learning_rate = 0.0;
+  double early_exaggeration = 12.0;  ///< applied for the first quarter
+  std::uint64_t seed = 42;
+};
+
+/// data: n x d feature rows.  Returns an n x 2 embedding.
+Grid<double> tsne(const Grid<double>& data, const TsneConfig& cfg = {});
+
+}  // namespace nitho

@@ -1,0 +1,63 @@
+#include "baselines/doinn.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_conv.hpp"
+#include "nn/ops_fft.hpp"
+
+namespace nitho {
+namespace {
+
+nn::Var make_conv_w(int cout, int cin, int k, Rng& rng) {
+  nn::Tensor w({cout, cin, k, k});
+  w.randn(rng, static_cast<float>(std::sqrt(2.0 / (cin * k * k))));
+  return nn::make_leaf(std::move(w), true);
+}
+
+nn::Var make_spectral_w(int c, int modes, Rng& rng) {
+  nn::Tensor w({c, c, modes, modes, 2});
+  w.randn(rng, static_cast<float>(1.0 / c));
+  return nn::make_leaf(std::move(w), true);
+}
+
+}  // namespace
+
+DoinnModel::DoinnModel(const DoinnConfig& cfg) {
+  Rng rng(cfg.seed);
+  const int c = cfg.channels;
+  lift_w_ = make_conv_w(c, 1, 3, rng);
+  lift_b_ = nn::make_leaf(nn::Tensor({c}), true);
+  spec1_ = make_spectral_w(c, cfg.modes, rng);
+  spec2_ = make_spectral_w(c, cfg.modes, rng);
+  local1_w_ = make_conv_w(c, c, 3, rng);
+  local1_b_ = nn::make_leaf(nn::Tensor({c}), true);
+  local2_w_ = make_conv_w(c, c, 3, rng);
+  local2_b_ = nn::make_leaf(nn::Tensor({c}), true);
+  fuse_w_ = make_conv_w(c, 2 * c, 3, rng);
+  fuse_b_ = nn::make_leaf(nn::Tensor({c}), true);
+  head_w_ = make_conv_w(1, c, 3, rng);
+  // Positive head bias keeps the output ReLU alive at initialization.
+  head_b_ = nn::make_leaf(nn::Tensor({1}, 0.2f), true);
+  params_ = {lift_w_, lift_b_, spec1_,    spec2_,    local1_w_, local1_b_,
+             local2_w_, local2_b_, fuse_w_, fuse_b_, head_w_,   head_b_};
+}
+
+nn::Var DoinnModel::forward(const nn::Var& mask) const {
+  using namespace nn;
+  Var lifted = leaky_relu(conv2d(mask, lift_w_, lift_b_));
+  // Global (low-frequency) band: two FNO blocks with residual connections.
+  Var g = add(lifted, spectral_conv2d(lifted, spec1_));
+  g = leaky_relu(g);
+  g = add(g, spectral_conv2d(g, spec2_));
+  g = leaky_relu(g);
+  // Local (high-frequency) band.
+  Var l = leaky_relu(conv2d(lifted, local1_w_, local1_b_));
+  l = leaky_relu(conv2d(l, local2_w_, local2_b_));
+  // Fuse and decode.
+  Var fused = leaky_relu(conv2d(concat0(g, l), fuse_w_, fuse_b_));
+  return relu(conv2d(fused, head_w_, head_b_));
+}
+
+}  // namespace nitho

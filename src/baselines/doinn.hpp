@@ -1,0 +1,35 @@
+#pragma once
+// DOINN-like baseline (Yang et al., DAC 2022): dual-band optics-inspired
+// network.  A Fourier-Neural-Operator branch carries the global
+// low-frequency response, a convolutional branch carries local
+// high-frequency detail; the bands are fused by a small conv head.
+
+#include <cstdint>
+
+#include "baselines/image_trainer.hpp"
+
+namespace nitho {
+
+struct DoinnConfig {
+  int channels = 12;  ///< lifted width of both branches
+  int modes = 13;     ///< retained Fourier modes per axis (centered)
+  std::uint64_t seed = 5;
+};
+
+class DoinnModel final : public ImageModel {
+ public:
+  explicit DoinnModel(const DoinnConfig& cfg = {});
+
+  nn::Var forward(const nn::Var& mask) const override;
+  std::vector<nn::Var> parameters() const override { return params_; }
+  std::string name() const override { return "DOINN-like"; }
+
+ private:
+  nn::Var lift_w_, lift_b_;
+  nn::Var spec1_, spec2_;      ///< FNO mode weights [C,C,mh,mw,2]
+  nn::Var local1_w_, local1_b_, local2_w_, local2_b_;
+  nn::Var fuse_w_, fuse_b_, head_w_, head_b_;
+  std::vector<nn::Var> params_;
+};
+
+}  // namespace nitho

@@ -1,0 +1,102 @@
+#include "baselines/image_trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "fft/spectral.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+
+namespace nitho {
+namespace {
+
+Grid<double> sized_to(const Grid<double>& img, int px) {
+  if (img.rows() == px) return img;
+  if (img.rows() % px == 0) return downsample_area(img, img.rows() / px);
+  return spectral_resample(img, px, px);
+}
+
+nn::Tensor grid_tensor(const Grid<double>& g, std::vector<int> shape) {
+  nn::Tensor t(std::move(shape));
+  check(t.numel() == static_cast<std::int64_t>(g.size()),
+        "grid/tensor size mismatch");
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    t[static_cast<std::int64_t>(i)] = static_cast<float>(g[i]);
+  }
+  return t;
+}
+
+}  // namespace
+
+nn::Tensor mask_input(const Sample& sample, int px) {
+  // Box-filtered mask: keeps the density information the optical model sees
+  // (CNN baselines consume images, not spectra).
+  return grid_tensor(sized_to(sample.mask_coarse, px), {1, px, px});
+}
+
+TrainStats train_image_model(ImageModel& model,
+                             const std::vector<const Sample*>& data,
+                             const ImageTrainConfig& cfg) {
+  check(!data.empty(), "training needs at least one sample");
+  const int n = static_cast<int>(data.size());
+  std::vector<nn::Tensor> inputs, targets;
+  inputs.reserve(static_cast<std::size_t>(n));
+  targets.reserve(static_cast<std::size_t>(n));
+  for (const Sample* s : data) {
+    check(s != nullptr, "null sample");
+    inputs.push_back(mask_input(*s, cfg.px));
+    targets.push_back(
+        grid_tensor(sized_to(s->aerial, cfg.px), {1, cfg.px, cfg.px}));
+  }
+
+  nn::Adam opt(model.parameters(), cfg.lr);
+  Rng rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  WallTimer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (int i : order) {
+      opt.zero_grad();
+      nn::Var pred = model.forward(
+          nn::make_leaf(inputs[static_cast<std::size_t>(i)], false));
+      nn::Var loss = nn::mse_loss(pred, targets[static_cast<std::size_t>(i)]);
+      nn::backward(loss);
+      opt.step();
+      epoch_loss += loss->value[0];
+      ++stats.steps;
+    }
+    stats.epoch_losses.push_back(epoch_loss / n);
+    const double t = static_cast<double>(epoch + 1) / cfg.epochs;
+    opt.set_lr(static_cast<float>(cfg.lr * (0.1 + 0.45 * (1.0 + std::cos(kPi * t)))));
+    if (cfg.verbose) {
+      std::printf("  [%s] epoch %3d/%d  loss %.3e\n", model.name().c_str(),
+                  epoch + 1, cfg.epochs, stats.epoch_losses.back());
+      std::fflush(stdout);
+    }
+  }
+  stats.final_loss = stats.epoch_losses.back();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+Grid<double> predict_aerial(const ImageModel& model, const Sample& sample,
+                            int px, int out_px) {
+  nn::Var pred = model.forward(nn::make_leaf(mask_input(sample, px), false));
+  check(pred->value.numel() == static_cast<std::int64_t>(px) * px,
+        "model output size mismatch");
+  Grid<double> img(px, px);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<double>(pred->value[static_cast<std::int64_t>(i)]);
+  }
+  if (out_px == px) return img;
+  return spectral_resample(img, out_px, out_px);
+}
+
+}  // namespace nitho

@@ -1,0 +1,56 @@
+#pragma once
+// Shared infrastructure for the image-to-image baselines (TEMPO-like and
+// DOINN-like): a common model interface, an MSE trainer over
+// (coarse mask -> golden aerial) pairs and the evaluation-time prediction
+// path (forward at the training resolution, then band-limited upsampling to
+// the analysis grid).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "litho/golden.hpp"
+#include "nitho/trainer.hpp"  // TrainStats
+#include "nn/autodiff.hpp"
+
+namespace nitho {
+
+/// Interface of a mask -> aerial image network operating on [1, px, px].
+class ImageModel {
+ public:
+  virtual ~ImageModel() = default;
+  virtual nn::Var forward(const nn::Var& mask) const = 0;
+  virtual std::vector<nn::Var> parameters() const = 0;
+  virtual std::string name() const = 0;
+
+  std::int64_t parameter_count() const {
+    return nn::parameter_count(parameters());
+  }
+  std::int64_t parameter_bytes() const {
+    return parameter_count() * static_cast<std::int64_t>(sizeof(float));
+  }
+};
+
+struct ImageTrainConfig {
+  int epochs = 30;
+  float lr = 2e-3f;
+  int px = 64;  ///< training resolution (mask and aerial resampled here)
+  std::uint64_t seed = 17;
+  bool verbose = false;
+};
+
+/// Trains with per-sample Adam steps (batch size 1: CNN activations at this
+/// resolution dominate memory, and the models are small).
+TrainStats train_image_model(ImageModel& model,
+                             const std::vector<const Sample*>& data,
+                             const ImageTrainConfig& cfg);
+
+/// Predicted aerial for one sample, spectrally upsampled to out_px.
+Grid<double> predict_aerial(const ImageModel& model, const Sample& sample,
+                            int px, int out_px);
+
+/// Converts a sample's coarse mask to the [1, px, px] network input.
+nn::Tensor mask_input(const Sample& sample, int px);
+
+}  // namespace nitho

@@ -1,0 +1,59 @@
+#include "baselines/tempo.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_conv.hpp"
+
+namespace nitho {
+namespace {
+
+nn::Var make_conv_w(int cout, int cin, int k, Rng& rng) {
+  nn::Tensor w({cout, cin, k, k});
+  w.randn(rng, static_cast<float>(std::sqrt(2.0 / (cin * k * k))));
+  return nn::make_leaf(std::move(w), true);
+}
+
+}  // namespace
+
+TempoModel::TempoModel(const TempoConfig& cfg) {
+  Rng rng(cfg.seed);
+  const int c = cfg.base_channels;
+  // U-Net-style generator (TEMPO's cGAN uses a skip-connected generator):
+  // encoder c -> 2c -> 4c bottleneck, decoder consumes upsampled features
+  // concatenated with the matching encoder stage.
+  const int chans[7][2] = {{1, c},          {c, 2 * c},    {2 * c, 4 * c},
+                           {4 * c, 4 * c},  {6 * c, 2 * c}, {3 * c, c},
+                           {c, 1}};
+  for (int i = 0; i < 7; ++i) {
+    conv_[i].w = make_conv_w(chans[i][1], chans[i][0], 3, rng);
+    // The head starts with a positive bias so the final ReLU is not born
+    // dead (aerial intensities are positive with mean ~0.2).
+    conv_[i].b = nn::make_leaf(nn::Tensor({chans[i][1]}, i == 6 ? 0.2f : 0.0f),
+                               true);
+    params_.push_back(conv_[i].w);
+    params_.push_back(conv_[i].b);
+  }
+}
+
+nn::Var TempoModel::forward(const nn::Var& mask) const {
+  using namespace nn;
+  // Encoder: full res -> /2 -> /4.
+  Var e1 = leaky_relu(conv2d(mask, conv_[0].w, conv_[0].b));
+  Var e2 = leaky_relu(conv2d(avg_pool2(e1), conv_[1].w, conv_[1].b));
+  // Bottleneck.
+  Var b = leaky_relu(conv2d(avg_pool2(e2), conv_[2].w, conv_[2].b));
+  b = leaky_relu(conv2d(b, conv_[3].w, conv_[3].b));
+  // Decoder with skip connections.
+  Var d2 = leaky_relu(
+      conv2d(concat0(upsample2(b), e2), conv_[4].w, conv_[4].b));
+  Var d1 = leaky_relu(
+      conv2d(concat0(upsample2(d2), e1), conv_[5].w, conv_[5].b));
+  // Bounded head: aerial intensities live in [0, ~1.3] and a sigmoid keeps
+  // gradients alive regardless of the pre-activation scale (a plain ReLU
+  // head dies when the deep decoder swings negative early in training).
+  return scale(sigmoid(conv2d(d1, conv_[6].w, conv_[6].b)), 1.5f);
+}
+
+}  // namespace nitho

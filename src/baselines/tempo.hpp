@@ -1,0 +1,37 @@
+#pragma once
+// TEMPO-like baseline (Ye et al., ISPD 2020): a convolutional
+// encoder-decoder mask -> aerial generator.
+//
+// Substitution note (DESIGN.md §3): the original is a cGAN; the adversarial
+// term shapes texture, not the MSE/PSNR ordering the paper reports, so this
+// repo trains the generator with MSE only.  Channel widths are scaled for
+// CPU training while keeping TEMPO ≫ DOINN ≫ Nitho in parameter count.
+
+#include <cstdint>
+
+#include "baselines/image_trainer.hpp"
+
+namespace nitho {
+
+struct TempoConfig {
+  int base_channels = 32;  ///< width of the first encoder stage
+  std::uint64_t seed = 3;
+};
+
+class TempoModel final : public ImageModel {
+ public:
+  explicit TempoModel(const TempoConfig& cfg = {});
+
+  nn::Var forward(const nn::Var& mask) const override;
+  std::vector<nn::Var> parameters() const override { return params_; }
+  std::string name() const override { return "TEMPO-like"; }
+
+ private:
+  struct Conv {
+    nn::Var w, b;
+  };
+  Conv conv_[7];
+  std::vector<nn::Var> params_;
+};
+
+}  // namespace nitho

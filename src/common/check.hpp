@@ -1,0 +1,37 @@
+#pragma once
+// Runtime precondition / invariant checking.
+//
+// check(cond, msg) throws nitho::check_error with source location when cond is
+// false.  It is used at public API boundaries and for internal invariants that
+// are cheap to test; hot inner loops use plain assert-style reasoning instead.
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nitho {
+
+/// Error thrown when a runtime check fails.
+class check_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_fail(std::string_view msg,
+                                    const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << " (" << loc.function_name()
+     << "): check failed: " << msg;
+  throw check_error(os.str());
+}
+
+/// Throws check_error when cond is false.
+inline void check(bool cond, std::string_view msg = "condition violated",
+                  const std::source_location& loc =
+                      std::source_location::current()) {
+  if (!cond) check_fail(msg, loc);
+}
+
+}  // namespace nitho

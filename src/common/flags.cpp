@@ -1,0 +1,48 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace nitho {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "1";
+    }
+  }
+}
+
+bool Flags::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::get(std::string_view name, std::string_view def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(def) : it->second;
+}
+
+int Flags::get_int(std::string_view name, int def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double Flags::get_double(std::string_view name, double def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool Flags::get_bool(std::string_view name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "0" && it->second != "false";
+}
+
+}  // namespace nitho

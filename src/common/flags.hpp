@@ -1,0 +1,28 @@
+#pragma once
+// Minimal command-line flag parsing for benches and examples.
+// Supported syntax: --name=value, --name value, and bare --name (bool true).
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace nitho {
+
+/// Parsed command-line flags.  Unknown flags are kept and queryable so bench
+/// harnesses can share a parser; positional arguments are ignored.
+class Flags {
+ public:
+  Flags() = default;
+  Flags(int argc, char** argv);
+
+  bool has(std::string_view name) const;
+  std::string get(std::string_view name, std::string_view def = "") const;
+  int get_int(std::string_view name, int def) const;
+  double get_double(std::string_view name, double def) const;
+  bool get_bool(std::string_view name, bool def = false) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace nitho

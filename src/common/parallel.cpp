@@ -1,0 +1,155 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+int g_workers_override = 0;
+
+int hardware_workers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+// Lazily constructed, process-lifetime pool.  Tasks are dispatched as a
+// single atomic counter over [0, n): workers race on fetch_add, which keeps
+// scheduling overhead negligible for the coarse-grained tasks we run.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::int64_t n, const std::function<void(std::int64_t)>& fn,
+           int workers) {
+    if (n <= 0) return;
+    if (workers <= 1 || n == 1) {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::unique_lock<std::mutex> run_lock(run_mutex_);  // one job at a time
+    ensure_threads(workers - 1);
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    pending_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++epoch_;
+      active_ = std::min<std::int64_t>(workers - 1,
+                                       static_cast<std::int64_t>(threads_.size()));
+      pending_.store(active_, std::memory_order_release);
+    }
+    cv_.notify_all();
+    work();  // caller participates
+    // Wait for helpers to finish.
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+    job_fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void ensure_threads(int n) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    while (static_cast<int>(threads_.size()) < n) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+        seen_epoch = epoch_;
+        if (stop_) return;
+        if (active_ <= 0) continue;  // not a participant this round
+        --active_;
+      }
+      work();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work() {
+    const auto* fn = job_fn_;
+    if (!fn) return;
+    for (;;) {
+      std::int64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_n_) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_, done_cv_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+  std::uint64_t epoch_ = 0;
+  std::int64_t active_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::atomic<std::int64_t> pending_{0};
+  const std::function<void(std::int64_t)>* job_fn_ = nullptr;
+  std::int64_t job_n_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace
+
+int parallel_workers() {
+  return g_workers_override > 0 ? g_workers_override : hardware_workers();
+}
+
+void set_parallel_workers(int n) {
+  check(n >= 0, "worker override must be >= 0");
+  g_workers_override = n;
+}
+
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  Pool::instance().run(n, fn, parallel_workers());
+}
+
+void parallel_for_chunked(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  check(grain >= 1, "grain must be >= 1");
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  parallel_for(chunks, [&](std::int64_t c) {
+    const std::int64_t b = c * grain;
+    fn(b, std::min(n, b + grain));
+  });
+}
+
+}  // namespace nitho

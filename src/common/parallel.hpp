@@ -1,0 +1,29 @@
+#pragma once
+// A small shared thread pool and a blocking parallel_for on top of it.
+// Used to batch FFTs over SOCS kernels and masks (the paper's "hierarchical
+// GPU acceleration" becomes hierarchical CPU parallelism here).
+
+#include <cstdint>
+#include <functional>
+
+namespace nitho {
+
+/// Number of workers in the shared pool (hardware concurrency, >= 1).
+int parallel_workers();
+
+/// Override the pool size (0 restores the hardware default).  Takes effect
+/// for subsequent parallel_for calls; intended for benches that want serial
+/// baselines.
+void set_parallel_workers(int n);
+
+/// Runs fn(i) for i in [0, n) across the shared pool and blocks until done.
+/// fn must be safe to invoke concurrently for distinct i.  Exceptions thrown
+/// by fn are captured and the first one is rethrown on the calling thread.
+void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+/// Grain-size variant: fn(begin, end) over chunks.
+void parallel_for_chunked(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace nitho

@@ -1,0 +1,4 @@
+#include "common/rng.hpp"
+
+// Header-only today; the translation unit anchors the library and keeps room
+// for heavier samplers (e.g. Poisson-disk) without touching the interface.

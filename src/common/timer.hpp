@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing helpers for benches and the Fig. 5 throughput harness.
+
+#include <chrono>
+
+namespace nitho {
+
+/// Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace nitho

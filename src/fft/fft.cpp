@@ -1,0 +1,229 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int next_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+template <typename R>
+struct FftPlan<R>::Impl {
+  using C = std::complex<R>;
+
+  explicit Impl(int n) : n(n) {
+    check(n >= 1, "FFT size must be >= 1");
+    if (is_pow2(n)) {
+      init_pow2(n, twiddle, bitrev);
+    } else {
+      // Bluestein: convolve with the chirp b_j = e^{i pi j^2 / n} using a
+      // power-of-two FFT of length m >= 2n - 1.
+      m = next_pow2(2 * n - 1);
+      init_pow2(m, twiddle, bitrev);
+      chirp.resize(n);
+      for (int j = 0; j < n; ++j) {
+        // j^2 mod 2n keeps the argument small for large n.
+        const long long j2 = (static_cast<long long>(j) * j) % (2LL * n);
+        const double ang = kPi * static_cast<double>(j2) / n;
+        chirp[j] = C(static_cast<R>(std::cos(ang)), static_cast<R>(std::sin(ang)));
+      }
+      bfft.assign(m, C{});
+      bfft[0] = chirp[0];
+      for (int j = 1; j < n; ++j) {
+        bfft[j] = chirp[j];
+        bfft[m - j] = chirp[j];
+      }
+      pow2_transform(bfft.data(), m, /*inverse=*/false);
+    }
+  }
+
+  static void init_pow2(int n, std::vector<C>& tw, std::vector<int>& rev) {
+    tw.resize(n / 2);
+    for (int k = 0; k < n / 2; ++k) {
+      const double ang = -2.0 * kPi * k / n;
+      tw[k] = C(static_cast<R>(std::cos(ang)), static_cast<R>(std::sin(ang)));
+    }
+    rev.resize(n);
+    rev[0] = 0;
+    int bits = 0;
+    while ((1 << bits) < n) ++bits;
+    for (int i = 1; i < n; ++i) {
+      rev[i] = (rev[i >> 1] >> 1) | ((i & 1) << (bits - 1));
+    }
+  }
+
+  // Iterative radix-2 over the cached tables (n must be this plan's pow2
+  // length: n for native plans, m for Bluestein plans).
+  void pow2_transform(C* x, int len, bool inverse) const {
+    for (int i = 0; i < len; ++i) {
+      const int j = bitrev[i];
+      if (j > i) std::swap(x[i], x[j]);
+    }
+    for (int half = 1; half < len; half <<= 1) {
+      const int step = len / (2 * half);
+      for (int base = 0; base < len; base += 2 * half) {
+        for (int k = 0; k < half; ++k) {
+          C w = twiddle[static_cast<std::size_t>(k) * step];
+          if (inverse) w = std::conj(w);
+          const C t = x[base + half + k] * w;
+          x[base + half + k] = x[base + k] - t;
+          x[base + k] += t;
+        }
+      }
+    }
+  }
+
+  void transform(C* x, bool inverse) const {
+    if (m == 0) {
+      pow2_transform(x, n, inverse);
+    } else {
+      bluestein(x, inverse);
+    }
+    if (inverse) {
+      const R scale = static_cast<R>(1.0 / n);
+      for (int i = 0; i < n; ++i) x[i] *= scale;
+    }
+  }
+
+  void bluestein(C* x, bool inverse) const {
+    // Forward (sign -): X_k = conj(b_k) * sum_j x_j conj(b_j) b_{k-j}.
+    // Inverse reuses the identity ifft(x) = conj(fft(conj(x))) (scaling is
+    // applied by the caller).
+    std::vector<C> a(m, C{});
+    for (int j = 0; j < n; ++j) {
+      const C xj = inverse ? std::conj(x[j]) : x[j];
+      a[j] = xj * std::conj(chirp[j]);
+    }
+    pow2_transform(a.data(), m, false);
+    for (int i = 0; i < m; ++i) a[i] *= bfft[i];
+    pow2_transform(a.data(), m, true);
+    const R inv_m = static_cast<R>(1.0 / m);
+    for (int k = 0; k < n; ++k) {
+      C v = a[k] * inv_m * std::conj(chirp[k]);
+      x[k] = inverse ? std::conj(v) : v;
+    }
+  }
+
+  int n;
+  int m = 0;  // Bluestein pow2 length; 0 when n itself is a power of two
+  std::vector<C> twiddle;
+  std::vector<int> bitrev;
+  std::vector<C> chirp, bfft;
+};
+
+template <typename R>
+FftPlan<R>::FftPlan(int n) : impl_(std::make_unique<Impl>(n)) {}
+template <typename R>
+FftPlan<R>::~FftPlan() = default;
+template <typename R>
+FftPlan<R>::FftPlan(FftPlan&&) noexcept = default;
+template <typename R>
+FftPlan<R>& FftPlan<R>::operator=(FftPlan&&) noexcept = default;
+
+template <typename R>
+int FftPlan<R>::size() const {
+  return impl_->n;
+}
+
+template <typename R>
+void FftPlan<R>::forward(std::complex<R>* x) const {
+  impl_->transform(x, false);
+}
+
+template <typename R>
+void FftPlan<R>::inverse(std::complex<R>* x) const {
+  impl_->transform(x, true);
+}
+
+template class FftPlan<double>;
+template class FftPlan<float>;
+
+namespace {
+
+template <typename R>
+const FftPlan<R>& cached_plan(int n) {
+  static std::mutex mu;
+  static std::map<int, std::unique_ptr<FftPlan<R>>> cache;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_unique<FftPlan<R>>(n);
+  return *slot;
+}
+
+void fft2_dir(Grid<cd>& g, bool inverse) {
+  const int rows = g.rows(), cols = g.cols();
+  if (rows == 0 || cols == 0) return;
+  const FftPlan<double>& row_plan = fft_plan_d(cols);
+  for (int r = 0; r < rows; ++r) {
+    if (inverse) {
+      row_plan.inverse(g.row(r));
+    } else {
+      row_plan.forward(g.row(r));
+    }
+  }
+  const FftPlan<double>& col_plan = fft_plan_d(rows);
+  std::vector<cd> buf(rows);
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < rows; ++r) buf[r] = g(r, c);
+    if (inverse) {
+      col_plan.inverse(buf.data());
+    } else {
+      col_plan.forward(buf.data());
+    }
+    for (int r = 0; r < rows; ++r) g(r, c) = buf[r];
+  }
+}
+
+}  // namespace
+
+const FftPlan<double>& fft_plan_d(int n) { return cached_plan<double>(n); }
+const FftPlan<float>& fft_plan_f(int n) { return cached_plan<float>(n); }
+
+void fft2_inplace(Grid<cd>& g) { fft2_dir(g, false); }
+void ifft2_inplace(Grid<cd>& g) { fft2_dir(g, true); }
+
+Grid<cd> fft2(const Grid<cd>& g) {
+  Grid<cd> out = g;
+  fft2_inplace(out);
+  return out;
+}
+
+Grid<cd> ifft2(const Grid<cd>& g) {
+  Grid<cd> out = g;
+  ifft2_inplace(out);
+  return out;
+}
+
+Grid<cd> fft2(const Grid<double>& g) {
+  Grid<cd> out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] = cd(g[i], 0.0);
+  fft2_inplace(out);
+  return out;
+}
+
+Grid<double> abs2(const Grid<cd>& g) {
+  Grid<double> out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] = norm2(g[i]);
+  return out;
+}
+
+Grid<double> real_part(const Grid<cd>& g) {
+  Grid<double> out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] = g[i].real();
+  return out;
+}
+
+}  // namespace nitho

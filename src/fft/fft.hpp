@@ -1,0 +1,59 @@
+#pragma once
+// Fast Fourier transforms.
+//
+// FftPlan precomputes twiddle tables for a fixed length: radix-2 for powers
+// of two, Bluestein's chirp-z algorithm for everything else, so any size is
+// supported (kernel supports are odd per Eq. 10 of the paper).  Forward
+// transforms are unnormalized (matching the Hopkins conventions in
+// DESIGN.md §5); inverse transforms scale by 1/n.
+
+#include <complex>
+#include <memory>
+
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+
+namespace nitho {
+
+/// Precomputed 1-D FFT of a fixed size.  Immutable after construction and
+/// safe to share across threads.
+template <typename R>
+class FftPlan {
+ public:
+  explicit FftPlan(int n);
+  ~FftPlan();
+  FftPlan(FftPlan&&) noexcept;
+  FftPlan& operator=(FftPlan&&) noexcept;
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  int size() const;
+
+  /// In-place unnormalized DFT with exponent e^{-2*pi*i*jk/n}.
+  void forward(std::complex<R>* x) const;
+  /// In-place inverse DFT (exponent +) scaled by 1/n.
+  void inverse(std::complex<R>* x) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide plan caches (thread-safe; plans are built once per size).
+const FftPlan<double>& fft_plan_d(int n);
+const FftPlan<float>& fft_plan_f(int n);
+
+/// 2-D transforms over Grid<complex>: rows then columns.
+void fft2_inplace(Grid<cd>& g);
+void ifft2_inplace(Grid<cd>& g);
+Grid<cd> fft2(const Grid<cd>& g);
+Grid<cd> ifft2(const Grid<cd>& g);
+/// Forward transform of a real image.
+Grid<cd> fft2(const Grid<double>& g);
+
+/// Elementwise |z|^2 -> real grid.
+Grid<double> abs2(const Grid<cd>& g);
+/// Real parts of a complex grid.
+Grid<double> real_part(const Grid<cd>& g);
+
+}  // namespace nitho

@@ -1,0 +1,48 @@
+#pragma once
+// Spectrum bookkeeping: fftshift, centered crop / embed, and band-limited
+// resampling.  These are the "non-parametric mask operations" of the paper
+// (Algorithm 1 lines 6-7): shift the mask spectrum, crop it to the optical
+// kernel support, and later embed kernel-sized spectra back into an image
+// grid for the inverse transform.
+
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+
+namespace nitho {
+
+/// Moves DC (index 0) to the center bin floor(n/2) along both axes.
+template <typename T>
+Grid<T> fftshift(const Grid<T>& g);
+
+/// Inverse of fftshift for any (even or odd) size.
+template <typename T>
+Grid<T> ifftshift(const Grid<T>& g);
+
+/// Centered crop of a *shifted* spectrum to rows x cols (both <= input).
+/// The DC bin floor(N/2) maps onto floor(rows/2).
+template <typename T>
+Grid<T> center_crop(const Grid<T>& g, int rows, int cols);
+
+/// Centered zero-padded embedding of a *shifted* spectrum into rows x cols
+/// (both >= input); exact inverse of center_crop.
+template <typename T>
+Grid<T> center_embed(const Grid<T>& g, int rows, int cols);
+
+/// Band-limited (Fourier) resampling of a real image to rows x cols.
+/// Values are preserved (interpolation, not energy, normalization).
+Grid<double> spectral_resample(const Grid<double>& img, int rows, int cols);
+
+/// Centered crop x crop window of fftshift(fft2(img)) computed without the
+/// full 2-D transform: rows are fully transformed, then only the crop's
+/// columns are.  Identical to center_crop(fftshift(fft2(img)), crop, crop)
+/// but ~2x faster for small crops of large masks (the hot path of both the
+/// golden engine and Nitho's inference, Algorithm 1 lines 6-7).
+Grid<cd> fft2_crop_centered(const Grid<double>& img, int crop);
+
+/// Box-filter downsampling by an integer factor (mask -> coarse grid).
+Grid<double> downsample_area(const Grid<double>& img, int factor);
+
+/// Nearest-neighbour upsample by an integer factor (for visualization).
+Grid<double> upsample_nearest(const Grid<double>& img, int factor);
+
+}  // namespace nitho

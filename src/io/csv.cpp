@@ -1,0 +1,37 @@
+#include "io/csv.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  check(out_.good(), "cannot open CSV for writing: " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  check(cells.size() == width_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << cells[i];
+  }
+  out_ << "\n";
+  out_.flush();
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << v;
+    s.push_back(os.str());
+  }
+  row(s);
+}
+
+}  // namespace nitho

@@ -1,0 +1,27 @@
+#pragma once
+// Tiny CSV writer so every bench can persist its table/series next to the
+// printed output (EXPERIMENTS.md references these files).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace nitho {
+
+class CsvWriter {
+ public:
+  /// Opens path for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; cell counts are checked against the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void row_numeric(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace nitho

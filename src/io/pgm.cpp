@@ -1,0 +1,80 @@
+#include "io/pgm.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+Grid<double> normalized(const Grid<double>& img, double lo, double hi) {
+  if (lo == hi) {
+    lo = grid_min(img);
+    hi = grid_max(img);
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  Grid<double> out(img.rows(), img.cols());
+  const double scale = 1.0 / (hi - lo);
+  for (std::size_t i = 0; i < img.size(); ++i)
+    out[i] = std::clamp((img[i] - lo) * scale, 0.0, 1.0);
+  return out;
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const Grid<double>& img, double lo,
+               double hi) {
+  check(!img.empty(), "cannot write empty image");
+  Grid<double> norm = normalized(img, lo, hi);
+  std::ofstream f(path, std::ios::binary);
+  check(f.good(), "cannot open PGM for writing: " + path);
+  f << "P5\n" << img.cols() << " " << img.rows() << "\n255\n";
+  std::vector<unsigned char> row(img.cols());
+  for (int r = 0; r < img.rows(); ++r) {
+    for (int c = 0; c < img.cols(); ++c)
+      row[c] = static_cast<unsigned char>(norm(r, c) * 255.0 + 0.5);
+    f.write(reinterpret_cast<const char*>(row.data()), row.size());
+  }
+  check(f.good(), "short write to " + path);
+}
+
+Grid<double> read_pgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "cannot open PGM for reading: " + path);
+  std::string magic;
+  f >> magic;
+  check(magic == "P5", "unsupported PGM magic in " + path);
+  int cols = 0, rows = 0, maxval = 0;
+  f >> cols >> rows >> maxval;
+  check(cols > 0 && rows > 0 && maxval > 0 && maxval < 65536, "bad PGM header");
+  f.get();  // single whitespace after header
+  Grid<double> img(rows, cols);
+  std::vector<unsigned char> row(cols);
+  for (int r = 0; r < rows; ++r) {
+    f.read(reinterpret_cast<char*>(row.data()), row.size());
+    check(f.good(), "short PGM read");
+    for (int c = 0; c < cols; ++c) img(r, c) = row[c] / static_cast<double>(maxval);
+  }
+  return img;
+}
+
+void write_pgm_montage(const std::string& path,
+                       const std::vector<Grid<double>>& panels) {
+  check(!panels.empty(), "montage needs at least one panel");
+  const int rows = panels[0].rows(), cols = panels[0].cols();
+  for (const auto& p : panels)
+    check(p.rows() == rows && p.cols() == cols, "montage panels must match");
+  const int sep = 2;
+  const int n = static_cast<int>(panels.size());
+  Grid<double> canvas(rows, n * cols + (n - 1) * sep, 0.5);
+  for (int k = 0; k < n; ++k) {
+    Grid<double> norm = normalized(panels[k], 0.0, 0.0);
+    const int c0 = k * (cols + sep);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) canvas(r, c0 + c) = norm(r, c);
+  }
+  write_pgm(path, canvas, 0.0, 1.0);
+}
+
+}  // namespace nitho

@@ -1,0 +1,24 @@
+#pragma once
+// Plain PGM (P5) image export/import for visual outputs (Fig. 2b / Fig. 4)
+// and debugging.  Values are linearly mapped to 8-bit grayscale.
+
+#include <string>
+
+#include "math/grid.hpp"
+
+namespace nitho {
+
+/// Writes img to path (binary PGM).  Values are scaled from [lo, hi] onto
+/// [0, 255]; pass lo == hi to auto-scale to the image's min/max.
+void write_pgm(const std::string& path, const Grid<double>& img,
+               double lo = 0.0, double hi = 0.0);
+
+/// Reads a binary P5 PGM back as doubles in [0, 1].
+Grid<double> read_pgm(const std::string& path);
+
+/// Side-by-side montage of equally sized panels with a 2px separator,
+/// auto-scaled per panel.  Convenience for the visual benches.
+void write_pgm_montage(const std::string& path,
+                       const std::vector<Grid<double>>& panels);
+
+}  // namespace nitho

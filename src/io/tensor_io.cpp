@@ -1,0 +1,110 @@
+#include "io/tensor_io.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E54484Fu;  // "NTHO"
+
+enum class Dtype : std::uint32_t { f32 = 1, f64 = 2, c128 = 3 };
+
+void write_header(std::ofstream& f, Dtype dt,
+                  const std::vector<std::int64_t>& dims) {
+  const std::uint32_t magic = kMagic;
+  const auto tag = static_cast<std::uint32_t>(dt);
+  const std::uint32_t rank = static_cast<std::uint32_t>(dims.size());
+  f.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  f.write(reinterpret_cast<const char*>(&tag), sizeof tag);
+  f.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  for (std::int64_t d : dims) f.write(reinterpret_cast<const char*>(&d), sizeof d);
+}
+
+std::vector<std::int64_t> read_header(std::ifstream& f, Dtype expect,
+                                      const std::string& path) {
+  std::uint32_t magic = 0, tag = 0, rank = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  f.read(reinterpret_cast<char*>(&tag), sizeof tag);
+  f.read(reinterpret_cast<char*>(&rank), sizeof rank);
+  check(f.good() && magic == kMagic, "bad tensor file: " + path);
+  check(tag == static_cast<std::uint32_t>(expect), "dtype mismatch in " + path);
+  check(rank <= 8, "implausible tensor rank in " + path);
+  std::vector<std::int64_t> dims(rank);
+  for (auto& d : dims) {
+    f.read(reinterpret_cast<char*>(&d), sizeof d);
+    check(f.good() && d >= 0, "bad dims in " + path);
+  }
+  return dims;
+}
+
+}  // namespace
+
+void save_grid(const std::string& path, const Grid<double>& g) {
+  std::ofstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for writing: " + path);
+  write_header(f, Dtype::f64, {g.rows(), g.cols()});
+  f.write(reinterpret_cast<const char*>(g.data()), g.size() * sizeof(double));
+  check(f.good(), "short write: " + path);
+}
+
+Grid<double> load_grid(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for reading: " + path);
+  auto dims = read_header(f, Dtype::f64, path);
+  check(dims.size() == 2, "grid file must be rank 2: " + path);
+  Grid<double> g(static_cast<int>(dims[0]), static_cast<int>(dims[1]));
+  f.read(reinterpret_cast<char*>(g.data()), g.size() * sizeof(double));
+  check(f.good(), "short read: " + path);
+  return g;
+}
+
+void save_kernels(const std::string& path, const std::vector<Grid<cd>>& kernels) {
+  check(!kernels.empty(), "no kernels to save");
+  const int n = kernels[0].rows(), m = kernels[0].cols();
+  for (const auto& k : kernels)
+    check(k.rows() == n && k.cols() == m, "kernel shapes must agree");
+  std::ofstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for writing: " + path);
+  write_header(f, Dtype::c128,
+               {static_cast<std::int64_t>(kernels.size()), n, m});
+  for (const auto& k : kernels)
+    f.write(reinterpret_cast<const char*>(k.data()), k.size() * sizeof(cd));
+  check(f.good(), "short write: " + path);
+}
+
+std::vector<Grid<cd>> load_kernels(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for reading: " + path);
+  auto dims = read_header(f, Dtype::c128, path);
+  check(dims.size() == 3, "kernel file must be rank 3: " + path);
+  std::vector<Grid<cd>> kernels(dims[0]);
+  for (auto& k : kernels) {
+    k = Grid<cd>(static_cast<int>(dims[1]), static_cast<int>(dims[2]));
+    f.read(reinterpret_cast<char*>(k.data()), k.size() * sizeof(cd));
+    check(f.good(), "short read: " + path);
+  }
+  return kernels;
+}
+
+void save_floats(const std::string& path, const std::vector<float>& data) {
+  std::ofstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for writing: " + path);
+  write_header(f, Dtype::f32, {static_cast<std::int64_t>(data.size())});
+  f.write(reinterpret_cast<const char*>(data.data()), data.size() * sizeof(float));
+  check(f.good(), "short write: " + path);
+}
+
+std::vector<float> load_floats(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  check(f.good(), "cannot open for reading: " + path);
+  auto dims = read_header(f, Dtype::f32, path);
+  check(dims.size() == 1, "float file must be rank 1: " + path);
+  std::vector<float> data(static_cast<std::size_t>(dims[0]));
+  f.read(reinterpret_cast<char*>(data.data()), data.size() * sizeof(float));
+  check(f.good(), "short read: " + path);
+  return data;
+}
+
+}  // namespace nitho

@@ -1,0 +1,25 @@
+#pragma once
+// Raw binary persistence for real grids, complex kernel stacks and flat
+// float buffers (model checkpoints).  Format: magic, dtype tag, rank,
+// int64 dims, little-endian payload.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+
+namespace nitho {
+
+void save_grid(const std::string& path, const Grid<double>& g);
+Grid<double> load_grid(const std::string& path);
+
+/// Kernel stacks are the paper's exported TCC optical kernels K in C^{r x n x m}.
+void save_kernels(const std::string& path, const std::vector<Grid<cd>>& kernels);
+std::vector<Grid<cd>> load_kernels(const std::string& path);
+
+void save_floats(const std::string& path, const std::vector<float>& data);
+std::vector<float> load_floats(const std::string& path);
+
+}  // namespace nitho

@@ -1,0 +1,138 @@
+#include "layout/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "layout/opc.hpp"
+
+namespace nitho {
+
+std::string dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::B1:
+      return "B1";
+    case DatasetKind::B1opc:
+      return "B1opc";
+    case DatasetKind::B2m:
+      return "B2m";
+    case DatasetKind::B2v:
+      return "B2v";
+  }
+  check_fail("unknown dataset kind", std::source_location::current());
+}
+
+Layout make_b1_layout(int tile_nm, Rng& rng) {
+  // ICCAD-2013 style: a handful of chunky rectilinear polygons built as
+  // unions of overlapping rectangles (L / T / U shapes), generous spacing.
+  Layout l;
+  l.tile_nm = tile_nm;
+  const int margin = tile_nm / 8;
+  const int shapes = rng.randint(3, 5);
+  for (int s = 0; s < shapes; ++s) {
+    const int cx = rng.randint(margin, tile_nm - margin);
+    const int cy = rng.randint(margin, tile_nm - margin);
+    const int pieces = rng.randint(1, 3);
+    int px = cx, py = cy;
+    for (int p = 0; p < pieces; ++p) {
+      const bool horizontal = rng.bernoulli(0.5);
+      const int w = rng.randint(60, 140);   // critical dimension
+      const int len = rng.randint(180, 420);
+      Rect r = horizontal ? Rect{px - len / 2, py - w / 2, px + len / 2, py + w / 2}
+                          : Rect{px - w / 2, py - len / 2, px + w / 2, py + len / 2};
+      l.main.push_back(r);
+      // Next piece grows from one end of this one -> rectilinear polygons.
+      if (horizontal) {
+        px = rng.bernoulli(0.5) ? r.x0 + w / 2 : r.x1 - w / 2;
+        py = py + (rng.bernoulli(0.5) ? 1 : -1) * rng.randint(0, len / 3);
+      } else {
+        py = rng.bernoulli(0.5) ? r.y0 + w / 2 : r.y1 - w / 2;
+        px = px + (rng.bernoulli(0.5) ? 1 : -1) * rng.randint(0, len / 3);
+      }
+    }
+  }
+  l.clip_to_tile();
+  return l;
+}
+
+Layout make_b2m_layout(int tile_nm, Rng& rng) {
+  // ISPD-2019 metal: parallel routed tracks on a fixed pitch with random
+  // segment extents and occasional jogs to the neighbouring track.
+  Layout l;
+  l.tile_nm = tile_nm;
+  const bool horizontal = rng.bernoulli(0.5);
+  const int pitch = rng.randint(7, 10) * 16;       // 112..160 nm
+  const int width = rng.randint(45, 70);
+  const int first = rng.randint(width, pitch);
+  for (int t = first; t + width < tile_nm; t += pitch) {
+    if (!rng.bernoulli(0.85)) continue;  // track vacancy
+    int pos = rng.randint(0, tile_nm / 4);
+    const int segments = rng.randint(1, 2);
+    for (int s = 0; s < segments && pos < tile_nm; ++s) {
+      const int len = rng.randint(tile_nm / 4, (3 * tile_nm) / 4);
+      const int end = std::min(pos + len, tile_nm);
+      if (horizontal) {
+        l.main.push_back(Rect{pos, t, end, t + width});
+      } else {
+        l.main.push_back(Rect{t, pos, t + width, end});
+      }
+      // Occasional jog to the next track (gives the layer its 2-D character).
+      if (rng.bernoulli(0.25) && t + pitch + width < tile_nm) {
+        const int jx = rng.randint(pos, std::max(pos + 1, end - width));
+        if (horizontal) {
+          l.main.push_back(Rect{jx, t, jx + width, t + pitch + width});
+        } else {
+          l.main.push_back(Rect{t, jx, t + pitch + width, jx + width});
+        }
+      }
+      pos = end + rng.randint(pitch, 2 * pitch);
+    }
+  }
+  l.clip_to_tile();
+  return l;
+}
+
+Layout make_b2v_layout(int tile_nm, Rng& rng) {
+  // ISPD-2019 via layer: small square contacts on a coarse virtual grid,
+  // sparsely populated, with occasional 1x2 / 2x2 clusters.
+  Layout l;
+  l.tile_nm = tile_nm;
+  const int via = rng.randint(60, 85);
+  const int pitch = rng.randint(10, 16) * 16;  // 160..256 nm
+  const double fill = rng.uniform(0.12, 0.3);
+  for (int gy = pitch / 2; gy + via < tile_nm; gy += pitch) {
+    for (int gx = pitch / 2; gx + via < tile_nm; gx += pitch) {
+      if (!rng.bernoulli(fill)) continue;
+      l.main.push_back(Rect{gx, gy, gx + via, gy + via});
+      if (rng.bernoulli(0.15) && gx + pitch + via < tile_nm) {
+        l.main.push_back(Rect{gx + pitch, gy, gx + pitch + via, gy + via});
+      }
+      if (rng.bernoulli(0.08) && gy + pitch + via < tile_nm) {
+        l.main.push_back(Rect{gx, gy + pitch, gx + via, gy + pitch + via});
+      }
+    }
+  }
+  // Guarantee at least one feature so tiles are never blank.
+  if (l.main.empty()) {
+    const int c = tile_nm / 2;
+    l.main.push_back(Rect{c - via / 2, c - via / 2, c + via / 2, c + via / 2});
+  }
+  l.clip_to_tile();
+  return l;
+}
+
+Layout make_layout(DatasetKind kind, int tile_nm, Rng& rng) {
+  check(tile_nm >= 256, "tile too small for the design rules");
+  switch (kind) {
+    case DatasetKind::B1:
+      return make_b1_layout(tile_nm, rng);
+    case DatasetKind::B1opc:
+      return apply_rule_based_opc(make_b1_layout(tile_nm, rng));
+    case DatasetKind::B2m:
+      return make_b2m_layout(tile_nm, rng);
+    case DatasetKind::B2v:
+      return make_b2v_layout(tile_nm, rng);
+  }
+  check_fail("unknown dataset kind", std::source_location::current());
+}
+
+}  // namespace nitho

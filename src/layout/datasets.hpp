@@ -1,0 +1,29 @@
+#pragma once
+// Synthetic layout generators standing in for the paper's four benchmarks
+// (Table II): B1 (ICCAD-2013 metal tiles), B1opc (the same after rule-based
+// OPC), B2m (ISPD-2019 metal routing) and B2v (ISPD-2019 via arrays).
+// Each family has distinct shape statistics so they separate in t-SNE
+// (Fig. 2a) and stress out-of-distribution generalization (Table IV).
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "layout/geometry.hpp"
+
+namespace nitho {
+
+enum class DatasetKind { B1, B1opc, B2m, B2v };
+
+std::string dataset_name(DatasetKind kind);
+
+/// One random tile of the given family.  The same seed stream produces the
+/// same tile; B1opc tiles are OPC-decorated B1 tiles (use the same Rng state
+/// to get the underlying B1 design of a B1opc tile).
+Layout make_layout(DatasetKind kind, int tile_nm, Rng& rng);
+
+/// Family-specific generators (exposed for tests / custom pipelines).
+Layout make_b1_layout(int tile_nm, Rng& rng);    ///< chunky rectilinear metal
+Layout make_b2m_layout(int tile_nm, Rng& rng);   ///< routed wire tracks
+Layout make_b2v_layout(int tile_nm, Rng& rng);   ///< contact / via arrays
+
+}  // namespace nitho

@@ -1,0 +1,34 @@
+#include "layout/geometry.hpp"
+
+#include <algorithm>
+
+namespace nitho {
+
+std::vector<Rect> Layout::all() const {
+  std::vector<Rect> out = main;
+  out.insert(out.end(), sraf.begin(), sraf.end());
+  return out;
+}
+
+long long Layout::drawn_area() const {
+  long long a = 0;
+  for (const Rect& r : main) a += r.area();
+  for (const Rect& r : sraf) a += r.area();
+  return a;
+}
+
+void Layout::clip_to_tile() {
+  auto clip = [this](std::vector<Rect>& rs) {
+    for (Rect& r : rs) {
+      r.x0 = std::max(r.x0, 0);
+      r.y0 = std::max(r.y0, 0);
+      r.x1 = std::min(r.x1, tile_nm);
+      r.y1 = std::min(r.y1, tile_nm);
+    }
+    std::erase_if(rs, [](const Rect& r) { return !r.valid(); });
+  };
+  clip(main);
+  clip(sraf);
+}
+
+}  // namespace nitho

@@ -1,0 +1,46 @@
+#pragma once
+// Rectilinear layout geometry.  Masks are unions of axis-aligned rectangles
+// in integer nanometre coordinates; this is sufficient for the Manhattan
+// metal / via patterns of the ICCAD-2013 and ISPD-2019 style datasets.
+
+#include <string>
+#include <vector>
+
+namespace nitho {
+
+/// Half-open axis-aligned rectangle [x0, x1) x [y0, y1) in nm.
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  int width() const { return x1 - x0; }
+  int height() const { return y1 - y0; }
+  long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+  bool valid() const { return x1 > x0 && y1 > y0; }
+
+  Rect expanded(int d) const { return Rect{x0 - d, y0 - d, x1 + d, y1 + d}; }
+  bool intersects(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// A mask tile: a union of rectangles on a square tile of tile_nm per side.
+/// main holds printing features; sraf holds sub-resolution assist features
+/// (they expose on the mask identically but are tracked separately so OPC
+/// and statistics can tell them apart).
+struct Layout {
+  int tile_nm = 0;
+  std::vector<Rect> main;
+  std::vector<Rect> sraf;
+
+  /// All mask rectangles (main + SRAF).
+  std::vector<Rect> all() const;
+  /// Total drawn area in nm^2 ignoring overlaps (diagnostic only).
+  long long drawn_area() const;
+  /// Clips every rectangle to the tile and drops empty ones.
+  void clip_to_tile();
+};
+
+}  // namespace nitho

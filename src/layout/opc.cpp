@@ -1,0 +1,74 @@
+#include "layout/opc.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+bool clear_of_main(const Rect& candidate, const std::vector<Rect>& main,
+                   int clearance) {
+  const Rect grown = candidate.expanded(clearance);
+  return std::none_of(main.begin(), main.end(),
+                      [&](const Rect& m) { return grown.intersects(m); });
+}
+
+}  // namespace
+
+Layout apply_rule_based_opc(const Layout& layout, const OpcRules& rules) {
+  check(layout.tile_nm > 0, "layout has no tile size");
+  Layout out;
+  out.tile_nm = layout.tile_nm;
+
+  // 1. Edge bias: grow every main feature uniformly.
+  for (const Rect& r : layout.main) {
+    out.main.push_back(r.expanded(rules.edge_bias_nm));
+  }
+
+  // 2. Corner serifs: a small square centred on each (biased) corner.
+  if (rules.serif_size_nm > 0) {
+    const int s = rules.serif_size_nm;
+    const int h = s / 2;
+    std::vector<Rect> serifs;
+    for (const Rect& r : out.main) {
+      const int xs[2] = {r.x0, r.x1};
+      const int ys[2] = {r.y0, r.y1};
+      for (int cx : xs) {
+        for (int cy : ys) {
+          serifs.push_back(Rect{cx - h, cy - h, cx - h + s, cy - h + s});
+        }
+      }
+    }
+    out.main.insert(out.main.end(), serifs.begin(), serifs.end());
+  }
+
+  // 3. SRAFs: thin bars parallel to long edges, offset into free space.
+  if (rules.sraf_width_nm > 0) {
+    for (const Rect& r : layout.main) {  // offsets from *original* edges
+      const Rect b = r.expanded(rules.edge_bias_nm);
+      const int w = rules.sraf_width_nm;
+      const int off = rules.sraf_offset_nm;
+      if (b.width() >= rules.sraf_min_edge_nm) {
+        // horizontal bars above and below
+        const int x0 = b.x0 + w, x1 = b.x1 - w;
+        const Rect top{x0, b.y0 - off - w, x1, b.y0 - off};
+        const Rect bot{x0, b.y1 + off, x1, b.y1 + off + w};
+        if (clear_of_main(top, out.main, off / 2)) out.sraf.push_back(top);
+        if (clear_of_main(bot, out.main, off / 2)) out.sraf.push_back(bot);
+      }
+      if (b.height() >= rules.sraf_min_edge_nm) {
+        const int y0 = b.y0 + w, y1 = b.y1 - w;
+        const Rect left{b.x0 - off - w, y0, b.x0 - off, y1};
+        const Rect right{b.x1 + off, y0, b.x1 + off + w, y1};
+        if (clear_of_main(left, out.main, off / 2)) out.sraf.push_back(left);
+        if (clear_of_main(right, out.main, off / 2)) out.sraf.push_back(right);
+      }
+    }
+  }
+
+  out.clip_to_tile();
+  return out;
+}
+
+}  // namespace nitho

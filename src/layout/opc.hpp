@@ -1,0 +1,27 @@
+#pragma once
+// Rule-based optical proximity correction.
+//
+// The paper's B1opc dataset is the ICCAD-2013 tiles after OPC by MOSAIC;
+// a full inverse-lithography OPC engine is out of scope, but the *mask
+// statistics* that make B1opc out-of-distribution for image-learning models
+// (edge bias, corner serifs, sub-resolution assist features) are produced by
+// the classic rule-based decorations implemented here.
+
+#include "layout/geometry.hpp"
+
+namespace nitho {
+
+struct OpcRules {
+  int edge_bias_nm = 6;        ///< uniform grow of every main feature
+  int serif_size_nm = 24;      ///< square serif edge length (0 disables)
+  int sraf_width_nm = 18;      ///< assist-feature width (0 disables)
+  int sraf_offset_nm = 52;     ///< gap between feature edge and SRAF
+  int sraf_min_edge_nm = 160;  ///< only edges at least this long get SRAFs
+};
+
+/// Returns the decorated layout: biased features + corner serifs in main,
+/// assist bars in sraf.  SRAFs that would touch another main feature are
+/// dropped (they must stay sub-resolution and isolated).
+Layout apply_rule_based_opc(const Layout& layout, const OpcRules& rules = {});
+
+}  // namespace nitho

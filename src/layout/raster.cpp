@@ -1,0 +1,45 @@
+#include "layout/raster.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+// ceil(a / b) for b > 0 and any a.
+int ceil_div(int a, int b) { return a >= 0 ? (a + b - 1) / b : -(-a / b); }
+
+}  // namespace
+
+Grid<double> rasterize(const Layout& layout, int pixel_nm) {
+  check(layout.tile_nm > 0, "layout has no tile size");
+  check(pixel_nm >= 1 && layout.tile_nm % pixel_nm == 0,
+        "tile must be divisible by the pixel size");
+  const int n = layout.tile_nm / pixel_nm;
+  const int p = pixel_nm;
+  Grid<double> img(n, n, 0.0);
+  auto draw = [&](const Rect& rect) {
+    if (!rect.valid()) return;
+    // Pixel c has centre c*p + p/2; it is covered when x0 <= centre < x1,
+    // i.e. ceil((2*x0 - p) / (2p)) <= c < ceil((2*x1 - p) / (2p)).
+    int c0 = std::max(0, ceil_div(2 * rect.x0 - p, 2 * p));
+    int c1 = std::min(n, ceil_div(2 * rect.x1 - p, 2 * p));
+    int r0 = std::max(0, ceil_div(2 * rect.y0 - p, 2 * p));
+    int r1 = std::min(n, ceil_div(2 * rect.y1 - p, 2 * p));
+    for (int r = r0; r < r1; ++r) {
+      double* row = img.row(r);
+      for (int c = c0; c < c1; ++c) row[c] = 1.0;
+    }
+  };
+  for (const Rect& r : layout.main) draw(r);
+  for (const Rect& r : layout.sraf) draw(r);
+  return img;
+}
+
+double pattern_density(const Grid<double>& mask) {
+  if (mask.empty()) return 0.0;
+  return grid_sum(mask) / static_cast<double>(mask.size());
+}
+
+}  // namespace nitho

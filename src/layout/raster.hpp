@@ -1,0 +1,18 @@
+#pragma once
+// Layout -> binary mask image rasterization.
+
+#include "layout/geometry.hpp"
+#include "math/grid.hpp"
+
+namespace nitho {
+
+/// Rasterizes a layout at pixel_nm per pixel (tile_nm must be divisible).
+/// Pixel (r, c) covers [c*pixel_nm, (c+1)*pixel_nm) x [r*pixel_nm, ...).
+/// A pixel is 1.0 when any rectangle covers its centre; the default
+/// 1 nm / pixel grid makes this exact for integer-nm geometry.
+Grid<double> rasterize(const Layout& layout, int pixel_nm = 1);
+
+/// Fraction of mask area that is drawn (pattern density in [0, 1]).
+double pattern_density(const Grid<double>& mask);
+
+}  // namespace nitho

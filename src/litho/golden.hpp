@@ -1,0 +1,80 @@
+#pragma once
+// Golden data generation: the "litho engine" column of Table II.
+//
+// GoldenEngine owns one optical system: it builds the physical TCC at the
+// Eq.-10 kernel dimension, eigendecomposes it at (numerically) full rank and
+// renders ground-truth aerial / resist images for generated layouts.  This
+// substitutes the paper's Lithosim/Calibre golden simulators (DESIGN.md §3).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/datasets.hpp"
+#include "litho/resist.hpp"
+#include "litho/simulator.hpp"
+#include "math/grid.hpp"
+#include "optics/socs.hpp"
+
+namespace nitho {
+
+struct LithoConfig {
+  OpticalSystem optics;
+  int tile_nm = 1024;         ///< square tile side (paper: 2000 at 1 nm/px)
+  int raster_px = 1024;       ///< mask raster resolution (1 nm/px default)
+  int analysis_px = 128;      ///< aerial/resist grid for storage and metrics
+  int sim_px = 64;            ///< internal aerial computation grid
+  int spectrum_crop = 63;     ///< stored centered mask-spectrum crop (odd)
+  ResistModel resist;         ///< constant threshold by default
+  double rank_tol = 1e-6;     ///< golden SOCS eigenvalue cutoff (relative)
+  int max_rank = 320;         ///< golden SOCS kernel cap
+};
+
+/// One training/testing tile: everything the models and metrics consume.
+struct Sample {
+  Grid<cd> spectrum;          ///< centered crop of F(M)/N^2, spectrum_crop^2
+  Grid<double> mask_coarse;   ///< mask box-filtered to analysis_px
+  Grid<double> aerial;        ///< golden aerial at analysis_px
+  Grid<double> resist;        ///< thresholded golden aerial
+};
+
+struct Dataset {
+  DatasetKind kind = DatasetKind::B1;
+  std::string name;
+  std::vector<Sample> samples;
+};
+
+class GoldenEngine {
+ public:
+  explicit GoldenEngine(LithoConfig cfg);
+
+  const LithoConfig& config() const { return cfg_; }
+  /// Physical kernel support from Eq. (10).
+  int kernel_dim() const { return kdim_; }
+  /// Full-rank golden kernels (rank() of them).
+  const SocsKernels& kernels() const { return kernels_; }
+  /// The raw TCC matrix (kdim^2 square).
+  const Grid<cd>& tcc() const { return tcc_; }
+
+  /// Renders one mask raster (raster_px square, values in [0,1]).
+  Sample make_sample(const Grid<double>& mask_raster) const;
+
+  /// Generates `count` random tiles of a family and renders them.
+  Dataset make_dataset(DatasetKind kind, int count, std::uint64_t seed) const;
+
+  /// Rigorous reference simulation used for the Fig. 5 runtime comparison:
+  /// Abbe summation with no SOCS shortcuts.  out_px / crop default to the
+  /// analysis grid and stored spectrum crop; a rigorous-simulator work
+  /// profile passes a fine grid and a wide spectrum window (band-limit
+  /// shortcuts are exactly what production rigorous engines do not take).
+  Grid<double> reference_aerial(const Grid<double>& mask_raster,
+                                int out_px = 0, int crop = 0) const;
+
+ private:
+  LithoConfig cfg_;
+  int kdim_ = 0;
+  Grid<cd> tcc_;
+  SocsKernels kernels_;
+};
+
+}  // namespace nitho

@@ -1,0 +1,20 @@
+#include "litho/resist.hpp"
+
+#include <cmath>
+
+namespace nitho {
+
+Grid<double> develop(const Grid<double>& aerial, const ResistModel& model) {
+  Grid<double> out(aerial.rows(), aerial.cols());
+  if (model.steepness <= 0.0) {
+    for (std::size_t i = 0; i < aerial.size(); ++i)
+      out[i] = aerial[i] >= model.threshold ? 1.0 : 0.0;
+  } else {
+    for (std::size_t i = 0; i < aerial.size(); ++i)
+      out[i] = 1.0 /
+               (1.0 + std::exp(-model.steepness * (aerial[i] - model.threshold)));
+  }
+  return out;
+}
+
+}  // namespace nitho

@@ -1,0 +1,19 @@
+#pragma once
+// Resist models: the paper uses a constant exposure-dose threshold on the
+// aerial intensity (Z = H(I - I_thres)).  A smooth sigmoid variant is kept
+// for differentiable pipelines and sensitivity studies.
+
+#include "math/grid.hpp"
+
+namespace nitho {
+
+struct ResistModel {
+  double threshold = 0.25;   ///< relative to clear-field intensity 1.0
+  double steepness = 0.0;    ///< 0 = hard threshold; >0 = sigmoid slope
+};
+
+/// Develops an aerial image into a resist pattern.  Hard thresholding
+/// returns exact {0,1}; the sigmoid variant returns values in (0,1).
+Grid<double> develop(const Grid<double>& aerial, const ResistModel& model);
+
+}  // namespace nitho

@@ -1,0 +1,139 @@
+#include "litho/simulator.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "fft/fft.hpp"
+#include "fft/spectral.hpp"
+
+namespace nitho {
+namespace {
+
+// E on the out grid = unnormalized inverse DFT of the centered spectrum
+// a_k (k signed): E_j = sum_k a_k e^{+2 pi i k j / out}.
+Grid<cd> field_from_centered(const Grid<cd>& centered, int out_px) {
+  Grid<cd> spec = ifftshift(center_embed(centered, out_px, out_px));
+  ifft2_inplace(spec);
+  const double scale = static_cast<double>(out_px) * out_px;
+  for (auto& z : spec) z *= scale;
+  return spec;
+}
+
+}  // namespace
+
+Grid<double> socs_aerial(const std::vector<Grid<cd>>& kernels,
+                         const Grid<cd>& spectrum, int out_px) {
+  check(!kernels.empty(), "socs_aerial needs at least one kernel");
+  const int kdim = kernels[0].rows();
+  check(kernels[0].cols() == kdim, "kernels must be square");
+  check(spectrum.rows() >= kdim && spectrum.cols() >= kdim,
+        "spectrum crop smaller than the kernel support");
+  check(out_px >= kdim, "output grid must fit the kernel support");
+
+  const Grid<cd> c = center_crop(spectrum, kdim, kdim);
+  // Fixed chunking + ordered reduction keeps the floating-point sum
+  // bit-identical regardless of thread scheduling.
+  const std::int64_t n = static_cast<std::int64_t>(kernels.size());
+  const std::int64_t grain = 8;
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  std::vector<Grid<double>> partial(static_cast<std::size_t>(chunks));
+  parallel_for(chunks, [&](std::int64_t ci) {
+    Grid<double> local(out_px, out_px, 0.0);
+    const std::int64_t begin = ci * grain, end = std::min(n, begin + grain);
+    for (std::int64_t i = begin; i < end; ++i) {
+      const Grid<cd>& k = kernels[static_cast<std::size_t>(i)];
+      check(k.rows() == kdim && k.cols() == kdim, "kernel shape mismatch");
+      Grid<cd> prod(kdim, kdim);
+      for (std::size_t a = 0; a < prod.size(); ++a) prod[a] = k[a] * c[a];
+      const Grid<cd> e = field_from_centered(prod, out_px);
+      for (std::size_t a = 0; a < local.size(); ++a) local[a] += norm2(e[a]);
+    }
+    partial[static_cast<std::size_t>(ci)] = std::move(local);
+  });
+  Grid<double> intensity(out_px, out_px, 0.0);
+  for (const Grid<double>& p : partial) {
+    for (std::size_t a = 0; a < intensity.size(); ++a) intensity[a] += p[a];
+  }
+  return intensity;
+}
+
+Grid<double> abbe_aerial(const OpticalSystem& sys, int tile_nm,
+                         const Grid<cd>& spectrum, int out_px) {
+  const int sdim = spectrum.rows();
+  check(spectrum.cols() == sdim && sdim % 2 == 1,
+        "spectrum must be a centered odd-sized crop");
+  check(out_px >= sdim, "output grid must fit the spectrum support");
+  const Pupil pupil(sys.wavelength_nm, sys.na, sys.pupil);
+  const std::vector<SourcePoint> src = sample_source(
+      sys.source, sys.wavelength_nm, sys.na, tile_nm, sys.source_oversample);
+
+  const std::int64_t n = static_cast<std::int64_t>(src.size());
+  const std::int64_t grain = 32;
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  std::vector<Grid<double>> partial(static_cast<std::size_t>(chunks));
+  parallel_for(chunks, [&](std::int64_t ci) {
+    Grid<double> local(out_px, out_px, 0.0);
+    const std::int64_t begin = ci * grain, end = std::min(n, begin + grain);
+    for (std::int64_t si = begin; si < end; ++si) {
+      const SourcePoint& s = src[static_cast<std::size_t>(si)];
+      Grid<cd> shifted(sdim, sdim);
+      bool any = false;
+      for (int r = 0; r < sdim; ++r) {
+        const double fy = s.fy + kernel_freq(r, sdim, tile_nm);
+        for (int c = 0; c < sdim; ++c) {
+          const double fx = s.fx + kernel_freq(c, sdim, tile_nm);
+          const cd h = pupil(fx, fy);
+          shifted(r, c) = h * spectrum(r, c);
+          any = any || (h != cd(0.0, 0.0) && spectrum(r, c) != cd(0.0, 0.0));
+        }
+      }
+      if (!any) continue;
+      const Grid<cd> e = field_from_centered(shifted, out_px);
+      for (std::size_t a = 0; a < local.size(); ++a)
+        local[a] += s.weight * norm2(e[a]);
+    }
+    partial[static_cast<std::size_t>(ci)] = std::move(local);
+  });
+  Grid<double> intensity(out_px, out_px, 0.0);
+  for (const Grid<double>& p : partial) {
+    if (p.empty()) continue;
+    for (std::size_t a = 0; a < intensity.size(); ++a) intensity[a] += p[a];
+  }
+  return intensity;
+}
+
+Grid<double> hopkins_aerial_direct(const Grid<cd>& tcc, int kdim,
+                                   const Grid<cd>& spectrum, int out_px) {
+  check(tcc.rows() == kdim * kdim && tcc.cols() == kdim * kdim,
+        "TCC size does not match kdim");
+  const Grid<cd> c = center_crop(spectrum, kdim, kdim);
+  const int half = kdim / 2;
+  const int idim = 2 * kdim - 1;  // intensity spectrum support
+  check(out_px >= idim, "output grid must fit the intensity spectrum");
+
+  // S(f) = sum_l T(l + f, l) c_{l+f} conj(c_l) over valid lattice points.
+  Grid<cd> s(idim, idim, cd(0.0, 0.0));
+  for (int fy = -2 * half; fy <= 2 * half; ++fy) {
+    for (int fx = -2 * half; fx <= 2 * half; ++fx) {
+      cd acc(0.0, 0.0);
+      for (int ly = -half; ly <= half; ++ly) {
+        const int my = ly + fy;
+        if (my < -half || my > half) continue;
+        for (int lx = -half; lx <= half; ++lx) {
+          const int mx = lx + fx;
+          if (mx < -half || mx > half) continue;
+          const int a = (my + half) * kdim + (mx + half);
+          const int b = (ly + half) * kdim + (lx + half);
+          acc += tcc(a, b) * c(my + half, mx + half) *
+                 std::conj(c(ly + half, lx + half));
+        }
+      }
+      s(fy + 2 * half, fx + 2 * half) = acc;
+    }
+  }
+  const Grid<cd> img = field_from_centered(s, out_px);
+  return real_part(img);
+}
+
+}  // namespace nitho

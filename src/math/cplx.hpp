@@ -1,0 +1,19 @@
+#pragma once
+// Complex scalar aliases and small helpers shared by optics / fft / nn.
+
+#include <complex>
+
+namespace nitho {
+
+using cd = std::complex<double>;
+using cf = std::complex<float>;
+
+/// |z|^2 without the sqrt of std::abs.
+template <typename R>
+constexpr R norm2(std::complex<R> z) {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+}  // namespace nitho

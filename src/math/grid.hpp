@@ -1,0 +1,97 @@
+#pragma once
+// Dense row-major 2-D array.  The workhorse container for mask images, aerial
+// images, spectra (Grid<cd>) and small dense matrices (the TCC).
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+/// Row-major rows x cols array of T with value semantics.
+/// Indexing is (row, col) == (y, x); row 0 is the top of an image.
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int rows, int cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+    check(rows >= 0 && cols >= 0, "Grid dimensions must be non-negative");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int r, int c) { return data_[index(r, c)]; }
+  const T& operator()(int r, int c) const { return data_[index(r, c)]; }
+
+  /// Linear element access (row-major).
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const T* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  bool same_shape(const Grid& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  friend bool operator==(const Grid& a, const Grid& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t index(int r, int c) const {
+    check(r >= 0 && r < rows_ && c >= 0 && c < cols_, "Grid index out of range");
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Elementwise sum of all entries.
+template <typename T>
+T grid_sum(const Grid<T>& g) {
+  return std::accumulate(g.begin(), g.end(), T{});
+}
+
+/// Largest entry (requires operator<).
+template <typename T>
+T grid_max(const Grid<T>& g) {
+  check(!g.empty(), "grid_max of empty grid");
+  return *std::max_element(g.begin(), g.end());
+}
+
+template <typename T>
+T grid_min(const Grid<T>& g) {
+  check(!g.empty(), "grid_min of empty grid");
+  return *std::min_element(g.begin(), g.end());
+}
+
+/// Convert between element types (e.g. mask Grid<float> -> Grid<double>).
+template <typename U, typename T>
+Grid<U> grid_cast(const Grid<T>& g) {
+  Grid<U> out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out[i] = static_cast<U>(g[i]);
+  return out;
+}
+
+}  // namespace nitho

@@ -1,0 +1,25 @@
+#pragma once
+// Scalar summary statistics used by metrics, datasets and benches.
+
+#include <span>
+#include <vector>
+
+namespace nitho {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / population stddev / extrema of a sample (empty -> zeros).
+Summary summarize(std::span<const double> xs);
+
+double mean_of(std::span<const double> xs);
+
+/// Median (copies and sorts; intended for small result vectors).
+double median_of(std::vector<double> xs);
+
+}  // namespace nitho

@@ -1,0 +1,117 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+double mse(const Grid<double>& truth, const Grid<double>& pred) {
+  check(truth.same_shape(pred), "mse shape mismatch");
+  check(!truth.empty(), "mse of empty grids");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - pred[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double psnr(const Grid<double>& truth, const Grid<double>& pred) {
+  const double m = mse(truth, pred);
+  const double peak = grid_max(truth);
+  if (m <= 0.0) return 150.0;  // identical images: clamp instead of inf
+  return 10.0 * std::log10(peak * peak / m);
+}
+
+double max_error(const Grid<double>& truth, const Grid<double>& pred) {
+  check(truth.same_shape(pred), "max_error shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    worst = std::max(worst, std::abs(truth[i] - pred[i]));
+  return worst;
+}
+
+Grid<double> binarize(const Grid<double>& aerial, double threshold) {
+  Grid<double> out(aerial.rows(), aerial.cols());
+  for (std::size_t i = 0; i < aerial.size(); ++i)
+    out[i] = aerial[i] >= threshold ? 1.0 : 0.0;
+  return out;
+}
+
+namespace {
+
+struct Confusion {
+  // [truth][pred] counts over classes {0, 1}.
+  double n[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+};
+
+Confusion confusion(const Grid<double>& truth, const Grid<double>& pred) {
+  check(truth.same_shape(pred), "confusion shape mismatch");
+  Confusion c;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const int t = truth[i] >= 0.5 ? 1 : 0;
+    const int p = pred[i] >= 0.5 ? 1 : 0;
+    c.n[t][p] += 1.0;
+  }
+  return c;
+}
+
+}  // namespace
+
+double miou(const Grid<double>& truth, const Grid<double>& pred) {
+  const Confusion c = confusion(truth, pred);
+  double acc = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    const double inter = c.n[k][k];
+    // union = |truth k| + |pred k| - inter; the row total already holds
+    // inter once, so only the off-diagonal of the prediction column adds.
+    const double uni = c.n[k][0] + c.n[k][1] + c.n[1 - k][k];
+    acc += uni > 0.0 ? inter / uni : 1.0;
+  }
+  return acc / 2.0;
+}
+
+double mpa(const Grid<double>& truth, const Grid<double>& pred) {
+  const Confusion c = confusion(truth, pred);
+  double acc = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    const double total = c.n[k][0] + c.n[k][1];
+    acc += total > 0.0 ? c.n[k][k] / total : 1.0;
+  }
+  return acc / 2.0;
+}
+
+EvalResult evaluate(const Grid<double>& aerial_truth,
+                    const Grid<double>& aerial_pred, double resist_threshold) {
+  EvalResult r;
+  r.mse = mse(aerial_truth, aerial_pred);
+  r.psnr = psnr(aerial_truth, aerial_pred);
+  r.max_error = max_error(aerial_truth, aerial_pred);
+  const Grid<double> zt = binarize(aerial_truth, resist_threshold);
+  const Grid<double> zp = binarize(aerial_pred, resist_threshold);
+  r.miou = miou(zt, zp);
+  r.mpa = mpa(zt, zp);
+  return r;
+}
+
+EvalResult average(const std::vector<EvalResult>& rs) {
+  EvalResult avg;
+  if (rs.empty()) return avg;
+  for (const auto& r : rs) {
+    avg.mse += r.mse;
+    avg.psnr += r.psnr;
+    avg.max_error += r.max_error;
+    avg.miou += r.miou;
+    avg.mpa += r.mpa;
+  }
+  const double n = static_cast<double>(rs.size());
+  avg.mse /= n;
+  avg.psnr /= n;
+  avg.max_error /= n;
+  avg.miou /= n;
+  avg.mpa /= n;
+  return avg;
+}
+
+}  // namespace nitho

@@ -1,0 +1,46 @@
+#pragma once
+// Evaluation metrics from the paper, Eqs. (5)-(8):
+//   aerial stage  — MSE, PSNR, max error (ME), pixel-wise regression;
+//   resist stage  — mIOU, mPA over the k=2 classes (resist / background).
+
+#include "math/grid.hpp"
+
+namespace nitho {
+
+/// Eq. (5): mean squared error over all pixels.
+double mse(const Grid<double>& truth, const Grid<double>& pred);
+
+/// Eq. (6): 10*log10(max(I)^2 / MSE), in dB (max over the ground truth).
+double psnr(const Grid<double>& truth, const Grid<double>& pred);
+
+/// Eq. (8): max |I - I_hat| over all pixels.
+double max_error(const Grid<double>& truth, const Grid<double>& pred);
+
+/// Threshold an aerial image into a binary resist pattern (Z = I >= thres).
+Grid<double> binarize(const Grid<double>& aerial, double threshold);
+
+/// Eq. (7): mean intersection-over-union over the two resist classes.
+/// Inputs are binary grids (values 0 or 1).  An empty class present in
+/// neither image counts as IOU 1 for that class.
+double miou(const Grid<double>& truth, const Grid<double>& pred);
+
+/// Eq. (7): mean pixel accuracy over the two classes.
+double mpa(const Grid<double>& truth, const Grid<double>& pred);
+
+/// All aerial + resist metrics for one prediction at a given resist
+/// threshold, as used throughout the bench harnesses.
+struct EvalResult {
+  double mse = 0.0;
+  double psnr = 0.0;
+  double max_error = 0.0;
+  double miou = 0.0;
+  double mpa = 0.0;
+};
+
+EvalResult evaluate(const Grid<double>& aerial_truth,
+                    const Grid<double>& aerial_pred, double resist_threshold);
+
+/// Averages a set of per-tile results.
+EvalResult average(const std::vector<EvalResult>& rs);
+
+}  // namespace nitho

@@ -1,0 +1,40 @@
+#pragma once
+// Complex-valued multilayer perceptron (paper Eq. 12):
+//   CMLP : CLinear -> (CLinear -> CReLU) x N -> CLinear
+// with CReLU(z) = ReLU(Re z) + i ReLU(Im z) (Eq. 11).  In the re/im tensor
+// representation CReLU is exactly an elementwise ReLU over the trailing
+// dimension, so the whole network is built from cmatmul / add_bias / relu.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autodiff.hpp"
+
+namespace nitho {
+
+struct CmlpConfig {
+  int in_features = 128;  ///< complex input width
+  int hidden = 64;        ///< complex hidden width
+  int blocks = 2;         ///< N hidden (CLinear -> CReLU) blocks
+  int out = 24;           ///< complex outputs per coordinate (kernel count r)
+  std::uint64_t seed = 1;
+};
+
+class Cmlp {
+ public:
+  explicit Cmlp(const CmlpConfig& cfg);
+
+  /// [P, in, 2] -> [P, out, 2].
+  nn::Var forward(const nn::Var& input) const;
+
+  std::vector<nn::Var> parameters() const;
+  std::int64_t parameter_count() const;
+  const CmlpConfig& config() const { return cfg_; }
+
+ private:
+  CmlpConfig cfg_;
+  std::vector<nn::Var> weights_;  ///< [in, out, 2] per layer
+  std::vector<nn::Var> biases_;   ///< [out, 2] per layer
+};
+
+}  // namespace nitho

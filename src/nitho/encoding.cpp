@@ -1,0 +1,108 @@
+#include "nitho/encoding.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "math/cplx.hpp"
+
+namespace nitho {
+
+std::string encoding_name(EncodingKind kind) {
+  switch (kind) {
+    case EncodingKind::None:
+      return "None";
+    case EncodingKind::NerfPe:
+      return "NeRF-PE";
+    case EncodingKind::GaussianRff:
+      return "Gaussian-RFF";
+  }
+  check_fail("unknown encoding kind", std::source_location::current());
+}
+
+nn::Tensor encode_coordinates(int n, int m, const EncodingConfig& cfg) {
+  check(n >= 1 && m >= 1, "empty coordinate grid");
+  check(cfg.features >= 2 && cfg.features % 2 == 0,
+        "feature count must be even and >= 2");
+  const int p = n * m;
+  const int f = cfg.features;
+  nn::Tensor out({p, f, 2});
+  Rng rng(cfg.seed);
+
+  auto coord = [&](int idx, double& x, double& y) {
+    const int r = idx / m, c = idx % m;
+    y = n > 1 ? static_cast<double>(r) / (n - 1) : 0.5;
+    x = m > 1 ? static_cast<double>(c) / (m - 1) : 0.5;
+  };
+
+  switch (cfg.kind) {
+    case EncodingKind::None: {
+      // Linear Gaussian projection, complexified with the same (1+j) factor.
+      std::vector<double> b(static_cast<std::size_t>(f) * 2);
+      for (auto& v : b) v = rng.normal(0.0, 1.0);
+      for (int i = 0; i < p; ++i) {
+        double x, y;
+        coord(i, x, y);
+        for (int j = 0; j < f; ++j) {
+          const double val = b[2 * j] * x + b[2 * j + 1] * y;
+          out[(static_cast<std::int64_t>(i) * f + j) * 2] =
+              static_cast<float>(val);
+          out[(static_cast<std::int64_t>(i) * f + j) * 2 + 1] =
+              static_cast<float>(val);
+        }
+      }
+      break;
+    }
+    case EncodingKind::NerfPe: {
+      // Eq. (14): per axis, L octaves of (sin, cos); F = 4L features.
+      check(f % 4 == 0, "NeRF PE feature count must be divisible by 4");
+      const int levels = f / 4;
+      for (int i = 0; i < p; ++i) {
+        double x, y;
+        coord(i, x, y);
+        int j = 0;
+        for (int axis = 0; axis < 2; ++axis) {
+          const double v = axis == 0 ? x : y;
+          for (int l = 0; l < levels; ++l) {
+            const double ang = std::pow(2.0, l) * kPi * v;
+            const float s = static_cast<float>(std::sin(ang));
+            const float c = static_cast<float>(std::cos(ang));
+            out[(static_cast<std::int64_t>(i) * f + j) * 2] = s;
+            out[(static_cast<std::int64_t>(i) * f + j) * 2 + 1] = s;
+            ++j;
+            out[(static_cast<std::int64_t>(i) * f + j) * 2] = c;
+            out[(static_cast<std::int64_t>(i) * f + j) * 2 + 1] = c;
+            ++j;
+          }
+        }
+      }
+      break;
+    }
+    case EncodingKind::GaussianRff: {
+      // Eq. (15): isotropic Gaussian frequencies, (1+j) complexification.
+      const int l = f / 2;
+      std::vector<double> b(static_cast<std::size_t>(l) * 2);
+      for (auto& v : b) v = rng.normal(0.0, cfg.sigma);
+      for (int i = 0; i < p; ++i) {
+        double x, y;
+        coord(i, x, y);
+        for (int k = 0; k < l; ++k) {
+          const double ang = 2.0 * kPi * (b[2 * k] * x + b[2 * k + 1] * y);
+          const float c = static_cast<float>(std::cos(ang));
+          const float s = static_cast<float>(std::sin(ang));
+          const std::int64_t base = (static_cast<std::int64_t>(i) * f + k) * 2;
+          out[base] = c;
+          out[base + 1] = c;
+          const std::int64_t base2 =
+              (static_cast<std::int64_t>(i) * f + l + k) * 2;
+          out[base2] = s;
+          out[base2 + 1] = s;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nitho

@@ -1,0 +1,42 @@
+#pragma once
+// Positional encodings for optical-kernel coordinates (paper §III-B3).
+//
+// Three variants, matching the Table V ablation:
+//   None        — a plain Gaussian linear projection of the coordinates
+//                 ("remove the positional encoding layer by using a simple
+//                 Gaussian matrix").
+//   NerfPe      — NeRF's axis-aligned sin/cos pyramid (Eq. 14).
+//   GaussianRff — the paper's complex Gaussian random Fourier features
+//                 (Eq. 15): gamma(v) = [cos(2 pi B v), sin(2 pi B v)] * (1+j),
+//                 B_ij ~ N(0, sigma^2).
+//
+// All produce a constant complex tensor [n*m, features, 2]; coordinates are
+// normalized to [0, 1]^2 before encoding.
+
+#include <cstdint>
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace nitho {
+
+enum class EncodingKind { None, NerfPe, GaussianRff };
+
+std::string encoding_name(EncodingKind kind);
+
+struct EncodingConfig {
+  EncodingKind kind = EncodingKind::GaussianRff;
+  int features = 128;     ///< complex input width F fed to the CMLP
+  /// RFF bandwidth (std-dev of B entries).  The TCC varies on the scale of
+  /// the pupil radius (~half the normalized coordinate range), so sigma ~ 1
+  /// maximizes out-of-distribution transfer: the field smoothly interpolates
+  /// kernel values at frequencies the training masks under-constrain.
+  double sigma = 1.0;
+  std::uint64_t seed = 7; ///< B matrix seed (fixed per model)
+};
+
+/// Encodes the flattened kernel coordinate grid (row-major, matching
+/// Algorithm 1 line 2) into [n*m, features, 2].
+nn::Tensor encode_coordinates(int n, int m, const EncodingConfig& cfg);
+
+}  // namespace nitho

@@ -1,0 +1,59 @@
+#include "nitho/fast_litho.hpp"
+
+#include "common/check.hpp"
+#include "fft/spectral.hpp"
+#include "io/tensor_io.hpp"
+#include "litho/simulator.hpp"
+#include "metrics/metrics.hpp"
+
+namespace nitho {
+
+FastLitho::FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold)
+    : kernels_(std::move(kernels)), resist_threshold_(resist_threshold) {
+  check(!kernels_.empty(), "FastLitho needs at least one kernel");
+  kdim_ = kernels_[0].rows();
+  for (const auto& k : kernels_) {
+    check(k.rows() == kdim_ && k.cols() == kdim_, "kernel shape mismatch");
+  }
+}
+
+FastLitho FastLitho::from_model(const NithoModel& model,
+                                double resist_threshold) {
+  return FastLitho(model.export_kernels(), resist_threshold);
+}
+
+Grid<double> FastLitho::aerial_from_spectrum(const Grid<cd>& spectrum,
+                                             int out_px) const {
+  return socs_aerial(kernels_, spectrum, out_px);
+}
+
+Grid<double> FastLitho::aerial_from_mask(const Grid<double>& mask_raster,
+                                         int out_px) const {
+  Grid<cd> spectrum = fft2_crop_centered(mask_raster, kdim_);
+  const double inv_n2 = 1.0 / (static_cast<double>(mask_raster.rows()) *
+                               mask_raster.cols());
+  for (auto& z : spectrum) z *= inv_n2;
+  return socs_aerial(kernels_, spectrum, out_px);
+}
+
+Grid<double> FastLitho::resist_from_mask(const Grid<double>& mask_raster,
+                                         int out_px) const {
+  return binarize(aerial_from_mask(mask_raster, out_px), resist_threshold_);
+}
+
+void FastLitho::save(const std::string& path) const {
+  save_kernels(path, kernels_);
+}
+
+FastLitho FastLitho::load(const std::string& path, double resist_threshold) {
+  return FastLitho(load_kernels(path), resist_threshold);
+}
+
+Grid<double> predict_aerial(const NithoModel& model, const Sample& sample,
+                            int out_px) {
+  const int kdim = model.kernel_dim();
+  const Grid<cd> crop = center_crop(sample.spectrum, kdim, kdim);
+  return socs_aerial(model.export_kernels(), crop, out_px);
+}
+
+}  // namespace nitho

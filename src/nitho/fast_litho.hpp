@@ -1,0 +1,57 @@
+#pragma once
+// Fast lithography (paper §III-C1): after training, the predicted kernels
+// are exported as plain complex arrays and used exactly like calibrated TCC
+// kernels — no network inference at simulation time.  The hot path is
+// mask raster -> cropped-spectrum FFT -> batched SOCS on the thread pool.
+
+#include <string>
+#include <vector>
+
+#include "litho/golden.hpp"
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+#include "nitho/model.hpp"
+
+namespace nitho {
+
+class FastLitho {
+ public:
+  FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold = 0.25);
+
+  /// Detaches the model's current kernel prediction.
+  static FastLitho from_model(const NithoModel& model,
+                              double resist_threshold = 0.25);
+
+  int kernel_dim() const { return kdim_; }
+  int rank() const { return static_cast<int>(kernels_.size()); }
+  const std::vector<Grid<cd>>& kernels() const { return kernels_; }
+
+  /// Aerial image from a centered cropped spectrum (>= kernel support).
+  Grid<double> aerial_from_spectrum(const Grid<cd>& spectrum, int out_px) const;
+
+  /// Full pipeline from a mask raster (Fourier coefficients computed via the
+  /// cropped FFT; this is what the Fig. 5 throughput bench times).
+  Grid<double> aerial_from_mask(const Grid<double>& mask_raster,
+                                int out_px) const;
+
+  Grid<double> resist_from_mask(const Grid<double>& mask_raster,
+                                int out_px) const;
+
+  /// Kernel persistence — the stored format is identical to real TCC kernel
+  /// files, so downstream tools cannot tell learned kernels apart.
+  void save(const std::string& path) const;
+  static FastLitho load(const std::string& path,
+                        double resist_threshold = 0.25);
+
+ private:
+  std::vector<Grid<cd>> kernels_;
+  int kdim_;
+  double resist_threshold_;
+};
+
+/// Model prediction for one dataset sample at out_px resolution (the
+/// evaluation path shared by all benches).
+Grid<double> predict_aerial(const NithoModel& model, const Sample& sample,
+                            int out_px);
+
+}  // namespace nitho

@@ -1,0 +1,66 @@
+#include "nitho/model.hpp"
+
+#include "common/check.hpp"
+#include "nn/ops.hpp"
+#include "nn/serialize.hpp"
+#include "optics/resolution.hpp"
+
+namespace nitho {
+namespace {
+
+CmlpConfig mlp_config(const NithoConfig& cfg) {
+  CmlpConfig m;
+  m.in_features = cfg.encoding.features;
+  m.hidden = cfg.hidden;
+  m.blocks = cfg.blocks;
+  m.out = cfg.rank;
+  m.seed = cfg.seed;
+  return m;
+}
+
+}  // namespace
+
+NithoModel::NithoModel(NithoConfig cfg, int tile_nm, double wavelength_nm,
+                       double na)
+    : cfg_(cfg),
+      kdim_(cfg.kernel_dim > 0
+                ? cfg.kernel_dim
+                : ::nitho::kernel_dim(tile_nm, wavelength_nm, na)),
+      encoded_(encode_coordinates(kdim_, kdim_, cfg.encoding)),
+      mlp_(mlp_config(cfg)) {
+  check(kdim_ % 2 == 1, "kernel dimension must be odd");
+  check(cfg_.rank >= 1, "rank must be positive");
+}
+
+nn::Var NithoModel::predict_kernels() const {
+  nn::Var input = nn::make_leaf(encoded_, false);
+  nn::Var out = mlp_.forward(input);             // [P, r, 2]
+  out = nn::transpose01(out);                    // [r, P, 2]
+  return nn::reshape(out, {cfg_.rank, kdim_, kdim_, 2});
+}
+
+std::vector<Grid<cd>> NithoModel::export_kernels() const {
+  const nn::Var k = predict_kernels();
+  std::vector<Grid<cd>> out;
+  out.reserve(static_cast<std::size_t>(cfg_.rank));
+  const std::int64_t plane = static_cast<std::int64_t>(kdim_) * kdim_;
+  for (int i = 0; i < cfg_.rank; ++i) {
+    Grid<cd> g(kdim_, kdim_);
+    const float* src = k->value.data() + i * plane * 2;
+    for (std::int64_t p = 0; p < plane; ++p) {
+      g[static_cast<std::size_t>(p)] = cd(src[2 * p], src[2 * p + 1]);
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+void NithoModel::save(const std::string& path) const {
+  nn::save_parameters_file(path, parameters());
+}
+
+void NithoModel::load(const std::string& path) {
+  nn::load_parameters_file(path, parameters());
+}
+
+}  // namespace nitho

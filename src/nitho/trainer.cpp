@@ -1,0 +1,135 @@
+#include "nitho/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "fft/spectral.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+
+namespace nitho {
+namespace {
+
+nn::Tensor spectrum_tensor(const Grid<cd>& spectrum, int kdim) {
+  check(spectrum.rows() >= kdim && spectrum.cols() >= kdim,
+        "stored spectrum crop smaller than the model's kernel support");
+  const Grid<cd> crop = center_crop(spectrum, kdim, kdim);
+  nn::Tensor t({kdim, kdim, 2});
+  for (std::size_t i = 0; i < crop.size(); ++i) {
+    t[static_cast<std::int64_t>(2 * i)] = static_cast<float>(crop[i].real());
+    t[static_cast<std::int64_t>(2 * i + 1)] = static_cast<float>(crop[i].imag());
+  }
+  return t;
+}
+
+nn::Tensor aerial_tensor(const Grid<double>& aerial, int px) {
+  const Grid<double> sized = aerial.rows() == px
+                                 ? aerial
+                                 : spectral_resample(aerial, px, px);
+  nn::Tensor t({px, px});
+  for (std::size_t i = 0; i < sized.size(); ++i) {
+    t[static_cast<std::int64_t>(i)] = static_cast<float>(sized[i]);
+  }
+  return t;
+}
+
+int auto_train_px(int kdim, int requested) {
+  if (requested > 0) return requested;
+  int px = 64;
+  while (px < 2 * kdim) px *= 2;
+  return px;
+}
+
+}  // namespace
+
+TrainStats train_nitho(NithoModel& model,
+                       const std::vector<const Sample*>& data,
+                       const NithoTrainConfig& cfg) {
+  check(!data.empty(), "training needs at least one sample");
+  check(cfg.epochs >= 1 && cfg.batch >= 1 && cfg.lr > 0.0f,
+        "bad training configuration");
+  const int kdim = model.kernel_dim();
+  const int px = auto_train_px(kdim, cfg.train_px);
+
+  const int n = static_cast<int>(data.size());
+  std::vector<nn::Tensor> specs, targets;
+  specs.reserve(static_cast<std::size_t>(n));
+  targets.reserve(static_cast<std::size_t>(n));
+  for (const Sample* s : data) {
+    check(s != nullptr, "null sample");
+    specs.push_back(spectrum_tensor(s->spectrum, kdim));
+    targets.push_back(aerial_tensor(s->aerial, px));
+  }
+
+  nn::Adam opt(model.parameters(), cfg.lr);
+  Rng rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  WallTimer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int b = 0; b < n; b += cfg.batch) {
+      const int count = std::min(cfg.batch, n - b);
+      opt.zero_grad();
+      // One field evaluation per step (the kernels do not depend on masks).
+      const nn::Var kernels = model.predict_kernels();
+      nn::Var loss;
+      for (int j = 0; j < count; ++j) {
+        const int i = order[static_cast<std::size_t>(b + j)];
+        nn::Var pred = nn::abs2_sum0(
+            nn::socs_field(kernels, specs[static_cast<std::size_t>(i)], px));
+        nn::Var l = nn::mse_loss(pred, targets[static_cast<std::size_t>(i)]);
+        loss = loss ? nn::add(loss, l) : l;
+      }
+      loss = nn::scale(loss, 1.0f / static_cast<float>(count));
+      nn::backward(loss);
+      opt.step();
+      epoch_loss += loss->value[0];
+      ++batches;
+      ++stats.steps;
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max(1, batches));
+    // Cosine decay to 10% of the base learning rate.
+    const double t = static_cast<double>(epoch + 1) / cfg.epochs;
+    opt.set_lr(static_cast<float>(cfg.lr * (0.1 + 0.45 * (1.0 + std::cos(kPi * t)))));
+    if (cfg.verbose) {
+      std::printf("  [nitho] epoch %3d/%d  loss %.3e\n", epoch + 1, cfg.epochs,
+                  stats.epoch_losses.back());
+      std::fflush(stdout);
+    }
+  }
+  stats.final_loss = stats.epoch_losses.back();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::vector<const Sample*> sample_ptrs(const Dataset& ds, int max_count) {
+  std::vector<const Sample*> out;
+  const int n = max_count < 0
+                    ? static_cast<int>(ds.samples.size())
+                    : std::min<int>(max_count, static_cast<int>(ds.samples.size()));
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(&ds.samples[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+std::vector<const Sample*> sample_ptrs(const std::vector<const Dataset*>& sets,
+                                       int max_per_set) {
+  std::vector<const Sample*> out;
+  for (const Dataset* ds : sets) {
+    check(ds != nullptr, "null dataset");
+    auto ptrs = sample_ptrs(*ds, max_per_set);
+    out.insert(out.end(), ptrs.begin(), ptrs.end());
+  }
+  return out;
+}
+
+}  // namespace nitho

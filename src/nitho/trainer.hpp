@@ -1,0 +1,48 @@
+#pragma once
+// Algorithm 1: the forward training procedure of Nitho.
+//
+// Per optimization step the CMLP predicts the kernel stack once; for each
+// mask in the batch the (precomputed, constant) cropped mask spectrum is
+// multiplied in, inverse-transformed to coherent fields, converted to
+// intensity and compared against the golden aerial image with MSE.  The
+// complex weights are updated by Adam through the differentiable FFTs.
+
+#include <cstdint>
+#include <vector>
+
+#include "litho/golden.hpp"
+#include "nitho/model.hpp"
+
+namespace nitho {
+
+struct NithoTrainConfig {
+  int epochs = 60;
+  int batch = 4;
+  float lr = 4e-3f;
+  /// Training grid; 0 = smallest power of two >= max(64, 2 * kernel_dim)
+  /// (keeps the squared field alias-free).
+  int train_px = 0;
+  std::uint64_t seed = 99;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;  ///< mean MSE per epoch
+  double final_loss = 0.0;
+  double seconds = 0.0;
+  int steps = 0;
+};
+
+/// Trains the model in place on (mask spectrum, golden aerial) pairs.
+TrainStats train_nitho(NithoModel& model,
+                       const std::vector<const Sample*>& data,
+                       const NithoTrainConfig& cfg);
+
+/// Convenience: pointer view over (at most max_count of) a dataset.
+std::vector<const Sample*> sample_ptrs(const Dataset& ds, int max_count = -1);
+
+/// Pointer view over multiple datasets (the merged "B2m+B2v" row).
+std::vector<const Sample*> sample_ptrs(
+    const std::vector<const Dataset*>& sets, int max_per_set = -1);
+
+}  // namespace nitho

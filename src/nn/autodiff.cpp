@@ -1,0 +1,93 @@
+#include "nn/autodiff.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace nitho::nn {
+
+Tensor& Node::ensure_grad() {
+  if (grad.numel() != value.numel()) grad = Tensor::zeros_like(value);
+  return grad;
+}
+
+Var make_leaf(Tensor value, bool requires_grad) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+Var make_node(Tensor value, std::vector<Var> inputs,
+              std::function<void(Node&)> backward_fn, const char* op) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  n->op = op;
+  for (const Var& in : inputs) {
+    check(in != nullptr, "null input to op");
+    n->requires_grad = n->requires_grad || in->requires_grad;
+  }
+  if (n->requires_grad) {
+    n->inputs = std::move(inputs);
+    n->backward_fn = std::move(backward_fn);
+  }
+  return n;
+}
+
+namespace {
+
+// Iterative post-order DFS over nodes that require gradients.
+void topo_sort(const Var& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack;
+  if (!root->requires_grad) return;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->inputs.size()) {
+      Node* child = node->inputs[next++].get();
+      if (child->requires_grad && !visited.count(child)) {
+        visited.insert(child);
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+  check(root != nullptr, "backward of null var");
+  check(root->value.numel() == 1, "backward requires a scalar root");
+  if (!root->requires_grad) return;
+  std::vector<Node*> order;
+  topo_sort(root, order);
+  root->ensure_grad();
+  root->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.numel() == n->value.numel()) {
+      n->backward_fn(*n);
+    }
+  }
+}
+
+void zero_grad(std::span<const Var> params) {
+  for (const Var& p : params) {
+    if (p && p->grad.numel() > 0) p->grad.fill(0.0f);
+  }
+}
+
+std::int64_t parameter_count(std::span<const Var> params) {
+  std::int64_t total = 0;
+  for (const Var& p : params) {
+    if (p) total += p->value.numel();
+  }
+  return total;
+}
+
+}  // namespace nitho::nn

@@ -1,0 +1,53 @@
+#pragma once
+// Define-by-run reverse-mode automatic differentiation.
+//
+// A Var is a shared node holding a value tensor, a lazily allocated gradient
+// and a closure that scatters the node's gradient into its inputs.  Complex
+// tensors are real tensors with trailing dim 2, which makes real-valued
+// reverse mode automatically Wirtinger-correct for the complex layers
+// (DESIGN.md §5).
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace nitho::nn {
+
+struct Node;
+using Var = std::shared_ptr<Node>;
+
+struct Node {
+  Tensor value;
+  Tensor grad;  // empty until ensure_grad()
+  bool requires_grad = false;
+  std::vector<Var> inputs;
+  std::function<void(Node&)> backward_fn;  // may be empty (leaf / constant)
+  const char* op = "leaf";
+
+  /// Allocates a zero gradient of the value's shape if not present.
+  Tensor& ensure_grad();
+};
+
+/// Creates a leaf node (parameter when requires_grad, constant otherwise).
+Var make_leaf(Tensor value, bool requires_grad = false);
+
+/// Creates an interior node; requires_grad is inherited from the inputs and
+/// backward_fn is dropped when nothing upstream needs gradients.
+Var make_node(Tensor value, std::vector<Var> inputs,
+              std::function<void(Node&)> backward_fn, const char* op);
+
+/// Reverse pass from a scalar root: seeds d(root)/d(root) = 1 and pushes
+/// gradients through the graph in reverse topological order.
+void backward(const Var& root);
+
+/// Clears gradients of the given parameters (keeps allocations).
+void zero_grad(std::span<const Var> params);
+
+/// Total number of scalar elements across parameters.
+std::int64_t parameter_count(std::span<const Var> params);
+
+}  // namespace nitho::nn

@@ -1,0 +1,81 @@
+#pragma once
+// Small dense float GEMM kernels shared by the matmul / conv / complex ops.
+// Loop orders are chosen so the innermost loop streams rows of the second
+// operand (auto-vectorizable); big row counts are split across the pool.
+
+#include <cstdint>
+
+#include "common/parallel.hpp"
+
+namespace nitho::nn {
+
+/// C[M,N] (+)= A[M,K] * B[K,N]
+inline void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) {
+  const auto row_job = [&](std::int64_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    const float* arow = a + i * k;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  };
+  if (m * n * k > (1 << 18)) {
+    parallel_for(m, row_job);
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) row_job(i);
+  }
+}
+
+/// C[M,N] (+)= A[M,K] * B[N,K]^T
+inline void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) {
+  const auto row_job = [&](std::int64_t i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = accumulate ? crow[j] + acc : acc;
+    }
+  };
+  if (m * n * k > (1 << 18)) {
+    parallel_for(m, row_job);
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) row_job(i);
+  }
+}
+
+/// C[M,N] (+)= A[K,M]^T * B[K,N]
+inline void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
+                    const float* a, const float* b, float* c,
+                    bool accumulate) {
+  // Serial over k to keep writes race-free; rows of C parallelized.
+  const auto row_job = [&](std::int64_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[p * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  };
+  if (m * n * k > (1 << 18)) {
+    parallel_for(m, row_job);
+  } else {
+    for (std::int64_t i = 0; i < m; ++i) row_job(i);
+  }
+}
+
+}  // namespace nitho::nn

@@ -1,0 +1,451 @@
+#include "nn/ops.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/gemm.hpp"
+
+namespace nitho::nn {
+namespace {
+
+void check_same_shape(const Var& a, const Var& b, const char* op) {
+  check(a->value.same_shape(b->value), std::string(op) + ": shape mismatch");
+}
+
+// Elementwise binary op with per-element backward weights.
+template <typename Fwd, typename Bwd>
+Var elementwise2(const Var& a, const Var& b, Fwd fwd, Bwd bwd, const char* op) {
+  check_same_shape(a, b, op);
+  Tensor out(a->value.shape());
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = fwd(a->value[i], b->value[i]);
+  return make_node(std::move(out), {a, b},
+                   [bwd](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     Node& ib = *node.inputs[1];
+                     const std::int64_t m = node.value.numel();
+                     const bool need_a = ia.requires_grad;
+                     const bool need_b = ib.requires_grad;
+                     if (need_a) ia.ensure_grad();
+                     if (need_b) ib.ensure_grad();
+                     for (std::int64_t i = 0; i < m; ++i) {
+                       float da = 0.0f, db = 0.0f;
+                       bwd(ia.value[i], ib.value[i], node.grad[i], da, db);
+                       if (need_a) ia.grad[i] += da;
+                       if (need_b) ib.grad[i] += db;
+                     }
+                   },
+                   op);
+}
+
+// Elementwise unary op; bwd maps (x, y, gy) -> gx.
+template <typename Fwd, typename Bwd>
+Var elementwise1(const Var& a, Fwd fwd, Bwd bwd, const char* op) {
+  Tensor out(a->value.shape());
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = fwd(a->value[i]);
+  return make_node(std::move(out), {a},
+                   [bwd](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     if (!ia.requires_grad) return;
+                     ia.ensure_grad();
+                     const std::int64_t m = node.value.numel();
+                     for (std::int64_t i = 0; i < m; ++i) {
+                       ia.grad[i] += bwd(ia.value[i], node.value[i], node.grad[i]);
+                     }
+                   },
+                   op);
+}
+
+// De-interleave a [..., 2] tensor into planar re/im buffers.
+void split_complex(const Tensor& t, std::vector<float>& re,
+                   std::vector<float>& im) {
+  const std::int64_t n = t.numel() / 2;
+  re.resize(static_cast<std::size_t>(n));
+  im.resize(static_cast<std::size_t>(n));
+  const float* p = t.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    re[static_cast<std::size_t>(i)] = p[2 * i];
+    im[static_cast<std::size_t>(i)] = p[2 * i + 1];
+  }
+}
+
+void merge_complex(const std::vector<float>& re, const std::vector<float>& im,
+                   float* out, bool accumulate) {
+  const std::int64_t n = static_cast<std::int64_t>(re.size());
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (accumulate) {
+      out[2 * i] += re[static_cast<std::size_t>(i)];
+      out[2 * i + 1] += im[static_cast<std::size_t>(i)];
+    } else {
+      out[2 * i] = re[static_cast<std::size_t>(i)];
+      out[2 * i + 1] = im[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+}  // namespace
+
+Var add(const Var& a, const Var& b) {
+  return elementwise2(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float g, float& da, float& db) {
+        da = g;
+        db = g;
+      },
+      "add");
+}
+
+Var sub(const Var& a, const Var& b) {
+  return elementwise2(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float g, float& da, float& db) {
+        da = g;
+        db = -g;
+      },
+      "sub");
+}
+
+Var mul(const Var& a, const Var& b) {
+  return elementwise2(
+      a, b, [](float x, float y) { return x * y; },
+      [](float x, float y, float g, float& da, float& db) {
+        da = g * y;
+        db = g * x;
+      },
+      "mul");
+}
+
+Var scale(const Var& a, float s) {
+  return elementwise1(
+      a, [s](float x) { return s * x; },
+      [s](float, float, float g) { return s * g; }, "scale");
+}
+
+Var relu(const Var& a) {
+  return elementwise1(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; }, "relu");
+}
+
+Var leaky_relu(const Var& a, float alpha) {
+  return elementwise1(
+      a, [alpha](float x) { return x > 0.0f ? x : alpha * x; },
+      [alpha](float x, float, float g) { return x > 0.0f ? g : alpha * g; },
+      "leaky_relu");
+}
+
+Var sigmoid(const Var& a) {
+  return elementwise1(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y, float g) { return g * y * (1.0f - y); }, "sigmoid");
+}
+
+Var tanh_op(const Var& a) {
+  return elementwise1(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y, float g) { return g * (1.0f - y * y); }, "tanh");
+}
+
+Var square(const Var& a) {
+  return elementwise1(
+      a, [](float x) { return x * x; },
+      [](float x, float, float g) { return 2.0f * x * g; }, "square");
+}
+
+Var add_bias(const Var& x, const Var& b) {
+  const std::int64_t bn = b->value.numel();
+  check(bn > 0 && x->value.numel() % bn == 0,
+        "add_bias: bias must tile the input");
+  Tensor out = x->value;
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] += b->value[i % bn];
+  return make_node(std::move(out), {x, b},
+                   [](Node& node) {
+                     Node& ix = *node.inputs[0];
+                     Node& ib = *node.inputs[1];
+                     const std::int64_t n2 = node.value.numel();
+                     const std::int64_t bn2 = ib.value.numel();
+                     if (ix.requires_grad) {
+                       ix.ensure_grad();
+                       for (std::int64_t i = 0; i < n2; ++i)
+                         ix.grad[i] += node.grad[i];
+                     }
+                     if (ib.requires_grad) {
+                       ib.ensure_grad();
+                       for (std::int64_t i = 0; i < n2; ++i)
+                         ib.grad[i % bn2] += node.grad[i];
+                     }
+                   },
+                   "add_bias");
+}
+
+Var sum(const Var& a) {
+  Tensor out({1});
+  double acc = 0.0;
+  const std::int64_t n = a->value.numel();
+  for (std::int64_t i = 0; i < n; ++i) acc += a->value[i];
+  out[0] = static_cast<float>(acc);
+  return make_node(std::move(out), {a},
+                   [](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     if (!ia.requires_grad) return;
+                     ia.ensure_grad();
+                     const float g = node.grad[0];
+                     const std::int64_t n2 = ia.value.numel();
+                     for (std::int64_t i = 0; i < n2; ++i) ia.grad[i] += g;
+                   },
+                   "sum");
+}
+
+Var mean(const Var& a) {
+  check(a->value.numel() > 0, "mean of empty tensor");
+  return scale(sum(a), 1.0f / static_cast<float>(a->value.numel()));
+}
+
+Var mse_loss(const Var& pred, const Tensor& target) {
+  check(pred->value.same_shape(target), "mse_loss: shape mismatch");
+  const std::int64_t n = pred->value.numel();
+  check(n > 0, "mse_loss of empty tensors");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double d = pred->value[i] - target[i];
+    acc += d * d;
+  }
+  Tensor out({1});
+  out[0] = static_cast<float>(acc / static_cast<double>(n));
+  Tensor tgt = target;
+  return make_node(std::move(out), {pred},
+                   [tgt = std::move(tgt)](Node& node) {
+                     Node& ip = *node.inputs[0];
+                     if (!ip.requires_grad) return;
+                     ip.ensure_grad();
+                     const std::int64_t n2 = ip.value.numel();
+                     const float w = 2.0f * node.grad[0] / static_cast<float>(n2);
+                     for (std::int64_t i = 0; i < n2; ++i)
+                       ip.grad[i] += w * (ip.value[i] - tgt[i]);
+                   },
+                   "mse_loss");
+}
+
+Var matmul(const Var& a, const Var& b) {
+  check(a->value.ndim() == 2 && b->value.ndim() == 2, "matmul needs 2-D inputs");
+  const int m = a->value.dim(0), k = a->value.dim(1), n = b->value.dim(1);
+  check(b->value.dim(0) == k, "matmul inner dimension mismatch");
+  Tensor out({m, n});
+  gemm_nn(m, n, k, a->value.data(), b->value.data(), out.data(), false);
+  return make_node(std::move(out), {a, b},
+                   [m, n, k](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     Node& ib = *node.inputs[1];
+                     if (ia.requires_grad) {
+                       ia.ensure_grad();
+                       gemm_nt(m, k, n, node.grad.data(), ib.value.data(),
+                               ia.grad.data(), true);
+                     }
+                     if (ib.requires_grad) {
+                       ib.ensure_grad();
+                       gemm_tn(k, n, m, ia.value.data(), node.grad.data(),
+                               ib.grad.data(), true);
+                     }
+                   },
+                   "matmul");
+}
+
+Var cmatmul(const Var& a, const Var& b) {
+  check(a->value.ndim() == 3 && a->value.dim(2) == 2, "cmatmul: a not complex");
+  check(b->value.ndim() == 3 && b->value.dim(2) == 2, "cmatmul: b not complex");
+  const int m = a->value.dim(0), k = a->value.dim(1), n = b->value.dim(1);
+  check(b->value.dim(0) == k, "cmatmul inner dimension mismatch");
+
+  std::vector<float> ar, ai, br, bi;
+  split_complex(a->value, ar, ai);
+  split_complex(b->value, br, bi);
+  std::vector<float> cr(static_cast<std::size_t>(m) * n),
+      ci(static_cast<std::size_t>(m) * n);
+  // C = (Ar + i Ai)(Br + i Bi):
+  gemm_nn(m, n, k, ar.data(), br.data(), cr.data(), false);
+  gemm_nn(m, n, k, ai.data(), bi.data(), ci.data(), false);
+  for (std::size_t i = 0; i < cr.size(); ++i) cr[i] -= ci[i];
+  gemm_nn(m, n, k, ar.data(), bi.data(), ci.data(), false);
+  gemm_nn(m, n, k, ai.data(), br.data(), ci.data(), true);
+
+  Tensor out({m, n, 2});
+  merge_complex(cr, ci, out.data(), false);
+  return make_node(
+      std::move(out), {a, b},
+      [m, n, k](Node& node) {
+        Node& ia = *node.inputs[0];
+        Node& ib = *node.inputs[1];
+        std::vector<float> ar, ai, br, bi, gr, gi;
+        split_complex(ia.value, ar, ai);
+        split_complex(ib.value, br, bi);
+        split_complex(node.grad, gr, gi);
+        if (ia.requires_grad) {
+          // dA = dC B^H: dAr = Gr Br^T + Gi Bi^T ; dAi = Gi Br^T - Gr Bi^T.
+          std::vector<float> dar(static_cast<std::size_t>(m) * k),
+              dai(static_cast<std::size_t>(m) * k);
+          gemm_nt(m, k, n, gr.data(), br.data(), dar.data(), false);
+          gemm_nt(m, k, n, gi.data(), bi.data(), dai.data(), false);
+          for (std::size_t i = 0; i < dar.size(); ++i) dar[i] += dai[i];
+          gemm_nt(m, k, n, gi.data(), br.data(), dai.data(), false);
+          std::vector<float> tmp(static_cast<std::size_t>(m) * k);
+          gemm_nt(m, k, n, gr.data(), bi.data(), tmp.data(), false);
+          for (std::size_t i = 0; i < dai.size(); ++i) dai[i] -= tmp[i];
+          ia.ensure_grad();
+          merge_complex(dar, dai, ia.grad.data(), true);
+        }
+        if (ib.requires_grad) {
+          // dB = A^H dC: dBr = Ar^T Gr + Ai^T Gi ; dBi = Ar^T Gi - Ai^T Gr.
+          std::vector<float> dbr(static_cast<std::size_t>(k) * n),
+              dbi(static_cast<std::size_t>(k) * n);
+          gemm_tn(k, n, m, ar.data(), gr.data(), dbr.data(), false);
+          gemm_tn(k, n, m, ai.data(), gi.data(), dbi.data(), false);
+          for (std::size_t i = 0; i < dbr.size(); ++i) dbr[i] += dbi[i];
+          gemm_tn(k, n, m, ar.data(), gi.data(), dbi.data(), false);
+          std::vector<float> tmp(static_cast<std::size_t>(k) * n);
+          gemm_tn(k, n, m, ai.data(), gr.data(), tmp.data(), false);
+          for (std::size_t i = 0; i < dbi.size(); ++i) dbi[i] -= tmp[i];
+          ib.ensure_grad();
+          merge_complex(dbr, dbi, ib.grad.data(), true);
+        }
+      },
+      "cmatmul");
+}
+
+Var cmul_const(const Var& x, const Tensor& c) {
+  check(x->value.ndim() >= 2 && x->value.dim(x->value.ndim() - 1) == 2,
+        "cmul_const: x not complex");
+  check(c.ndim() >= 2 && c.dim(c.ndim() - 1) == 2, "cmul_const: c not complex");
+  const std::int64_t cn = c.numel();
+  check(cn > 0 && x->value.numel() % cn == 0,
+        "cmul_const: constant must tile the input");
+  Tensor out(x->value.shape());
+  const std::int64_t pairs = x->value.numel() / 2;
+  const std::int64_t cpairs = cn / 2;
+  for (std::int64_t i = 0; i < pairs; ++i) {
+    const std::int64_t j = i % cpairs;
+    const float xr = x->value[2 * i], xi = x->value[2 * i + 1];
+    const float cr = c[2 * j], cim = c[2 * j + 1];
+    out[2 * i] = xr * cr - xi * cim;
+    out[2 * i + 1] = xr * cim + xi * cr;
+  }
+  Tensor cc = c;
+  return make_node(std::move(out), {x},
+                   [cc = std::move(cc)](Node& node) {
+                     Node& ix = *node.inputs[0];
+                     if (!ix.requires_grad) return;
+                     ix.ensure_grad();
+                     const std::int64_t pairs2 = node.value.numel() / 2;
+                     const std::int64_t cpairs2 = cc.numel() / 2;
+                     for (std::int64_t i = 0; i < pairs2; ++i) {
+                       const std::int64_t j = i % cpairs2;
+                       const float gr = node.grad[2 * i], gi = node.grad[2 * i + 1];
+                       const float cr = cc[2 * j], cim = cc[2 * j + 1];
+                       // dX = conj(c) . dY
+                       ix.grad[2 * i] += gr * cr + gi * cim;
+                       ix.grad[2 * i + 1] += gi * cr - gr * cim;
+                     }
+                   },
+                   "cmul_const");
+}
+
+Var reshape(const Var& a, std::vector<int> shape) {
+  Tensor out = a->value.reshaped(std::move(shape));
+  return make_node(std::move(out), {a},
+                   [](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     if (!ia.requires_grad) return;
+                     ia.ensure_grad();
+                     const std::int64_t n = node.value.numel();
+                     for (std::int64_t i = 0; i < n; ++i)
+                       ia.grad[i] += node.grad[i];
+                   },
+                   "reshape");
+}
+
+Var transpose01(const Var& a) {
+  check(a->value.ndim() >= 2, "transpose01 needs >= 2 dims");
+  const int d0 = a->value.dim(0), d1 = a->value.dim(1);
+  const std::int64_t rest = a->value.numel() / (static_cast<std::int64_t>(d0) * d1);
+  std::vector<int> shape = a->value.shape();
+  std::swap(shape[0], shape[1]);
+  Tensor out(shape);
+  for (int i = 0; i < d0; ++i)
+    for (int j = 0; j < d1; ++j) {
+      const float* src = a->value.data() + (static_cast<std::int64_t>(i) * d1 + j) * rest;
+      float* dst = out.data() + (static_cast<std::int64_t>(j) * d0 + i) * rest;
+      for (std::int64_t r = 0; r < rest; ++r) dst[r] = src[r];
+    }
+  return make_node(std::move(out), {a},
+                   [d0, d1, rest](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     if (!ia.requires_grad) return;
+                     ia.ensure_grad();
+                     for (int i = 0; i < d0; ++i)
+                       for (int j = 0; j < d1; ++j) {
+                         const float* g =
+                             node.grad.data() +
+                             (static_cast<std::int64_t>(j) * d0 + i) * rest;
+                         float* dst = ia.grad.data() +
+                                      (static_cast<std::int64_t>(i) * d1 + j) * rest;
+                         for (std::int64_t r = 0; r < rest; ++r) dst[r] += g[r];
+                       }
+                   },
+                   "transpose01");
+}
+
+Var concat0(const Var& a, const Var& b) {
+  check(a->value.ndim() == b->value.ndim() && a->value.ndim() >= 1,
+        "concat0 rank mismatch");
+  for (int i = 1; i < a->value.ndim(); ++i)
+    check(a->value.dim(i) == b->value.dim(i), "concat0 trailing shape mismatch");
+  std::vector<int> shape = a->value.shape();
+  shape[0] += b->value.dim(0);
+  Tensor out(shape);
+  const std::int64_t na = a->value.numel();
+  for (std::int64_t i = 0; i < na; ++i) out[i] = a->value[i];
+  const std::int64_t nb = b->value.numel();
+  for (std::int64_t i = 0; i < nb; ++i) out[na + i] = b->value[i];
+  return make_node(std::move(out), {a, b},
+                   [na](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     Node& ib = *node.inputs[1];
+                     if (ia.requires_grad) {
+                       ia.ensure_grad();
+                       for (std::int64_t i = 0; i < na; ++i)
+                         ia.grad[i] += node.grad[i];
+                     }
+                     if (ib.requires_grad) {
+                       ib.ensure_grad();
+                       const std::int64_t nb2 = ib.value.numel();
+                       for (std::int64_t i = 0; i < nb2; ++i)
+                         ib.grad[i] += node.grad[na + i];
+                     }
+                   },
+                   "concat0");
+}
+
+Var slice0(const Var& a, int begin, int end) {
+  check(a->value.ndim() >= 1, "slice0 needs >= 1 dim");
+  check(0 <= begin && begin < end && end <= a->value.dim(0), "bad slice range");
+  std::vector<int> shape = a->value.shape();
+  shape[0] = end - begin;
+  const std::int64_t stride = a->value.numel() / a->value.dim(0);
+  Tensor out(shape);
+  const std::int64_t offset = begin * stride;
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a->value[offset + i];
+  return make_node(std::move(out), {a},
+                   [offset](Node& node) {
+                     Node& ia = *node.inputs[0];
+                     if (!ia.requires_grad) return;
+                     ia.ensure_grad();
+                     const std::int64_t n2 = node.value.numel();
+                     for (std::int64_t i = 0; i < n2; ++i)
+                       ia.grad[offset + i] += node.grad[i];
+                   },
+                   "slice0");
+}
+
+}  // namespace nitho::nn

@@ -1,0 +1,47 @@
+#pragma once
+// Differentiable operations: elementwise math, dense and complex dense
+// algebra, shape utilities and losses.  Convolution lives in ops_conv.hpp,
+// FFT-based ops in ops_fft.hpp.
+//
+// Complex convention: trailing dimension of size 2 = (re, im).
+
+#include "nn/autodiff.hpp"
+
+namespace nitho::nn {
+
+// ---- elementwise -----------------------------------------------------------
+Var add(const Var& a, const Var& b);          ///< same shape
+Var sub(const Var& a, const Var& b);
+Var mul(const Var& a, const Var& b);          ///< Hadamard, same shape
+Var scale(const Var& a, float s);
+Var relu(const Var& a);                       ///< == CReLU on complex tensors
+Var leaky_relu(const Var& a, float alpha = 0.1f);
+Var sigmoid(const Var& a);
+Var tanh_op(const Var& a);
+Var square(const Var& a);
+
+/// x + b with b broadcast over leading dims (b.numel must divide x.numel and
+/// align with the trailing dims, e.g. [P,O,2] + [O,2]).
+Var add_bias(const Var& x, const Var& b);
+
+// ---- reductions / losses ---------------------------------------------------
+Var sum(const Var& a);                        ///< scalar
+Var mean(const Var& a);                       ///< scalar
+Var mse_loss(const Var& pred, const Tensor& target);  ///< Eq. (5) as a loss
+
+// ---- dense algebra ---------------------------------------------------------
+Var matmul(const Var& a, const Var& b);       ///< [M,K] x [K,N]
+/// Complex matmul [M,K,2] x [K,N,2] -> [M,N,2] (the CLinear core).
+Var cmatmul(const Var& a, const Var& b);
+/// Complex Hadamard with a constant complex tensor c (same trailing shape,
+/// broadcast over a leading dim of x when x.ndim == c.ndim + 1).
+Var cmul_const(const Var& x, const Tensor& c);
+
+// ---- shape utilities -------------------------------------------------------
+Var reshape(const Var& a, std::vector<int> shape);
+/// Swap the first two dimensions (rest treated as flat).
+Var transpose01(const Var& a);
+Var concat0(const Var& a, const Var& b);      ///< along dim 0
+Var slice0(const Var& a, int begin, int end); ///< along dim 0
+
+}  // namespace nitho::nn

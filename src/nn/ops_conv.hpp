@@ -1,0 +1,19 @@
+#pragma once
+// Convolutional building blocks for the image-to-image baselines
+// (TEMPO-like encoder-decoder, DOINN-like high-frequency branch).
+
+#include "nn/autodiff.hpp"
+
+namespace nitho::nn {
+
+/// Same-padded stride-1 2-D convolution.
+/// x: [Cin, H, W]; w: [Cout, Cin, kh, kw] (odd kernels); b: [Cout].
+Var conv2d(const Var& x, const Var& w, const Var& b);
+
+/// 2x average pooling (H, W must be even).
+Var avg_pool2(const Var& x);
+
+/// 2x nearest-neighbour upsampling.
+Var upsample2(const Var& x);
+
+}  // namespace nitho::nn

@@ -1,0 +1,430 @@
+#include "nn/ops_fft.hpp"
+
+#include <complex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "fft/fft.hpp"
+
+namespace nitho::nn {
+namespace {
+
+using cfl = std::complex<float>;
+
+// In-place 2-D DFT over an interleaved [h, w, 2] plane.
+// inverse=false: unnormalized forward (sign -).
+// inverse=true:  unnormalized inverse (sign +), i.e. N * normalized inverse.
+void fft2_plane(float* plane, int h, int w, bool inverse) {
+  auto* z = reinterpret_cast<cfl*>(plane);
+  const FftPlan<float>& row_plan = fft_plan_f(w);
+  for (int r = 0; r < h; ++r) {
+    if (inverse) {
+      row_plan.inverse(z + static_cast<std::ptrdiff_t>(r) * w);
+    } else {
+      row_plan.forward(z + static_cast<std::ptrdiff_t>(r) * w);
+    }
+  }
+  const FftPlan<float>& col_plan = fft_plan_f(h);
+  std::vector<cfl> buf(static_cast<std::size_t>(h));
+  for (int c = 0; c < w; ++c) {
+    for (int r = 0; r < h; ++r) buf[static_cast<std::size_t>(r)] = z[r * w + c];
+    if (inverse) {
+      col_plan.inverse(buf.data());
+    } else {
+      col_plan.forward(buf.data());
+    }
+    for (int r = 0; r < h; ++r) z[r * w + c] = buf[static_cast<std::size_t>(r)];
+  }
+  if (inverse) {
+    const float scale = static_cast<float>(h) * static_cast<float>(w);
+    const std::int64_t n = static_cast<std::int64_t>(h) * w * 2;
+    for (std::int64_t i = 0; i < n; ++i) plane[i] *= scale;
+  }
+}
+
+// DFT index of centered-crop position a (crop size n) on an N-grid.
+inline int wrapped_index(int a, int n, int big) {
+  const int signed_freq = a - n / 2;
+  return (signed_freq + big) % big;
+}
+
+}  // namespace
+
+Var socs_field(const Var& kernels, const Tensor& spectrum, int out_px) {
+  check(kernels->value.ndim() == 4 && kernels->value.dim(3) == 2,
+        "socs_field: kernels must be [r,n,m,2]");
+  const int r = kernels->value.dim(0);
+  const int n = kernels->value.dim(1);
+  const int m = kernels->value.dim(2);
+  check(spectrum.ndim() == 3 && spectrum.dim(0) == n && spectrum.dim(1) == m &&
+            spectrum.dim(2) == 2,
+        "socs_field: spectrum must match the kernel support");
+  check(out_px >= n && out_px >= m, "socs_field: output grid too small");
+
+  const int s = out_px;
+  Tensor out({r, s, s, 2});
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s * 2;
+  const std::int64_t kplane = static_cast<std::int64_t>(n) * m * 2;
+  Tensor spec = spectrum;
+
+  parallel_for(r, [&](std::int64_t i) {
+    float* dst = out.data() + i * plane;
+    const float* k = kernels->value.data() + i * kplane;
+    for (int a = 0; a < n; ++a) {
+      const int rr = wrapped_index(a, n, s);
+      for (int b = 0; b < m; ++b) {
+        const int cc = wrapped_index(b, m, s);
+        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + b) * 2;
+        const float kr = k[ki], kim = k[ki + 1];
+        const float cr = spec[ki], ci = spec[ki + 1];
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
+            kr * ci + kim * cr;
+      }
+    }
+    fft2_plane(dst, s, s, /*inverse=*/true);
+  });
+
+  return make_node(
+      std::move(out), {kernels},
+      [spec = std::move(spec), r, n, m, s, plane, kplane](Node& node) {
+        Node& ik = *node.inputs[0];
+        if (!ik.requires_grad) return;
+        ik.ensure_grad();
+        parallel_for(r, [&](std::int64_t i) {
+          // vjp of the unnormalized inverse DFT is the unnormalized forward
+          // DFT; then gather the crop and multiply by conj(spectrum).
+          std::vector<float> g(node.grad.data() + i * plane,
+                               node.grad.data() + (i + 1) * plane);
+          fft2_plane(g.data(), s, s, /*inverse=*/false);
+          float* kg = ik.grad.data() + i * kplane;
+          for (int a = 0; a < n; ++a) {
+            const int rr = wrapped_index(a, n, s);
+            for (int b = 0; b < m; ++b) {
+              const int cc = wrapped_index(b, m, s);
+              const std::int64_t gi =
+                  (static_cast<std::int64_t>(rr) * s + cc) * 2;
+              const float gr = g[static_cast<std::size_t>(gi)];
+              const float gim = g[static_cast<std::size_t>(gi + 1)];
+              const std::int64_t ki = (static_cast<std::int64_t>(a) * m + b) * 2;
+              const float cr = spec[ki], ci = spec[ki + 1];
+              kg[ki] += gr * cr + gim * ci;
+              kg[ki + 1] += gim * cr - gr * ci;
+            }
+          }
+        });
+      },
+      "socs_field");
+}
+
+Var abs2_sum0(const Var& fields) {
+  check(fields->value.ndim() == 4 && fields->value.dim(3) == 2,
+        "abs2_sum0: fields must be [r,S,S,2]");
+  const int r = fields->value.dim(0);
+  const int h = fields->value.dim(1);
+  const int w = fields->value.dim(2);
+  Tensor out({h, w});
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  for (int i = 0; i < r; ++i) {
+    const float* e = fields->value.data() + i * plane * 2;
+    for (std::int64_t p = 0; p < plane; ++p) {
+      out[p] += e[2 * p] * e[2 * p] + e[2 * p + 1] * e[2 * p + 1];
+    }
+  }
+  return make_node(std::move(out), {fields},
+                   [r, plane](Node& node) {
+                     Node& ie = *node.inputs[0];
+                     if (!ie.requires_grad) return;
+                     ie.ensure_grad();
+                     for (int i = 0; i < r; ++i) {
+                       const float* e = ie.value.data() + i * plane * 2;
+                       float* g = ie.grad.data() + i * plane * 2;
+                       for (std::int64_t p = 0; p < plane; ++p) {
+                         const float gy = node.grad[p];
+                         g[2 * p] += 2.0f * e[2 * p] * gy;
+                         g[2 * p + 1] += 2.0f * e[2 * p + 1] * gy;
+                       }
+                     }
+                   },
+                   "abs2_sum0");
+}
+
+Var fft2c_crop(const Var& mask, int crop) {
+  check(mask->value.ndim() == 2, "fft2c_crop: mask must be [S,S]");
+  const int s = mask->value.dim(0);
+  check(mask->value.dim(1) == s, "fft2c_crop: mask must be square");
+  check(crop >= 1 && crop <= s && crop % 2 == 1,
+        "fft2c_crop: crop must be odd and fit the mask");
+
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s;
+  const float inv_n2 = 1.0f / static_cast<float>(plane);
+  std::vector<float> buf(static_cast<std::size_t>(plane) * 2, 0.0f);
+  for (std::int64_t p = 0; p < plane; ++p) {
+    buf[static_cast<std::size_t>(2 * p)] = mask->value[p];
+  }
+  fft2_plane(buf.data(), s, s, /*inverse=*/false);
+  Tensor out({crop, crop, 2});
+  for (int a = 0; a < crop; ++a) {
+    const int rr = wrapped_index(a, crop, s);
+    for (int b = 0; b < crop; ++b) {
+      const int cc = wrapped_index(b, crop, s);
+      const std::int64_t src = (static_cast<std::int64_t>(rr) * s + cc) * 2;
+      const std::int64_t dst = (static_cast<std::int64_t>(a) * crop + b) * 2;
+      out[dst] = buf[static_cast<std::size_t>(src)] * inv_n2;
+      out[dst + 1] = buf[static_cast<std::size_t>(src + 1)] * inv_n2;
+    }
+  }
+  return make_node(
+      std::move(out), {mask},
+      [s, crop, plane, inv_n2](Node& node) {
+        Node& im = *node.inputs[0];
+        if (!im.requires_grad) return;
+        im.ensure_grad();
+        // vjp: scatter the crop back, unnormalized inverse DFT, real part.
+        std::vector<float> buf(static_cast<std::size_t>(plane) * 2, 0.0f);
+        for (int a = 0; a < crop; ++a) {
+          const int rr = wrapped_index(a, crop, s);
+          for (int b = 0; b < crop; ++b) {
+            const int cc = wrapped_index(b, crop, s);
+            const std::int64_t dst = (static_cast<std::int64_t>(rr) * s + cc) * 2;
+            const std::int64_t src = (static_cast<std::int64_t>(a) * crop + b) * 2;
+            buf[static_cast<std::size_t>(dst)] = node.grad[src] * inv_n2;
+            buf[static_cast<std::size_t>(dst + 1)] = node.grad[src + 1] * inv_n2;
+          }
+        }
+        fft2_plane(buf.data(), s, s, /*inverse=*/true);
+        for (std::int64_t p = 0; p < plane; ++p) {
+          im.grad[p] += buf[static_cast<std::size_t>(2 * p)];
+        }
+      },
+      "fft2c_crop");
+}
+
+Var socs_field_from_spectrum(const Var& spectrum, const Tensor& kernels,
+                             int out_px) {
+  check(spectrum->value.ndim() == 3 && spectrum->value.dim(2) == 2,
+        "socs_field_from_spectrum: spectrum must be [n,m,2]");
+  check(kernels.ndim() == 4 && kernels.dim(3) == 2,
+        "socs_field_from_spectrum: kernels must be [r,n,m,2]");
+  const int r = kernels.dim(0);
+  const int n = kernels.dim(1);
+  const int m = kernels.dim(2);
+  check(spectrum->value.dim(0) == n && spectrum->value.dim(1) == m,
+        "socs_field_from_spectrum: shape mismatch");
+  check(out_px >= n && out_px >= m, "output grid too small");
+
+  const int s = out_px;
+  Tensor out({r, s, s, 2});
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s * 2;
+  const std::int64_t kplane = static_cast<std::int64_t>(n) * m * 2;
+  parallel_for(r, [&](std::int64_t i) {
+    float* dst = out.data() + i * plane;
+    const float* k = kernels.data() + i * kplane;
+    for (int a = 0; a < n; ++a) {
+      const int rr = wrapped_index(a, n, s);
+      for (int b = 0; b < m; ++b) {
+        const int cc = wrapped_index(b, m, s);
+        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + b) * 2;
+        const float kr = k[ki], kim = k[ki + 1];
+        const float cr = spectrum->value[ki], ci = spectrum->value[ki + 1];
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
+            kr * ci + kim * cr;
+      }
+    }
+    fft2_plane(dst, s, s, /*inverse=*/true);
+  });
+  Tensor ks = kernels;
+  return make_node(
+      std::move(out), {spectrum},
+      [ks = std::move(ks), r, n, m, s, plane, kplane](Node& node) {
+        Node& is = *node.inputs[0];
+        if (!is.requires_grad) return;
+        is.ensure_grad();
+        for (std::int64_t i = 0; i < r; ++i) {
+          std::vector<float> g(node.grad.data() + i * plane,
+                               node.grad.data() + (i + 1) * plane);
+          fft2_plane(g.data(), s, s, /*inverse=*/false);
+          const float* k = ks.data() + i * kplane;
+          for (int a = 0; a < n; ++a) {
+            const int rr = wrapped_index(a, n, s);
+            for (int b = 0; b < m; ++b) {
+              const int cc = wrapped_index(b, m, s);
+              const std::int64_t gi =
+                  (static_cast<std::int64_t>(rr) * s + cc) * 2;
+              const float gr = g[static_cast<std::size_t>(gi)];
+              const float gim = g[static_cast<std::size_t>(gi + 1)];
+              const std::int64_t ki = (static_cast<std::int64_t>(a) * m + b) * 2;
+              const float kr = k[ki], kim = k[ki + 1];
+              // dC += conj(K) . dE
+              is.grad[ki] += gr * kr + gim * kim;
+              is.grad[ki + 1] += gim * kr - gr * kim;
+            }
+          }
+        }
+      },
+      "socs_field_from_spectrum");
+}
+
+Var spectral_conv2d(const Var& x, const Var& w) {
+  check(x->value.ndim() == 3, "spectral_conv2d: x must be [Cin,H,W]");
+  check(w->value.ndim() == 5 && w->value.dim(4) == 2,
+        "spectral_conv2d: w must be [Cout,Cin,mh,mw,2]");
+  const int cin = x->value.dim(0), h = x->value.dim(1), wd = x->value.dim(2);
+  const int cout = w->value.dim(0), mh = w->value.dim(2), mw = w->value.dim(3);
+  check(w->value.dim(1) == cin, "spectral_conv2d: channel mismatch");
+  check(mh <= h && mw <= wd, "spectral_conv2d: more modes than pixels");
+
+  const std::int64_t plane = static_cast<std::int64_t>(h) * wd;
+  const std::int64_t modes = static_cast<std::int64_t>(mh) * mw;
+
+  // X spectra crops: [Cin, mh, mw] complex.
+  std::vector<float> xc(static_cast<std::size_t>(cin) * modes * 2, 0.0f);
+  {
+    std::vector<float> buf(static_cast<std::size_t>(plane) * 2);
+    for (int ci = 0; ci < cin; ++ci) {
+      const float* src = x->value.data() + ci * plane;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        buf[static_cast<std::size_t>(2 * p)] = src[p];
+        buf[static_cast<std::size_t>(2 * p + 1)] = 0.0f;
+      }
+      fft2_plane(buf.data(), h, wd, /*inverse=*/false);
+      for (int a = 0; a < mh; ++a) {
+        const int rr = (a - mh / 2 + h) % h;
+        for (int b = 0; b < mw; ++b) {
+          const int cc = (b - mw / 2 + wd) % wd;
+          const std::int64_t dst = ((static_cast<std::int64_t>(ci) * mh + a) * mw + b) * 2;
+          xc[static_cast<std::size_t>(dst)] =
+              buf[static_cast<std::size_t>((rr * wd + cc) * 2)];
+          xc[static_cast<std::size_t>(dst + 1)] =
+              buf[static_cast<std::size_t>((rr * wd + cc) * 2 + 1)];
+        }
+      }
+    }
+  }
+
+  Tensor out({cout, h, wd});
+  const float inv_n = 1.0f / static_cast<float>(plane);
+  std::vector<float> acc(static_cast<std::size_t>(plane) * 2);
+  for (int co = 0; co < cout; ++co) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (int ci = 0; ci < cin; ++ci) {
+      const float* wm = w->value.data() +
+                        ((static_cast<std::int64_t>(co) * cin + ci) * modes) * 2;
+      const float* xm = xc.data() + static_cast<std::int64_t>(ci) * modes * 2;
+      for (int a = 0; a < mh; ++a) {
+        const int rr = (a - mh / 2 + h) % h;
+        for (int b = 0; b < mw; ++b) {
+          const int cc = (b - mw / 2 + wd) % wd;
+          const std::int64_t mi = (static_cast<std::int64_t>(a) * mw + b) * 2;
+          const float wr = wm[mi], wi = wm[mi + 1];
+          const float xr = xm[mi], xi = xm[mi + 1];
+          acc[static_cast<std::size_t>((rr * wd + cc) * 2)] += wr * xr - wi * xi;
+          acc[static_cast<std::size_t>((rr * wd + cc) * 2 + 1)] +=
+              wr * xi + wi * xr;
+        }
+      }
+    }
+    fft2_plane(acc.data(), h, wd, /*inverse=*/true);
+    float* dst = out.data() + co * plane;
+    // fft2_plane(inverse) is the *unnormalized* inverse; one 1/N factor
+    // turns it into the normalized inverse this op is defined with.
+    for (std::int64_t p = 0; p < plane; ++p)
+      dst[p] = acc[static_cast<std::size_t>(2 * p)] * inv_n;
+  }
+
+  std::vector<float> xc_saved = xc;
+  return make_node(
+      std::move(out), {x, w},
+      [xc = std::move(xc_saved), cin, cout, h, wd, mh, mw, plane,
+       modes](Node& node) {
+        Node& ix = *node.inputs[0];
+        Node& iw = *node.inputs[1];
+        const float inv_n2 = 1.0f / static_cast<float>(plane);
+        // G_Y[co] crops of the forward transform of the output grad.
+        std::vector<float> gy(static_cast<std::size_t>(cout) * modes * 2, 0.0f);
+        {
+          std::vector<float> buf(static_cast<std::size_t>(plane) * 2);
+          for (int co = 0; co < cout; ++co) {
+            const float* g = node.grad.data() + co * plane;
+            for (std::int64_t p = 0; p < plane; ++p) {
+              buf[static_cast<std::size_t>(2 * p)] = g[p] * inv_n2;
+              buf[static_cast<std::size_t>(2 * p + 1)] = 0.0f;
+            }
+            fft2_plane(buf.data(), h, wd, /*inverse=*/false);
+            for (int a = 0; a < mh; ++a) {
+              const int rr = (a - mh / 2 + h) % h;
+              for (int b = 0; b < mw; ++b) {
+                const int cc = (b - mw / 2 + wd) % wd;
+                const std::int64_t dst =
+                    ((static_cast<std::int64_t>(co) * mh + a) * mw + b) * 2;
+                gy[static_cast<std::size_t>(dst)] =
+                    buf[static_cast<std::size_t>((rr * wd + cc) * 2)];
+                gy[static_cast<std::size_t>(dst + 1)] =
+                    buf[static_cast<std::size_t>((rr * wd + cc) * 2 + 1)];
+              }
+            }
+          }
+        }
+        if (iw.requires_grad) {
+          iw.ensure_grad();
+          for (int co = 0; co < cout; ++co) {
+            for (int ci = 0; ci < cin; ++ci) {
+              float* wg = iw.grad.data() +
+                          ((static_cast<std::int64_t>(co) * cin + ci) * modes) * 2;
+              const float* xm = xc.data() + static_cast<std::int64_t>(ci) * modes * 2;
+              const float* gm = gy.data() + static_cast<std::int64_t>(co) * modes * 2;
+              for (std::int64_t mi = 0; mi < modes; ++mi) {
+                const float xr = xm[2 * mi], xi = xm[2 * mi + 1];
+                const float gr = gm[2 * mi], gi = gm[2 * mi + 1];
+                // dW = conj(X) . G
+                wg[2 * mi] += xr * gr + xi * gi;
+                wg[2 * mi + 1] += xr * gi - xi * gr;
+              }
+            }
+          }
+        }
+        if (ix.requires_grad) {
+          ix.ensure_grad();
+          std::vector<float> gx(static_cast<std::size_t>(modes) * 2);
+          std::vector<float> buf(static_cast<std::size_t>(plane) * 2);
+          for (int ci = 0; ci < cin; ++ci) {
+            std::fill(gx.begin(), gx.end(), 0.0f);
+            for (int co = 0; co < cout; ++co) {
+              const float* wm =
+                  iw.value.data() +
+                  ((static_cast<std::int64_t>(co) * cin + ci) * modes) * 2;
+              const float* gm = gy.data() + static_cast<std::int64_t>(co) * modes * 2;
+              for (std::int64_t mi = 0; mi < modes; ++mi) {
+                const float wr = wm[2 * mi], wi = wm[2 * mi + 1];
+                const float gr = gm[2 * mi], gi = gm[2 * mi + 1];
+                // dX += conj(W) . G
+                gx[static_cast<std::size_t>(2 * mi)] += wr * gr + wi * gi;
+                gx[static_cast<std::size_t>(2 * mi + 1)] += wr * gi - wi * gr;
+              }
+            }
+            std::fill(buf.begin(), buf.end(), 0.0f);
+            for (int a = 0; a < mh; ++a) {
+              const int rr = (a - mh / 2 + h) % h;
+              for (int b = 0; b < mw; ++b) {
+                const int cc = (b - mw / 2 + wd) % wd;
+                const std::int64_t mi = (static_cast<std::int64_t>(a) * mw + b) * 2;
+                buf[static_cast<std::size_t>((rr * wd + cc) * 2)] =
+                    gx[static_cast<std::size_t>(mi)];
+                buf[static_cast<std::size_t>((rr * wd + cc) * 2 + 1)] =
+                    gx[static_cast<std::size_t>(mi + 1)];
+              }
+            }
+            // vjp of the unnormalized forward DFT = unnormalized inverse.
+            fft2_plane(buf.data(), h, wd, /*inverse=*/true);
+            float* xg = ix.grad.data() + ci * plane;
+            for (std::int64_t p = 0; p < plane; ++p)
+              xg[p] += buf[static_cast<std::size_t>(2 * p)];
+          }
+        }
+      },
+      "spectral_conv2d");
+}
+
+}  // namespace nitho::nn

@@ -1,0 +1,42 @@
+#pragma once
+// FFT-backed differentiable ops.
+//
+//   socs_field     — Algorithm 1 line 11: E_i = F^-1(K_i . F(M)) for every
+//                    predicted kernel, with the (constant) cropped mask
+//                    spectrum folded in.  Linear in K, so its vjp is the
+//                    adjoint transform (unnormalized forward DFT + crop).
+//   abs2_sum0      — Algorithm 1 line 12: I = sum_i |E_i|^2.
+//   spectral_conv2d— the Fourier Neural Operator mixing layer used by the
+//                    DOINN-like baseline.
+//
+// All complex tensors are interleaved (trailing dim 2), matching
+// std::complex<float> layout so FFT plans run in place.
+
+#include "nn/autodiff.hpp"
+
+namespace nitho::nn {
+
+/// kernels: [r, n, m, 2]; spectrum: constant [n, m, 2] (centered crop of the
+/// mask's Fourier coefficients).  Returns the coherent fields [r, S, S, 2]
+/// on the out_px training grid, scaled like litho::socs_aerial.
+Var socs_field(const Var& kernels, const Tensor& spectrum, int out_px);
+
+/// fields [r, S, S, 2] -> intensity [S, S]: sum over kernels of |E|^2.
+Var abs2_sum0(const Var& fields);
+
+/// FNO spectral convolution: x [Cin, H, W] real, w [Cout, Cin, mh, mw, 2]
+/// complex mode weights (centered layout).  Returns [Cout, H, W] real.
+Var spectral_conv2d(const Var& x, const Var& w);
+
+/// Differentiable mask -> Fourier-coefficient crop: mask [S, S] real ->
+/// centered crop [n, n, 2] of DFT(mask)/S^2 (the same normalization as the
+/// golden pipeline).  Enables inverse lithography: gradients flow from the
+/// SOCS imaging loss back into mask pixels.
+Var fft2c_crop(const Var& mask, int crop);
+
+/// Companion to socs_field with the roles swapped: constant kernels
+/// [r, n, n, 2], differentiable spectrum [n, n, 2] -> fields [r, S, S, 2].
+Var socs_field_from_spectrum(const Var& spectrum, const Tensor& kernels,
+                             int out_px);
+
+}  // namespace nitho::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho::nn {
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  for (const Var& p : params_) {
+    check(p != nullptr && p->requires_grad, "Adam: non-trainable parameter");
+    m_.push_back(Tensor::zeros_like(p->value));
+    v_.push_back(Tensor::zeros_like(p->value));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    if (p.grad.numel() != p.value.numel()) continue;  // never touched
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() { nn::zero_grad(params_); }
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum)
+    : params_(std::move(params)), lr_(lr), momentum_(momentum) {
+  for (const Var& p : params_) {
+    check(p != nullptr && p->requires_grad, "Sgd: non-trainable parameter");
+    vel_.push_back(Tensor::zeros_like(p->value));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Node& p = *params_[i];
+    if (p.grad.numel() != p.value.numel()) continue;
+    const std::int64_t n = p.value.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vel_[i][j] = momentum_ * vel_[i][j] - lr_ * p.grad[j];
+      p.value[j] += vel_[i][j];
+    }
+  }
+}
+
+void Sgd::zero_grad() { nn::zero_grad(params_); }
+
+}  // namespace nitho::nn

@@ -1,0 +1,45 @@
+#pragma once
+// First-order optimizers over autodiff parameters.
+
+#include <vector>
+
+#include "nn/autodiff.hpp"
+
+namespace nitho::nn {
+
+/// Adam (Kingma & Ba) with bias correction; the paper's training procedure
+/// optimizes complex weights by gradient descent, which in the re/im
+/// parametrization is exactly this.
+class Adam {
+ public:
+  explicit Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+};
+
+/// Plain SGD with optional momentum (used in tests / ablations).
+class Sgd {
+ public:
+  explicit Sgd(std::vector<Var> params, float lr = 1e-2f, float momentum = 0.0f);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> vel_;
+  float lr_, momentum_;
+};
+
+}  // namespace nitho::nn

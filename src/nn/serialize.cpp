@@ -1,0 +1,46 @@
+#include "nn/serialize.hpp"
+
+#include "common/check.hpp"
+#include "io/tensor_io.hpp"
+
+namespace nitho::nn {
+
+std::vector<float> dump_parameters(std::span<const Var> params) {
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(parameter_count(params)));
+  for (const Var& p : params) {
+    check(p != nullptr, "null parameter");
+    const float* d = p->value.data();
+    out.insert(out.end(), d, d + p->value.numel());
+  }
+  return out;
+}
+
+void load_parameters(std::span<const Var> params,
+                     const std::vector<float>& data) {
+  check(static_cast<std::int64_t>(data.size()) == parameter_count(params),
+        "parameter blob size mismatch");
+  std::size_t off = 0;
+  for (const Var& p : params) {
+    float* d = p->value.data();
+    const std::size_t n = static_cast<std::size_t>(p->value.numel());
+    std::copy(data.begin() + off, data.begin() + off + n, d);
+    off += n;
+  }
+}
+
+void save_parameters_file(const std::string& path,
+                          std::span<const Var> params) {
+  save_floats(path, dump_parameters(params));
+}
+
+void load_parameters_file(const std::string& path,
+                          std::span<const Var> params) {
+  load_parameters(params, load_floats(path));
+}
+
+std::int64_t parameter_bytes(std::span<const Var> params) {
+  return parameter_count(params) * static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace nitho::nn

@@ -1,0 +1,26 @@
+#pragma once
+// Parameter (de)serialization: model checkpoints are the flat concatenation
+// of parameter tensors in registration order (shapes are structural and come
+// from the model definition).
+
+#include <string>
+#include <vector>
+
+#include "nn/autodiff.hpp"
+
+namespace nitho::nn {
+
+/// Flattens parameter values in order.
+std::vector<float> dump_parameters(std::span<const Var> params);
+
+/// Restores values in order; sizes must match exactly.
+void load_parameters(std::span<const Var> params, const std::vector<float>& data);
+
+/// Convenience file round trip (io::save_floats format).
+void save_parameters_file(const std::string& path, std::span<const Var> params);
+void load_parameters_file(const std::string& path, std::span<const Var> params);
+
+/// Model size in bytes (float32 storage), for the Table I comparison.
+std::int64_t parameter_bytes(std::span<const Var> params);
+
+}  // namespace nitho::nn

@@ -1,0 +1,49 @@
+#include "nn/tensor.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nitho::nn {
+
+std::int64_t shape_numel(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) {
+    check(d >= 0, "negative tensor dimension");
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape, float fill) : shape_(std::move(shape)) {
+  data_.assign(static_cast<std::size_t>(shape_numel(shape_)), fill);
+}
+
+int Tensor::dim(int i) const {
+  check(i >= 0 && i < ndim(), "tensor dim index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+Tensor Tensor::reshaped(std::vector<int> shape) const {
+  check(shape_numel(shape) == numel(), "reshape changes element count");
+  Tensor out = *this;
+  out.shape_ = std::move(shape);
+  return out;
+}
+
+void Tensor::randn(Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (int i = 0; i < ndim(); ++i) {
+    if (i) os << ",";
+    os << shape_[static_cast<std::size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace nitho::nn

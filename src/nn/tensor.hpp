@@ -1,0 +1,55 @@
+#pragma once
+// Dense float tensor for the autodiff engine.
+//
+// Row-major, arbitrary rank.  Complex tensors use the convention of a
+// trailing dimension of size 2 holding (real, imaginary) — interleaved
+// exactly like std::complex<float>, so FFT ops can reinterpret the buffer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace nitho::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& t) { return Tensor(t.shape()); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+  /// Reshape without copying; the element count must match.
+  Tensor reshaped(std::vector<int> shape) const;
+
+  /// Gaussian init (used by layer constructors).
+  void randn(Rng& rng, float stddev);
+
+  std::string shape_str() const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::int64_t shape_numel(const std::vector<int>& shape);
+
+}  // namespace nitho::nn

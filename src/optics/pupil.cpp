@@ -1,0 +1,30 @@
+#include "optics/pupil.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+Pupil::Pupil(double wavelength_nm, double na, PupilSpec spec)
+    : wavelength_nm_(wavelength_nm), f_pupil_(na / wavelength_nm), spec_(spec) {
+  check(wavelength_nm > 0 && na > 0, "bad pupil parameters");
+}
+
+cd Pupil::operator()(double fx, double fy) const {
+  const double f2 = fx * fx + fy * fy;
+  if (f2 > f_pupil_ * f_pupil_ * (1.0 + 1e-12)) return cd(0.0, 0.0);
+  double phase = 0.0;
+  if (spec_.defocus_nm != 0.0) {
+    // Paraxial defocus OPD: pi * lambda * z * (fx^2 + fy^2).
+    phase -= kPi * wavelength_nm_ * spec_.defocus_nm * f2;
+  }
+  if (spec_.spherical_waves != 0.0) {
+    const double rho2 = f2 / (f_pupil_ * f_pupil_);
+    phase += 2.0 * kPi * spec_.spherical_waves * rho2 * rho2;
+  }
+  if (phase == 0.0) return cd(1.0, 0.0);
+  return cd(std::cos(phase), std::sin(phase));
+}
+
+}  // namespace nitho

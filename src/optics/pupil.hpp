@@ -1,0 +1,31 @@
+#pragma once
+// Projector pupil function H (Eq. 2): an ideal low-pass disk of radius
+// NA/lambda in spatial frequency, with optional defocus and spherical
+// aberration phase terms so complex-valued kernels are exercised.
+
+#include "math/cplx.hpp"
+
+namespace nitho {
+
+struct PupilSpec {
+  double defocus_nm = 0.0;      ///< paraxial defocus z
+  double spherical_waves = 0.0; ///< Z9-like rho^4 aberration, in waves
+};
+
+class Pupil {
+ public:
+  Pupil(double wavelength_nm, double na, PupilSpec spec = {});
+
+  /// H(fx, fy); zero outside the NA disk, unit magnitude (phase-only
+  /// aberrations) inside.
+  cd operator()(double fx, double fy) const;
+
+  double cutoff() const { return f_pupil_; }  ///< NA / lambda in cycles/nm
+
+ private:
+  double wavelength_nm_;
+  double f_pupil_;
+  PupilSpec spec_;
+};
+
+}  // namespace nitho

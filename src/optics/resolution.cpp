@@ -1,0 +1,26 @@
+#include "optics/resolution.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+double resolution_element_nm(double wavelength_nm, double na) {
+  check(wavelength_nm > 0 && na > 0, "bad optics parameters");
+  return 0.5 * wavelength_nm / na;
+}
+
+int kernel_dim(int extent_nm, double wavelength_nm, double na) {
+  check(extent_nm > 0 && wavelength_nm > 0 && na > 0, "bad optics parameters");
+  const int half = static_cast<int>(
+      std::floor(extent_nm * 2.0 * na / wavelength_nm));
+  return 2 * half + 1;
+}
+
+int pupil_order(int extent_nm, double wavelength_nm, double na) {
+  check(extent_nm > 0 && wavelength_nm > 0 && na > 0, "bad optics parameters");
+  return static_cast<int>(std::floor(extent_nm * na / wavelength_nm));
+}
+
+}  // namespace nitho

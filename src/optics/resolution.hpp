@@ -1,0 +1,18 @@
+#pragma once
+// Physical resolution limit and the paper's kernel-dimension rule (Eq. 10).
+
+namespace nitho {
+
+/// Rayleigh-style resolution element R = 0.5 * lambda / NA (nm).
+double resolution_element_nm(double wavelength_nm, double na);
+
+/// Eq. (10): kernel width for a tile of extent_nm, odd by construction:
+///   m = floor(extent * 2 * NA / lambda) * 2 + 1.
+/// The TCC support is |f| <= 2 NA/lambda; on the 1/extent frequency lattice
+/// that is +-floor(extent * 2 NA / lambda) orders around DC.
+int kernel_dim(int extent_nm, double wavelength_nm, double na);
+
+/// Highest diffraction order that passes the pupil (|f| <= NA/lambda).
+int pupil_order(int extent_nm, double wavelength_nm, double na);
+
+}  // namespace nitho

@@ -1,0 +1,62 @@
+#include "optics/socs.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "math/hermitian_eig.hpp"
+
+namespace nitho {
+
+SocsKernels socs_decompose(const Grid<cd>& tcc, int kdim, double rel_tol,
+                           int max_rank) {
+  const int n = kdim * kdim;
+  check(tcc.rows() == n && tcc.cols() == n,
+        "TCC size does not match kdim^2");
+  const EighResult eig = eigh(tcc);
+
+  SocsKernels out;
+  out.kdim = kdim;
+  const double lambda_max = eig.eigenvalues.empty() ? 0.0 : eig.eigenvalues.back();
+  check(lambda_max > 0.0, "TCC has no positive eigenvalue");
+  const double cutoff = rel_tol * lambda_max;
+
+  // Eigenvalues come back ascending; walk from the top.
+  for (int j = n - 1; j >= 0; --j) {
+    const double lambda = eig.eigenvalues[j];
+    if (lambda <= cutoff) break;
+    if (max_rank >= 0 && out.rank() >= max_rank) break;
+    const double scale = std::sqrt(lambda);
+    Grid<cd> k(kdim, kdim);
+    for (int a = 0; a < n; ++a) {
+      k[a] = scale * eig.eigenvectors(a, j);
+    }
+    out.eigenvalues.push_back(lambda);
+    out.kernels.push_back(std::move(k));
+  }
+  check(!out.kernels.empty(), "SOCS kept no kernels; check rel_tol");
+  return out;
+}
+
+Grid<cd> tcc_from_kernels(const SocsKernels& socs) {
+  const int n = socs.kdim * socs.kdim;
+  Grid<cd> tcc(n, n, cd(0.0, 0.0));
+  for (const Grid<cd>& k : socs.kernels) {
+    for (int a = 0; a < n; ++a) {
+      const cd ka = k[a];
+      if (ka == cd(0.0, 0.0)) continue;
+      cd* row = tcc.row(a);
+      for (int b = 0; b < n; ++b) row[b] += ka * std::conj(k[b]);
+    }
+  }
+  return tcc;
+}
+
+double captured_energy(const SocsKernels& socs, const Grid<cd>& tcc) {
+  double trace = 0.0;
+  for (int a = 0; a < tcc.rows(); ++a) trace += tcc(a, a).real();
+  double kept = 0.0;
+  for (double l : socs.eigenvalues) kept += l;
+  return trace > 0.0 ? kept / trace : 0.0;
+}
+
+}  // namespace nitho

@@ -1,0 +1,35 @@
+#pragma once
+// Sum of Coherent Sources decomposition (Eq. 3): eigendecompose the
+// Hermitian PSD TCC and return spectral-domain optical kernels ordered by
+// decreasing eigenvalue, with sqrt(eigenvalue) folded into each kernel so
+// the imaging sum is simply I = sum_i |F^-1(K_i . F(M))|^2 (Eq. 9).
+
+#include <vector>
+
+#include "math/grid.hpp"
+#include "math/cplx.hpp"
+
+namespace nitho {
+
+struct SocsKernels {
+  int kdim = 0;
+  std::vector<double> eigenvalues;   ///< descending, matching kernels
+  std::vector<Grid<cd>> kernels;     ///< kdim x kdim, sqrt(eigenvalue) folded in
+
+  int rank() const { return static_cast<int>(kernels.size()); }
+};
+
+/// Decomposes a kdim^2 x kdim^2 TCC.  Keeps eigenpairs with
+/// eigenvalue > rel_tol * max_eigenvalue (negative values from roundoff are
+/// dropped); max_rank < 0 keeps everything above tolerance.
+SocsKernels socs_decompose(const Grid<cd>& tcc, int kdim,
+                           double rel_tol = 1e-7, int max_rank = -1);
+
+/// Rebuilds sum_i K_i K_i^H for validation against the original TCC.
+Grid<cd> tcc_from_kernels(const SocsKernels& socs);
+
+/// Truncation tail weight: sum of retained eigenvalues / trace(TCC) in
+/// [0, 1]; 1 means the decomposition captured everything.
+double captured_energy(const SocsKernels& socs, const Grid<cd>& tcc);
+
+}  // namespace nitho

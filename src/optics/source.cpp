@@ -1,0 +1,64 @@
+#include "optics/source.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho {
+namespace {
+
+bool inside_shape(const SourceSpec& s, double sx, double sy) {
+  const double r = std::hypot(sx, sy);
+  switch (s.shape) {
+    case SourceShape::Circular:
+      return r <= s.sigma_out;
+    case SourceShape::Annular:
+      return r >= s.sigma_in && r <= s.sigma_out;
+    case SourceShape::Quadrupole: {
+      if (r < s.sigma_in || r > s.sigma_out) return false;
+      const double ang = std::atan2(sy, sx) * 180.0 / kPi;  // [-180, 180]
+      const double half = s.pole_half_angle_deg;
+      for (int k = 0; k < 4; ++k) {
+        double centre = s.pole_angle_deg + 90.0 * k;
+        double d = std::fmod(std::abs(ang - centre), 360.0);
+        if (d > 180.0) d = 360.0 - d;
+        if (d <= half) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SourcePoint> sample_source(const SourceSpec& spec,
+                                       double wavelength_nm, double na,
+                                       int tile_nm, int oversample) {
+  check(wavelength_nm > 0 && na > 0 && tile_nm > 0 && oversample >= 1,
+        "bad source sampling parameters");
+  check(spec.sigma_out > 0 && spec.sigma_out <= 1.0,
+        "sigma_out must lie in (0, 1]");
+  check(spec.sigma_in >= 0 && spec.sigma_in < spec.sigma_out,
+        "sigma_in must lie in [0, sigma_out)");
+
+  const double df = 1.0 / (static_cast<double>(oversample) * tile_nm);
+  const double f_pupil = na / wavelength_nm;  // sigma = 1 radius
+  const int kmax = static_cast<int>(std::ceil(spec.sigma_out * f_pupil / df));
+
+  std::vector<SourcePoint> pts;
+  double total = 0.0;
+  for (int ky = -kmax; ky <= kmax; ++ky) {
+    for (int kx = -kmax; kx <= kmax; ++kx) {
+      const double fx = kx * df, fy = ky * df;
+      if (!inside_shape(spec, fx / f_pupil, fy / f_pupil)) continue;
+      pts.push_back(SourcePoint{fx, fy, 1.0});
+      total += 1.0;
+    }
+  }
+  check(!pts.empty(), "source discretization produced no points");
+  for (auto& p : pts) p.weight /= total;
+  return pts;
+}
+
+}  // namespace nitho

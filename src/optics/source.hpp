@@ -1,0 +1,41 @@
+#pragma once
+// Illumination source models (the J weight factor of Eq. 2).
+//
+// Source points are sampled on a regular lattice in spatial-frequency space;
+// each point carries a non-negative weight.  Weights are normalized so the
+// clear-field aerial intensity is exactly 1, which anchors the resist
+// threshold across datasets.
+
+#include <vector>
+
+#include "math/cplx.hpp"
+
+namespace nitho {
+
+enum class SourceShape { Circular, Annular, Quadrupole };
+
+struct SourceSpec {
+  SourceShape shape = SourceShape::Annular;
+  double sigma_out = 0.8;  ///< outer partial-coherence factor (<= 1)
+  double sigma_in = 0.5;   ///< inner factor (annular / quadrupole)
+  double pole_angle_deg = 45.0;  ///< quadrupole pole centres (from x-axis)
+  double pole_half_angle_deg = 20.0;  ///< quadrupole pole angular half-width
+};
+
+/// One discretized source point: spatial frequency (fx, fy) in cycles/nm and
+/// its quadrature weight.
+struct SourcePoint {
+  double fx = 0.0;
+  double fy = 0.0;
+  double weight = 0.0;
+};
+
+/// Samples the source on a lattice with spacing 1/(oversample * tile_nm),
+/// keeping points inside the shape.  Weights sum to 1.
+/// wavelength/na define the pupil-coordinate normalization (sigma = 1 maps
+/// to frequency NA/lambda).
+std::vector<SourcePoint> sample_source(const SourceSpec& spec,
+                                       double wavelength_nm, double na,
+                                       int tile_nm, int oversample);
+
+}  // namespace nitho

@@ -1,0 +1,50 @@
+#include "optics/tcc.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+Grid<cd> build_tcc(const OpticalSystem& sys, int tile_nm, int kdim) {
+  check(tile_nm > 0 && kdim >= 1 && kdim % 2 == 1,
+        "kdim must be odd and positive");
+  const Pupil pupil(sys.wavelength_nm, sys.na, sys.pupil);
+  const std::vector<SourcePoint> src = sample_source(
+      sys.source, sys.wavelength_nm, sys.na, tile_nm, sys.source_oversample);
+
+  const int n = kdim * kdim;
+  Grid<cd> tcc(n, n, cd(0.0, 0.0));
+
+  // Per-source sparse pupil samples: h_s[a] = H(f_s + f_a) is nonzero only
+  // where the shifted frequency stays inside the NA disk, which keeps the
+  // rank-1 accumulation cheap.
+  struct Entry {
+    int index;
+    cd value;
+  };
+  std::vector<Entry> h;
+  h.reserve(static_cast<std::size_t>(n));
+
+  for (const SourcePoint& s : src) {
+    h.clear();
+    for (int r = 0; r < kdim; ++r) {
+      const double fy = s.fy + kernel_freq(r, kdim, tile_nm);
+      for (int c = 0; c < kdim; ++c) {
+        const double fx = s.fx + kernel_freq(c, kdim, tile_nm);
+        const cd v = pupil(fx, fy);
+        if (v != cd(0.0, 0.0)) h.push_back(Entry{r * kdim + c, v});
+      }
+    }
+    for (const Entry& ea : h) {
+      const cd wa = s.weight * ea.value;
+      cd* row = tcc.row(ea.index);
+      for (const Entry& eb : h) {
+        row[eb.index] += wa * std::conj(eb.value);
+      }
+    }
+  }
+  return tcc;
+}
+
+}  // namespace nitho

@@ -1,0 +1,37 @@
+#pragma once
+// Transmission cross coefficient construction (Hopkins, Eq. 2).
+//
+// The TCC is assembled over the centered kdim x kdim window of the tile's
+// frequency lattice (spacing 1/tile_nm).  Linear index a = r*kdim + c maps to
+// the spatial-frequency pair (fy, fx) = ((r - kdim/2)/tile, (c - kdim/2)/tile),
+// matching the centered (fftshifted) spectrum layout used everywhere else.
+//
+//   T(a, b) = sum_s J_s H(f_s + f_a) H*(f_s + f_b)
+//
+// accumulated as rank-1 outer products over discretized source points, so the
+// result is Hermitian positive semi-definite by construction.
+
+#include "math/grid.hpp"
+#include "optics/pupil.hpp"
+#include "optics/source.hpp"
+
+namespace nitho {
+
+/// Full description of the imaging system (source + pupil + sampling).
+struct OpticalSystem {
+  double wavelength_nm = 193.0;
+  double na = 1.35;
+  SourceSpec source;
+  PupilSpec pupil;
+  int source_oversample = 2;  ///< source lattice refinement vs 1/tile
+};
+
+/// Builds the kdim^2 x kdim^2 TCC matrix for a tile_nm tile.
+Grid<cd> build_tcc(const OpticalSystem& sys, int tile_nm, int kdim);
+
+/// Frequency (fy, fx) of kernel-grid position (r, c) in cycles/nm.
+inline double kernel_freq(int index, int kdim, int tile_nm) {
+  return static_cast<double>(index - kdim / 2) / tile_nm;
+}
+
+}  // namespace nitho

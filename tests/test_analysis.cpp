@@ -1,0 +1,123 @@
+// Tests for PCA and t-SNE (the Fig. 2a embedding machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/pca.hpp"
+#include "analysis/tsne.hpp"
+#include "common/rng.hpp"
+
+namespace nitho {
+namespace {
+
+TEST(Pca, RecoversDominantDirection) {
+  // Anisotropic Gaussian stretched along (1, 1)/sqrt(2).
+  Rng rng(1);
+  const int n = 300;
+  Grid<double> data(n, 2);
+  for (int i = 0; i < n; ++i) {
+    const double major = rng.normal(0.0, 5.0);
+    const double minor = rng.normal(0.0, 0.5);
+    data(i, 0) = (major + minor) / std::sqrt(2.0) + 3.0;
+    data(i, 1) = (major - minor) / std::sqrt(2.0) - 1.0;
+  }
+  const PcaResult r = pca(data, 2);
+  EXPECT_NEAR(std::abs(r.components(0, 0)), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_NEAR(std::abs(r.components(0, 1)), 1.0 / std::sqrt(2.0), 0.05);
+  EXPECT_GT(r.variances[0], 5.0 * r.variances[1]);
+  EXPECT_NEAR(r.mean[0], 3.0, 0.5);
+  EXPECT_NEAR(r.mean[1], -1.0, 0.5);
+}
+
+TEST(Pca, ComponentsOrthonormal) {
+  Rng rng(2);
+  Grid<double> data(50, 8);
+  for (auto& v : data) v = rng.normal();
+  const PcaResult r = pca(data, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      double dot = 0.0;
+      for (int c = 0; c < 8; ++c) dot += r.components(i, c) * r.components(j, c);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(Pca, ProjectionShapeAndCentering) {
+  Rng rng(3);
+  Grid<double> data(40, 6);
+  for (auto& v : data) v = rng.normal(2.0, 1.0);
+  const PcaResult r = pca(data, 3);
+  EXPECT_EQ(r.projected.rows(), 40);
+  EXPECT_EQ(r.projected.cols(), 3);
+  // Scores are centered.
+  for (int c = 0; c < 3; ++c) {
+    double m = 0.0;
+    for (int i = 0; i < 40; ++i) m += r.projected(i, c);
+    EXPECT_NEAR(m / 40.0, 0.0, 1e-9);
+  }
+}
+
+TEST(Pca, RejectsBadArguments) {
+  Grid<double> tiny(1, 3);
+  EXPECT_THROW(pca(tiny, 1), check_error);
+  Grid<double> ok(10, 3);
+  EXPECT_THROW(pca(ok, 5), check_error);
+}
+
+TEST(Tsne, SeparatesWellSeparatedClusters) {
+  Rng rng(4);
+  const int per = 30;
+  Grid<double> data(2 * per, 5);
+  for (int i = 0; i < per; ++i)
+    for (int c = 0; c < 5; ++c) data(i, c) = rng.normal(0.0, 0.3);
+  for (int i = per; i < 2 * per; ++i)
+    for (int c = 0; c < 5; ++c) data(i, c) = rng.normal(8.0, 0.3);
+
+  TsneConfig cfg;
+  cfg.perplexity = 10.0;
+  cfg.iters = 300;
+  const Grid<double> y = tsne(data, cfg);
+  ASSERT_EQ(y.rows(), 2 * per);
+  ASSERT_EQ(y.cols(), 2);
+
+  // Centroid distance must dominate intra-cluster spread.
+  double c0[2] = {0, 0}, c1[2] = {0, 0};
+  for (int i = 0; i < per; ++i) {
+    c0[0] += y(i, 0) / per;
+    c0[1] += y(i, 1) / per;
+    c1[0] += y(per + i, 0) / per;
+    c1[1] += y(per + i, 1) / per;
+  }
+  const double between = std::hypot(c0[0] - c1[0], c0[1] - c1[1]);
+  double within = 0.0;
+  for (int i = 0; i < per; ++i) {
+    within += std::hypot(y(i, 0) - c0[0], y(i, 1) - c0[1]);
+    within += std::hypot(y(per + i, 0) - c1[0], y(per + i, 1) - c1[1]);
+  }
+  within /= (2.0 * per);
+  EXPECT_GT(between, 3.0 * within);
+}
+
+TEST(Tsne, DeterministicForSeed) {
+  Rng rng(5);
+  Grid<double> data(20, 3);
+  for (auto& v : data) v = rng.normal();
+  TsneConfig cfg;
+  cfg.perplexity = 5.0;
+  cfg.iters = 50;
+  const Grid<double> a = tsne(data, cfg);
+  const Grid<double> b = tsne(data, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Tsne, RejectsBadPerplexity) {
+  Grid<double> data(10, 2, 0.0);
+  TsneConfig cfg;
+  cfg.perplexity = 50.0;  // >= n
+  EXPECT_THROW(tsne(data, cfg), check_error);
+}
+
+}  // namespace
+}  // namespace nitho

@@ -1,0 +1,187 @@
+// Unit tests for src/common: checks, RNG, flags, parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/flags.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace nitho {
+namespace {
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(check(true, "fine")); }
+
+TEST(Check, ThrowsWithMessageAndLocation) {
+  try {
+    check(false, "bad thing");
+    FAIL() << "expected check_error";
+  } catch (const check_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad thing"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.randint(0, 1000000) == b.randint(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = r.randint(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng r(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(1.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.08);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(child.randint(0, 1 << 30), parent.randint(0, 1 << 30));
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r(3);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  r.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Flags, ParsesAllSyntaxes) {
+  const char* argv[] = {"prog",      "--alpha=3", "--beta", "7",
+                        "--gamma",   "--name",    "hello",  "--rate=0.5"};
+  Flags f(8, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("alpha", 0), 3);
+  EXPECT_EQ(f.get_int("beta", 0), 7);
+  EXPECT_TRUE(f.get_bool("gamma"));
+  EXPECT_EQ(f.get("name"), "hello");
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 0.5);
+  EXPECT_FALSE(f.has("missing"));
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+}
+
+TEST(Flags, BoolFalseValues) {
+  const char* argv[] = {"prog", "--x=0", "--y=false"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_FALSE(f.get_bool("x", true));
+  EXPECT_FALSE(f.get_bool("y", true));
+}
+
+TEST(Parallel, CoversAllIndicesExactlyOnce) {
+  const int n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Parallel, HandlesEmptyAndSingle) {
+  std::atomic<int> count{0};
+  parallel_for(0, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(1, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](std::int64_t i) {
+                     if (i == 57) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(Parallel, ReusableAfterException) {
+  try {
+    parallel_for(10, [&](std::int64_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  parallel_for(100, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, ChunkedCoversRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunked(1000, 64, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, WorkerOverride) {
+  set_parallel_workers(1);
+  EXPECT_EQ(parallel_workers(), 1);
+  std::atomic<int> count{0};
+  parallel_for(50, [&](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+  set_parallel_workers(0);
+  EXPECT_GE(parallel_workers(), 1);
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  WallTimer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace nitho

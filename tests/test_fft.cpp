@@ -1,0 +1,271 @@
+// Unit and property tests for src/fft: 1-D plans (radix-2 + Bluestein),
+// 2-D transforms, shifts, centered crop/embed, and spectral resampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "fft/spectral.hpp"
+
+namespace nitho {
+namespace {
+
+std::vector<cd> random_signal(int n, Rng& rng) {
+  std::vector<cd> x(n);
+  for (auto& v : x) v = cd(rng.normal(), rng.normal());
+  return x;
+}
+
+// O(n^2) reference DFT.
+std::vector<cd> dft_reference(const std::vector<cd>& x) {
+  const int n = static_cast<int>(x.size());
+  std::vector<cd> out(n);
+  for (int k = 0; k < n; ++k) {
+    cd acc{};
+    for (int j = 0; j < n; ++j) {
+      const double ang = -2.0 * kPi * k * j / n;
+      acc += x[j] * cd(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class FftSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftSizeSweep, MatchesReferenceDft) {
+  const int n = GetParam();
+  Rng rng(n);
+  std::vector<cd> x = random_signal(n, rng);
+  const std::vector<cd> ref = dft_reference(x);
+  fft_plan_d(n).forward(x.data());
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-8 * n) << "n=" << n << " k=" << k;
+    EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-8 * n);
+  }
+}
+
+TEST_P(FftSizeSweep, RoundTripIsIdentity) {
+  const int n = GetParam();
+  Rng rng(7 * n + 1);
+  const std::vector<cd> orig = random_signal(n, rng);
+  std::vector<cd> x = orig;
+  fft_plan_d(n).forward(x.data());
+  fft_plan_d(n).inverse(x.data());
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k] - orig[k]), 0.0, 1e-9 * n);
+  }
+}
+
+TEST_P(FftSizeSweep, ParsevalHolds) {
+  const int n = GetParam();
+  Rng rng(13 * n + 5);
+  std::vector<cd> x = random_signal(n, rng);
+  double time_energy = 0.0;
+  for (const cd& v : x) time_energy += norm2(v);
+  fft_plan_d(n).forward(x.data());
+  double freq_energy = 0.0;
+  for (const cd& v : x) freq_energy += norm2(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-7 * time_energy * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 29, 31,
+                                           63, 64, 100, 128, 243, 256));
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  const int n = 32;
+  std::vector<cd> x(n, cd(0.0, 0.0));
+  x[0] = cd(1.0, 0.0);
+  fft_plan_d(n).forward(x.data());
+  for (const cd& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const int n = 48;  // Bluestein path
+  Rng rng(3);
+  std::vector<cd> a = random_signal(n, rng), b = random_signal(n, rng);
+  std::vector<cd> combo(n);
+  const cd alpha(2.0, -1.0), beta(0.5, 3.0);
+  for (int i = 0; i < n; ++i) combo[i] = alpha * a[i] + beta * b[i];
+  fft_plan_d(n).forward(a.data());
+  fft_plan_d(n).forward(b.data());
+  fft_plan_d(n).forward(combo.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(combo[i] - (alpha * a[i] + beta * b[i])), 0.0, 1e-8);
+  }
+}
+
+TEST(Fft, FloatPlanAgreesWithDouble) {
+  const int n = 64;
+  Rng rng(9);
+  std::vector<cd> xd = random_signal(n, rng);
+  std::vector<cf> xf(n);
+  for (int i = 0; i < n; ++i)
+    xf[i] = cf(static_cast<float>(xd[i].real()), static_cast<float>(xd[i].imag()));
+  fft_plan_d(n).forward(xd.data());
+  fft_plan_f(n).forward(xf.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(xf[i].real(), xd[i].real(), 1e-3);
+    EXPECT_NEAR(xf[i].imag(), xd[i].imag(), 1e-3);
+  }
+}
+
+TEST(Fft2, RoundTrip2D) {
+  Rng rng(17);
+  Grid<cd> g(16, 8);
+  for (auto& v : g) v = cd(rng.normal(), rng.normal());
+  const Grid<cd> orig = g;
+  fft2_inplace(g);
+  ifft2_inplace(g);
+  for (std::size_t i = 0; i < g.size(); ++i)
+    EXPECT_NEAR(std::abs(g[i] - orig[i]), 0.0, 1e-10);
+}
+
+TEST(Fft2, DcBinIsSum) {
+  Grid<double> g(8, 8);
+  Rng rng(21);
+  for (auto& v : g) v = rng.uniform();
+  const Grid<cd> spec = fft2(g);
+  EXPECT_NEAR(spec(0, 0).real(), grid_sum(g), 1e-9);
+  EXPECT_NEAR(spec(0, 0).imag(), 0.0, 1e-9);
+}
+
+TEST(Fft2, SeparableHarmonic) {
+  // e^{2 pi i (3x/N + 5y/M)} transforms to a single bin.
+  const int rows = 16, cols = 32;
+  Grid<cd> g(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const double ang = 2.0 * kPi * (5.0 * r / rows + 3.0 * c / cols);
+      g(r, c) = cd(std::cos(ang), std::sin(ang));
+    }
+  fft2_inplace(g);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const double expected = (r == 5 && c == 3) ? rows * cols : 0.0;
+      EXPECT_NEAR(std::abs(g(r, c)), expected, 1e-8) << r << "," << c;
+    }
+}
+
+TEST(Spectral, FftshiftMovesDcToCenter) {
+  for (int n : {7, 8}) {
+    Grid<double> g(n, n, 0.0);
+    g(0, 0) = 1.0;
+    const Grid<double> s = fftshift(g);
+    EXPECT_DOUBLE_EQ(s(n / 2, n / 2), 1.0);
+  }
+}
+
+TEST(Spectral, ShiftRoundTripEvenAndOdd) {
+  Rng rng(5);
+  for (int n : {6, 7, 9, 12}) {
+    Grid<double> g(n, n);
+    for (auto& v : g) v = rng.normal();
+    EXPECT_EQ(ifftshift(fftshift(g)), g) << n;
+    EXPECT_EQ(fftshift(ifftshift(g)), g) << n;
+  }
+}
+
+TEST(Spectral, CropEmbedInverse) {
+  Rng rng(6);
+  Grid<cd> small(5, 5);
+  for (auto& v : small) v = cd(rng.normal(), rng.normal());
+  const Grid<cd> big = center_embed(small, 12, 12);
+  const Grid<cd> back = center_crop(big, 5, 5);
+  EXPECT_EQ(back, small);
+}
+
+TEST(Spectral, CropKeepsDcAligned) {
+  // DC of a shifted 16-spectrum sits at 8; cropping to 5 must put it at 2.
+  Grid<cd> g(16, 16, cd(0.0, 0.0));
+  g(8, 8) = cd(42.0, 0.0);
+  const Grid<cd> c = center_crop(g, 5, 5);
+  EXPECT_DOUBLE_EQ(c(2, 2).real(), 42.0);
+}
+
+TEST(Spectral, CropRejectsLargerTarget) {
+  Grid<cd> g(4, 4);
+  EXPECT_THROW(center_crop(g, 5, 5), check_error);
+  EXPECT_THROW(center_embed(g, 3, 3), check_error);
+}
+
+TEST(Spectral, ResampleBandLimitedIsExact) {
+  // A signal band-limited to +-3 cycles survives 32 -> 64 -> 32 exactly.
+  const int n = 32;
+  Grid<double> g(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      g(r, c) = 1.0 + 0.5 * std::cos(2.0 * kPi * 3.0 * r / n) +
+                0.25 * std::sin(2.0 * kPi * 2.0 * c / n);
+  const Grid<double> up = spectral_resample(g, 2 * n, 2 * n);
+  // Upsampled grid interpolates: original samples are preserved.
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      EXPECT_NEAR(up(2 * r, 2 * c), g(r, c), 1e-9);
+  const Grid<double> back = spectral_resample(up, n, n);
+  for (std::size_t i = 0; i < g.size(); ++i) EXPECT_NEAR(back[i], g[i], 1e-9);
+}
+
+TEST(Spectral, CroppedFftMatchesFullPath) {
+  Rng rng(8);
+  Grid<double> img(64, 64);
+  for (auto& v : img) v = rng.uniform();
+  for (int crop : {1, 5, 15, 31}) {
+    const Grid<cd> fast = fft2_crop_centered(img, crop);
+    const Grid<cd> full = center_crop(fftshift(fft2(img)), crop, crop);
+    ASSERT_EQ(fast.rows(), crop);
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(std::abs(fast[i] - full[i]), 0.0, 1e-8) << crop;
+  }
+}
+
+TEST(Spectral, DownsampleAreaAverages) {
+  Grid<double> g(4, 4, 1.0);
+  g(0, 0) = 5.0;
+  const Grid<double> d = downsample_area(g, 2);
+  ASSERT_EQ(d.rows(), 2);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);  // (5+1+1+1)/4
+  EXPECT_DOUBLE_EQ(d(1, 1), 1.0);
+}
+
+TEST(Spectral, DownsampleRejectsBadFactor) {
+  Grid<double> g(5, 5, 0.0);
+  EXPECT_THROW(downsample_area(g, 2), check_error);
+}
+
+TEST(Spectral, UpsampleNearestReplicates) {
+  Grid<double> g(2, 2);
+  g(0, 0) = 1;
+  g(0, 1) = 2;
+  g(1, 0) = 3;
+  g(1, 1) = 4;
+  const Grid<double> u = upsample_nearest(g, 3);
+  ASSERT_EQ(u.rows(), 6);
+  EXPECT_DOUBLE_EQ(u(0, 0), 1);
+  EXPECT_DOUBLE_EQ(u(2, 2), 1);
+  EXPECT_DOUBLE_EQ(u(0, 5), 2);
+  EXPECT_DOUBLE_EQ(u(5, 0), 3);
+  EXPECT_DOUBLE_EQ(u(5, 5), 4);
+}
+
+TEST(Spectral, AbsAndRealHelpers) {
+  Grid<cd> g(1, 2);
+  g(0, 0) = cd(3.0, 4.0);
+  g(0, 1) = cd(-1.0, 1.0);
+  const Grid<double> a = abs2(g);
+  EXPECT_DOUBLE_EQ(a(0, 0), 25.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 2.0);
+  const Grid<double> re = real_part(g);
+  EXPECT_DOUBLE_EQ(re(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(re(0, 1), -1.0);
+}
+
+}  // namespace
+}  // namespace nitho

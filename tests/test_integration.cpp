@@ -1,0 +1,125 @@
+// End-to-end integration: golden data -> Nitho training -> evaluation,
+// including the paper's headline claim (out-of-distribution generalization,
+// Table IV / Fig. 2b) at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "baselines/doinn.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/model.hpp"
+#include "nitho/trainer.hpp"
+
+namespace nitho {
+namespace {
+
+LithoConfig small_config() {
+  LithoConfig cfg;
+  cfg.tile_nm = 512;
+  cfg.raster_px = 512;
+  cfg.analysis_px = 64;
+  cfg.sim_px = 32;
+  cfg.spectrum_crop = 31;
+  cfg.max_rank = 200;
+  return cfg;
+}
+
+class Pipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new GoldenEngine(small_config());
+    train_vias_ = new Dataset(engine_->make_dataset(DatasetKind::B2v, 24, 100));
+    test_vias_ = new Dataset(engine_->make_dataset(DatasetKind::B2v, 3, 200));
+    test_metal_ = new Dataset(engine_->make_dataset(DatasetKind::B2m, 3, 300));
+
+    NithoConfig mc;
+    mc.rank = 14;
+    mc.encoding.features = 64;
+    mc.hidden = 32;
+    mc.blocks = 2;
+    model_ = new NithoModel(mc, 512, 193.0, 1.35);
+    NithoTrainConfig tc;
+    tc.epochs = 100;
+    tc.batch = 4;
+    tc.train_px = 32;
+    train_nitho(*model_, sample_ptrs(*train_vias_), tc);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete test_metal_;
+    delete test_vias_;
+    delete train_vias_;
+    delete engine_;
+  }
+
+  static double avg_psnr(const NithoModel& m, const Dataset& ds) {
+    double acc = 0.0;
+    for (const Sample& s : ds.samples) acc += psnr(s.aerial, predict_aerial(m, s, 64));
+    return acc / static_cast<double>(ds.samples.size());
+  }
+
+  static GoldenEngine* engine_;
+  static Dataset *train_vias_, *test_vias_, *test_metal_;
+  static NithoModel* model_;
+};
+
+GoldenEngine* Pipeline::engine_ = nullptr;
+Dataset* Pipeline::train_vias_ = nullptr;
+Dataset* Pipeline::test_vias_ = nullptr;
+Dataset* Pipeline::test_metal_ = nullptr;
+NithoModel* Pipeline::model_ = nullptr;
+
+TEST_F(Pipeline, InDistributionAccuracy) {
+  EXPECT_GT(avg_psnr(*model_, *test_vias_), 35.0);
+}
+
+TEST_F(Pipeline, OutOfDistributionGeneralization) {
+  // The paper's key claim: kernels learned on one mask family transfer to a
+  // completely different family because they encode the optical system, not
+  // the masks.  (Table IV: B2v -> B2m with ~1% drop for Nitho.)
+  const double ood = avg_psnr(*model_, *test_metal_);
+  EXPECT_GT(ood, 25.0);
+}
+
+TEST_F(Pipeline, ResistMetricsHigh) {
+  for (const Sample& s : test_metal_->samples) {
+    const EvalResult r = evaluate(s.aerial, predict_aerial(*model_, s, 64),
+                                  small_config().resist.threshold);
+    // Thresholds are loose relative to the paper's 99% because the test
+    // analysis grid is 64^2: single boundary-pixel flips cost ~1% here.
+    EXPECT_GT(r.mpa, 0.85);
+    EXPECT_GT(r.miou, 0.78);
+  }
+}
+
+TEST_F(Pipeline, LearnedKernelsApproximateGoldenTcc) {
+  // Compare the learned rank-14 imaging against the golden full-rank imaging
+  // on a fresh mask: agreement in aerial space implies the CMLP recovered
+  // the dominant TCC structure (not just memorized training tiles).
+  Rng rng(7);
+  const Layout l = make_layout(DatasetKind::B1, 512, rng);  // third family
+  const Sample s = engine_->make_sample(rasterize(l, 1));
+  const Grid<double> pred = predict_aerial(*model_, s, 64);
+  EXPECT_GT(psnr(s.aerial, pred), 22.0);
+}
+
+TEST_F(Pipeline, NithoBeatsQuicklyTrainedBaselineOod) {
+  // A baseline trained with the same tiny budget on vias collapses on metal
+  // (the Fig. 2b story); Nitho does not.
+  DoinnModel doinn;
+  ImageTrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.px = 32;
+  train_image_model(doinn, sample_ptrs(*train_vias_), cfg);
+  double nitho_ood = 0.0, doinn_ood = 0.0;
+  for (const Sample& s : test_metal_->samples) {
+    nitho_ood += psnr(s.aerial, predict_aerial(*model_, s, 64));
+    doinn_ood += psnr(s.aerial, predict_aerial(doinn, s, 32, 64));
+  }
+  EXPECT_GT(nitho_ood, doinn_ood + 3.0 * test_metal_->samples.size());
+}
+
+}  // namespace
+}  // namespace nitho

@@ -1,0 +1,143 @@
+// Unit tests for src/io: PGM round trips, CSV output, tensor serialization.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "io/csv.hpp"
+#include "io/pgm.hpp"
+#include "io/tensor_io.hpp"
+
+namespace nitho {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nitho_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, PgmRoundTripPreservesStructure) {
+  Grid<double> img(16, 24);
+  Rng rng(1);
+  for (auto& v : img) v = rng.uniform();
+  write_pgm(path("a.pgm"), img, 0.0, 1.0);
+  const Grid<double> back = read_pgm(path("a.pgm"));
+  ASSERT_EQ(back.rows(), 16);
+  ASSERT_EQ(back.cols(), 24);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(back[i], img[i], 1.0 / 255.0 + 1e-9);
+  }
+}
+
+TEST_F(IoTest, PgmAutoScales) {
+  Grid<double> img(4, 4, -5.0);
+  img(0, 0) = 5.0;
+  write_pgm(path("b.pgm"), img);
+  const Grid<double> back = read_pgm(path("b.pgm"));
+  EXPECT_NEAR(back(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(back(1, 1), 0.0, 1e-9);
+}
+
+TEST_F(IoTest, PgmConstantImageDoesNotDivideByZero) {
+  Grid<double> img(4, 4, 3.0);
+  EXPECT_NO_THROW(write_pgm(path("c.pgm"), img));
+}
+
+TEST_F(IoTest, PgmMontageDimensions) {
+  Grid<double> a(8, 8, 0.0), b(8, 8, 1.0), c(8, 8, 0.5);
+  write_pgm_montage(path("m.pgm"), {a, b, c});
+  const Grid<double> m = read_pgm(path("m.pgm"));
+  EXPECT_EQ(m.rows(), 8);
+  EXPECT_EQ(m.cols(), 3 * 8 + 2 * 2);
+}
+
+TEST_F(IoTest, PgmMontageRejectsMismatchedPanels) {
+  Grid<double> a(8, 8, 0.0), b(4, 4, 0.0);
+  EXPECT_THROW(write_pgm_montage(path("x.pgm"), {a, b}), check_error);
+}
+
+TEST_F(IoTest, PgmReadRejectsBadMagic) {
+  std::ofstream f(path("bad.pgm"));
+  f << "P6\n2 2\n255\n....";
+  f.close();
+  EXPECT_THROW(read_pgm(path("bad.pgm")), check_error);
+}
+
+TEST_F(IoTest, CsvWritesHeaderAndRows) {
+  {
+    CsvWriter w(path("t.csv"), {"a", "b"});
+    w.row({"1", "x"});
+    w.row_numeric({2.5, 3.0});
+  }
+  std::ifstream f(path("t.csv"));
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST_F(IoTest, CsvRejectsWidthMismatch) {
+  CsvWriter w(path("u.csv"), {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), check_error);
+}
+
+TEST_F(IoTest, GridRoundTrip) {
+  Grid<double> g(7, 9);
+  Rng rng(2);
+  for (auto& v : g) v = rng.normal();
+  save_grid(path("g.bin"), g);
+  const Grid<double> back = load_grid(path("g.bin"));
+  EXPECT_EQ(back, g);
+}
+
+TEST_F(IoTest, KernelsRoundTrip) {
+  Rng rng(3);
+  std::vector<Grid<cd>> ks;
+  for (int i = 0; i < 4; ++i) {
+    Grid<cd> k(5, 5);
+    for (auto& v : k) v = cd(rng.normal(), rng.normal());
+    ks.push_back(std::move(k));
+  }
+  save_kernels(path("k.bin"), ks);
+  const auto back = load_kernels(path("k.bin"));
+  ASSERT_EQ(back.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(back[i], ks[i]);
+}
+
+TEST_F(IoTest, KernelsRejectMixedShapes) {
+  std::vector<Grid<cd>> ks;
+  ks.emplace_back(3, 3);
+  ks.emplace_back(5, 5);
+  EXPECT_THROW(save_kernels(path("bad.bin"), ks), check_error);
+}
+
+TEST_F(IoTest, FloatsRoundTrip) {
+  std::vector<float> xs = {1.0f, -2.5f, 3.25f};
+  save_floats(path("f.bin"), xs);
+  EXPECT_EQ(load_floats(path("f.bin")), xs);
+}
+
+TEST_F(IoTest, DtypeMismatchDetected) {
+  save_floats(path("f.bin"), {1.0f});
+  EXPECT_THROW(load_grid(path("f.bin")), check_error);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_grid(path("nope.bin")), check_error);
+  EXPECT_THROW(read_pgm(path("nope.pgm")), check_error);
+}
+
+}  // namespace
+}  // namespace nitho

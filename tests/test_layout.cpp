@@ -1,0 +1,229 @@
+// Unit tests for src/layout: geometry, rasterization, OPC decoration and the
+// four dataset-family generators.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "layout/datasets.hpp"
+#include "layout/opc.hpp"
+#include "layout/raster.hpp"
+
+namespace nitho {
+namespace {
+
+TEST(Rect, BasicProperties) {
+  const Rect r{10, 20, 40, 50};
+  EXPECT_EQ(r.width(), 30);
+  EXPECT_EQ(r.height(), 30);
+  EXPECT_EQ(r.area(), 900);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE((Rect{5, 5, 5, 9}).valid());
+}
+
+TEST(Rect, ExpansionAndIntersection) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.expanded(2), (Rect{-2, -2, 12, 12}));
+  EXPECT_TRUE(a.intersects(Rect{5, 5, 15, 15}));
+  EXPECT_FALSE(a.intersects(Rect{10, 0, 20, 10}));  // half-open: touching is no overlap
+}
+
+TEST(Layout, ClipToTileDropsOutside) {
+  Layout l;
+  l.tile_nm = 100;
+  l.main = {Rect{-10, -10, 5, 5}, Rect{200, 200, 300, 300}, Rect{10, 10, 20, 20}};
+  l.clip_to_tile();
+  ASSERT_EQ(l.main.size(), 2u);
+  EXPECT_EQ(l.main[0], (Rect{0, 0, 5, 5}));
+  EXPECT_EQ(l.main[1], (Rect{10, 10, 20, 20}));
+}
+
+TEST(Raster, ExactAt1nm) {
+  Layout l;
+  l.tile_nm = 16;
+  l.main = {Rect{2, 3, 6, 5}};
+  const Grid<double> img = rasterize(l, 1);
+  ASSERT_EQ(img.rows(), 16);
+  double drawn = grid_sum(img);
+  EXPECT_DOUBLE_EQ(drawn, 4.0 * 2.0);
+  EXPECT_DOUBLE_EQ(img(3, 2), 1.0);
+  EXPECT_DOUBLE_EQ(img(4, 5), 1.0);
+  EXPECT_DOUBLE_EQ(img(5, 2), 0.0);  // y = 5 is outside [3,5)
+  EXPECT_DOUBLE_EQ(img(3, 6), 0.0);
+}
+
+TEST(Raster, UnionOfOverlappingRects) {
+  Layout l;
+  l.tile_nm = 8;
+  l.main = {Rect{0, 0, 4, 4}, Rect{2, 2, 6, 6}};
+  const Grid<double> img = rasterize(l, 1);
+  EXPECT_DOUBLE_EQ(grid_sum(img), 16.0 + 16.0 - 4.0);
+}
+
+TEST(Raster, CoarsePixelUsesCenters) {
+  Layout l;
+  l.tile_nm = 8;
+  l.main = {Rect{0, 0, 3, 8}};  // covers centers of column 0 (1.0) not col 1 (3.0)?
+  const Grid<double> img = rasterize(l, 2);
+  ASSERT_EQ(img.rows(), 4);
+  // Pixel col 0 centre at 1.0 -> inside [0,3). Col 1 centre at 3.0 -> outside.
+  EXPECT_DOUBLE_EQ(img(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(img(0, 1), 0.0);
+}
+
+TEST(Raster, DensityMatchesDrawnFraction) {
+  Layout l;
+  l.tile_nm = 32;
+  l.main = {Rect{0, 0, 16, 32}};
+  const Grid<double> img = rasterize(l, 1);
+  EXPECT_DOUBLE_EQ(pattern_density(img), 0.5);
+}
+
+TEST(Opc, BiasGrowsFeatures) {
+  Layout l;
+  l.tile_nm = 512;
+  l.main = {Rect{200, 200, 300, 260}};
+  OpcRules rules;
+  rules.serif_size_nm = 0;
+  rules.sraf_width_nm = 0;
+  const Layout o = apply_rule_based_opc(l, rules);
+  ASSERT_EQ(o.main.size(), 1u);
+  EXPECT_EQ(o.main[0], (Rect{194, 194, 306, 266}));
+}
+
+TEST(Opc, SerifsAddedAtCorners) {
+  Layout l;
+  l.tile_nm = 512;
+  l.main = {Rect{200, 200, 300, 260}};
+  OpcRules rules;
+  rules.sraf_width_nm = 0;
+  const Layout o = apply_rule_based_opc(l, rules);
+  EXPECT_EQ(o.main.size(), 1u + 4u);
+}
+
+TEST(Opc, SrafsPlacedOnLongEdgesOnly) {
+  Layout l;
+  l.tile_nm = 1024;
+  l.main = {Rect{400, 400, 700, 460}};  // 300 wide, 60 tall
+  OpcRules rules;
+  rules.serif_size_nm = 0;
+  const Layout o = apply_rule_based_opc(l, rules);
+  // Width 312 >= 160 -> top/bottom bars; height 72 < 160 -> no side bars.
+  EXPECT_EQ(o.sraf.size(), 2u);
+  for (const Rect& s : o.sraf) {
+    EXPECT_EQ(s.height(), rules.sraf_width_nm);
+  }
+}
+
+TEST(Opc, SrafsSkippedWhenBlocked) {
+  Layout l;
+  l.tile_nm = 1024;
+  // Two long bars closer than the SRAF offset: bars between them must drop.
+  l.main = {Rect{100, 400, 700, 460}, Rect{100, 480, 700, 540}};
+  const Layout o = apply_rule_based_opc(l);
+  for (const Rect& s : o.sraf) {
+    for (const Rect& m : o.main) {
+      EXPECT_FALSE(s.intersects(m)) << "SRAF overlaps a main feature";
+    }
+  }
+}
+
+TEST(Opc, IncreasesMaskArea) {
+  Rng rng(5);
+  const Layout base = make_b1_layout(1024, rng);
+  const Layout opc = apply_rule_based_opc(base);
+  const double d0 = pattern_density(rasterize(base, 1));
+  const double d1 = pattern_density(rasterize(opc, 1));
+  EXPECT_GT(d1, d0);
+}
+
+class FamilyTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(FamilyTest, GeneratesNonEmptyInBoundsLayouts) {
+  Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    const Layout l = make_layout(GetParam(), 1024, rng);
+    EXPECT_FALSE(l.main.empty());
+    for (const Rect& r : l.all()) {
+      EXPECT_TRUE(r.valid());
+      EXPECT_GE(r.x0, 0);
+      EXPECT_GE(r.y0, 0);
+      EXPECT_LE(r.x1, 1024);
+      EXPECT_LE(r.y1, 1024);
+    }
+    const double density = pattern_density(rasterize(l, 1));
+    EXPECT_GT(density, 0.001);
+    EXPECT_LT(density, 0.8);
+  }
+}
+
+TEST_P(FamilyTest, DeterministicForSameSeed) {
+  Rng a(77), b(77);
+  const Layout la = make_layout(GetParam(), 1024, a);
+  const Layout lb = make_layout(GetParam(), 1024, b);
+  EXPECT_EQ(la.main.size(), lb.main.size());
+  for (std::size_t i = 0; i < la.main.size(); ++i)
+    EXPECT_EQ(la.main[i], lb.main[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyTest,
+                         ::testing::Values(DatasetKind::B1, DatasetKind::B1opc,
+                                           DatasetKind::B2m, DatasetKind::B2v));
+
+TEST(Families, NamesAreStable) {
+  EXPECT_EQ(dataset_name(DatasetKind::B1), "B1");
+  EXPECT_EQ(dataset_name(DatasetKind::B1opc), "B1opc");
+  EXPECT_EQ(dataset_name(DatasetKind::B2m), "B2m");
+  EXPECT_EQ(dataset_name(DatasetKind::B2v), "B2v");
+}
+
+TEST(Families, ViaLayerIsSmallSquares) {
+  Rng rng(13);
+  const Layout l = make_b2v_layout(1024, rng);
+  for (const Rect& r : l.main) {
+    EXPECT_EQ(r.width(), r.height());
+    EXPECT_LE(r.width(), 90);
+    EXPECT_GE(r.width(), 55);
+  }
+}
+
+TEST(Families, MetalLayerHasLongWires) {
+  Rng rng(17);
+  const Layout l = make_b2m_layout(1024, rng);
+  int long_wires = 0;
+  for (const Rect& r : l.main) {
+    if (std::max(r.width(), r.height()) >= 200) ++long_wires;
+  }
+  EXPECT_GT(long_wires, 0);
+}
+
+TEST(Families, StatisticsDifferAcrossFamilies) {
+  // Mean feature area separates chunky B1 metal from small vias — the same
+  // distributional gap that drives Fig. 2a.
+  Rng rng(19);
+  double b1_area = 0.0, b2v_area = 0.0;
+  int b1_n = 0, b2v_n = 0;
+  const int trials = 8;
+  for (int i = 0; i < trials; ++i) {
+    for (const Rect& r : make_b1_layout(1024, rng).main) {
+      b1_area += static_cast<double>(r.area());
+      ++b1_n;
+    }
+    for (const Rect& r : make_b2v_layout(1024, rng).main) {
+      b2v_area += static_cast<double>(r.area());
+      ++b2v_n;
+    }
+  }
+  ASSERT_GT(b1_n, 0);
+  ASSERT_GT(b2v_n, 0);
+  EXPECT_GT(b1_area / b1_n, 2.0 * b2v_area / b2v_n);
+}
+
+TEST(Families, OpcVersionDecoratesBaseDesign) {
+  Rng a(123), b(123);
+  const Layout plain = make_layout(DatasetKind::B1, 1024, a);
+  const Layout opc = make_layout(DatasetKind::B1opc, 1024, b);
+  EXPECT_GT(opc.main.size(), plain.main.size());  // serifs added
+}
+
+}  // namespace
+}  // namespace nitho

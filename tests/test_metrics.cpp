@@ -1,0 +1,119 @@
+// Unit tests for src/metrics: Eqs. (5)-(8) on hand-computed cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/metrics.hpp"
+
+namespace nitho {
+namespace {
+
+Grid<double> make(std::initializer_list<double> vals, int rows, int cols) {
+  Grid<double> g(rows, cols);
+  int i = 0;
+  for (double v : vals) g[i++] = v;
+  return g;
+}
+
+TEST(Metrics, MseOfIdenticalIsZero) {
+  const Grid<double> a(3, 3, 0.7);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Metrics, MseHandComputed) {
+  const Grid<double> t = make({1.0, 2.0, 3.0, 4.0}, 2, 2);
+  const Grid<double> p = make({1.5, 2.0, 2.0, 4.0}, 2, 2);
+  EXPECT_DOUBLE_EQ(mse(t, p), (0.25 + 0.0 + 1.0 + 0.0) / 4.0);
+}
+
+TEST(Metrics, MseShapeMismatchThrows) {
+  Grid<double> a(2, 2), b(2, 3);
+  EXPECT_THROW(mse(a, b), check_error);
+}
+
+TEST(Metrics, PsnrKnownValue) {
+  // max = 1, mse = 0.01 -> 20 dB.
+  Grid<double> t(10, 10, 0.0);
+  t(0, 0) = 1.0;
+  Grid<double> p = t;
+  for (std::size_t i = 0; i < p.size(); ++i) p[i] += 0.1;
+  EXPECT_NEAR(psnr(t, p), 10.0 * std::log10(1.0 / 0.01), 1e-9);
+}
+
+TEST(Metrics, PsnrIdenticalClamped) {
+  const Grid<double> a(4, 4, 0.3);
+  EXPECT_DOUBLE_EQ(psnr(a, a), 150.0);
+}
+
+TEST(Metrics, MaxErrorFindsWorstPixel) {
+  const Grid<double> t = make({0.0, 0.0, 0.0, 0.0}, 2, 2);
+  const Grid<double> p = make({0.1, -0.4, 0.2, 0.0}, 2, 2);
+  EXPECT_DOUBLE_EQ(max_error(t, p), 0.4);
+}
+
+TEST(Metrics, BinarizeThreshold) {
+  const Grid<double> a = make({0.1, 0.25, 0.3, 0.0}, 2, 2);
+  const Grid<double> z = binarize(a, 0.25);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 1.0);  // >= is printed
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(z[3], 0.0);
+}
+
+TEST(Metrics, MiouPerfect) {
+  const Grid<double> z = make({1, 0, 0, 1}, 2, 2);
+  EXPECT_DOUBLE_EQ(miou(z, z), 1.0);
+  EXPECT_DOUBLE_EQ(mpa(z, z), 1.0);
+}
+
+TEST(Metrics, MiouHandComputed) {
+  // truth: [1 1 0 0], pred: [1 0 0 0]
+  // class1: inter 1, union 2 -> 0.5 ; class0: inter 2, union 3 -> 2/3.
+  const Grid<double> t = make({1, 1, 0, 0}, 2, 2);
+  const Grid<double> p = make({1, 0, 0, 0}, 2, 2);
+  EXPECT_NEAR(miou(t, p), 0.5 * (0.5 + 2.0 / 3.0), 1e-12);
+  // mPA: class1 1/2, class0 2/2.
+  EXPECT_NEAR(mpa(t, p), 0.5 * (0.5 + 1.0), 1e-12);
+}
+
+TEST(Metrics, MiouEmptyClassCountsAsPerfect) {
+  // No foreground anywhere: class 1 empty in both -> IOU 1 by convention.
+  const Grid<double> z(3, 3, 0.0);
+  EXPECT_DOUBLE_EQ(miou(z, z), 1.0);
+}
+
+TEST(Metrics, MiouCompleteMissIsZeroForegroundIou) {
+  const Grid<double> t = make({1, 1, 1, 1}, 2, 2);
+  const Grid<double> p = make({0, 0, 0, 0}, 2, 2);
+  // class1: inter 0 / union 4 = 0. class0: inter 0, union 4 -> 0.
+  EXPECT_DOUBLE_EQ(miou(t, p), 0.0);
+}
+
+TEST(Metrics, EvaluateBundlesEverything) {
+  const Grid<double> t = make({0.4, 0.1, 0.3, 0.2}, 2, 2);
+  const Grid<double> p = make({0.4, 0.1, 0.1, 0.2}, 2, 2);
+  const EvalResult r = evaluate(t, p, 0.25);
+  EXPECT_NEAR(r.mse, 0.04 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.max_error, 0.2);
+  EXPECT_GT(r.psnr, 0.0);
+  EXPECT_LT(r.miou, 1.0);  // the 0.3 pixel flips below threshold
+}
+
+TEST(Metrics, AverageOfResults) {
+  EvalResult a, b;
+  a.mse = 1.0;
+  b.mse = 3.0;
+  a.psnr = 10;
+  b.psnr = 30;
+  a.miou = 0.5;
+  b.miou = 1.0;
+  const EvalResult avg = average({a, b});
+  EXPECT_DOUBLE_EQ(avg.mse, 2.0);
+  EXPECT_DOUBLE_EQ(avg.psnr, 20.0);
+  EXPECT_DOUBLE_EQ(avg.miou, 0.75);
+  EXPECT_DOUBLE_EQ(average({}).mse, 0.0);
+}
+
+}  // namespace
+}  // namespace nitho

@@ -1,0 +1,323 @@
+// Tests for the Nitho core: positional encodings, CMLP, model, the
+// Algorithm-1 trainer and the fast-lithography engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "fft/spectral.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/cmlp.hpp"
+#include "nitho/encoding.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nitho/model.hpp"
+#include "nitho/trainer.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
+
+namespace nitho {
+namespace {
+
+LithoConfig small_config() {
+  LithoConfig cfg;
+  cfg.tile_nm = 512;
+  cfg.raster_px = 512;
+  cfg.analysis_px = 64;
+  cfg.sim_px = 32;
+  cfg.spectrum_crop = 31;
+  cfg.max_rank = 200;
+  return cfg;
+}
+
+const GoldenEngine& engine() {
+  static const GoldenEngine e{small_config()};
+  return e;
+}
+
+NithoConfig small_model_config() {
+  NithoConfig cfg;
+  cfg.rank = 12;
+  cfg.encoding.features = 64;
+  cfg.hidden = 32;
+  cfg.blocks = 2;
+  return cfg;
+}
+
+TEST(Encoding, ShapesAndDeterminism) {
+  EncodingConfig cfg;
+  cfg.features = 32;
+  const nn::Tensor a = encode_coordinates(5, 7, cfg);
+  ASSERT_EQ(a.ndim(), 3);
+  EXPECT_EQ(a.dim(0), 35);
+  EXPECT_EQ(a.dim(1), 32);
+  EXPECT_EQ(a.dim(2), 2);
+  const nn::Tensor b = encode_coordinates(5, 7, cfg);
+  for (std::int64_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Encoding, RffIsOnePlusJComplexified) {
+  EncodingConfig cfg;
+  cfg.kind = EncodingKind::GaussianRff;
+  cfg.features = 16;
+  const nn::Tensor t = encode_coordinates(4, 4, cfg);
+  // (1+j) complexification: re == im for every feature (Eq. 15).
+  for (std::int64_t i = 0; i < t.numel(); i += 2) EXPECT_EQ(t[i], t[i + 1]);
+  // cos features bounded.
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(t[i]), 1.0f);
+  }
+}
+
+TEST(Encoding, NerfUsesPowersOfTwo) {
+  EncodingConfig cfg;
+  cfg.kind = EncodingKind::NerfPe;
+  cfg.features = 16;  // L = 4 levels
+  const nn::Tensor t = encode_coordinates(1, 3, cfg);
+  // Point (x=1, y=0.5): first sin feature is sin(pi * x) = ~0.
+  // Coordinates row-major: index 2 is (r=0,c=2) -> x=1.
+  const int f = 16;
+  EXPECT_NEAR(t[(2 * f + 0) * 2], std::sin(kPi * 1.0), 1e-6);
+  EXPECT_NEAR(t[(2 * f + 1) * 2], std::cos(kPi * 1.0), 1e-6);
+}
+
+TEST(Encoding, DistinctKindsDiffer) {
+  EncodingConfig a, b;
+  a.features = b.features = 32;
+  a.kind = EncodingKind::GaussianRff;
+  b.kind = EncodingKind::None;
+  const nn::Tensor ta = encode_coordinates(4, 4, a);
+  const nn::Tensor tb = encode_coordinates(4, 4, b);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < ta.numel(); ++i) diff += std::abs(ta[i] - tb[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(Encoding, Names) {
+  EXPECT_EQ(encoding_name(EncodingKind::None), "None");
+  EXPECT_EQ(encoding_name(EncodingKind::NerfPe), "NeRF-PE");
+  EXPECT_EQ(encoding_name(EncodingKind::GaussianRff), "Gaussian-RFF");
+}
+
+TEST(Encoding, RejectsBadFeatureCounts) {
+  EncodingConfig cfg;
+  cfg.features = 7;
+  EXPECT_THROW(encode_coordinates(3, 3, cfg), check_error);
+  cfg.kind = EncodingKind::NerfPe;
+  cfg.features = 10;  // not divisible by 4
+  EXPECT_THROW(encode_coordinates(3, 3, cfg), check_error);
+}
+
+TEST(Cmlp, OutputShapeAndParameterCount) {
+  CmlpConfig cfg;
+  cfg.in_features = 8;
+  cfg.hidden = 6;
+  cfg.blocks = 2;
+  cfg.out = 3;
+  Cmlp mlp(cfg);
+  // Complex params: (8*6+6) + 2*(6*6+6) + (6*3+3) = 54 + 84 + 21 = 159.
+  EXPECT_EQ(mlp.parameter_count(), 2 * 159);
+  nn::Var in = nn::make_leaf(nn::Tensor({5, 8, 2}, 0.1f), false);
+  nn::Var out = mlp.forward(in);
+  ASSERT_EQ(out->value.ndim(), 3);
+  EXPECT_EQ(out->value.dim(0), 5);
+  EXPECT_EQ(out->value.dim(1), 3);
+  EXPECT_EQ(out->value.dim(2), 2);
+}
+
+TEST(Cmlp, LearnsComplexRegression) {
+  CmlpConfig cfg;
+  cfg.in_features = 4;
+  cfg.hidden = 16;
+  cfg.blocks = 1;
+  cfg.out = 2;
+  Cmlp mlp(cfg);
+  Rng rng(3);
+  nn::Tensor input({12, 4, 2});
+  input.randn(rng, 1.0f);
+  nn::Tensor target({12, 2, 2});
+  target.randn(rng, 1.0f);
+  nn::Adam opt(mlp.parameters(), 1e-2f);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    nn::Var loss = nn::mse_loss(mlp.forward(nn::make_leaf(input, false)), target);
+    nn::backward(loss);
+    opt.step();
+    if (i == 0) first = loss->value[0];
+    last = loss->value[0];
+  }
+  EXPECT_LT(last, 0.1 * first);
+}
+
+TEST(Model, DerivesKernelDimFromPhysics) {
+  NithoModel m(small_model_config(), 512, 193.0, 1.35);
+  EXPECT_EQ(m.kernel_dim(), 15);
+  EXPECT_EQ(m.rank(), 12);
+  const nn::Var k = m.predict_kernels();
+  ASSERT_EQ(k->value.ndim(), 4);
+  EXPECT_EQ(k->value.dim(0), 12);
+  EXPECT_EQ(k->value.dim(1), 15);
+  EXPECT_EQ(k->value.dim(2), 15);
+  EXPECT_EQ(k->value.dim(3), 2);
+}
+
+TEST(Model, ExplicitKernelDimOverrides) {
+  NithoConfig cfg = small_model_config();
+  cfg.kernel_dim = 9;
+  NithoModel m(cfg, 512, 193.0, 1.35);
+  EXPECT_EQ(m.kernel_dim(), 9);
+}
+
+TEST(Model, ExportMatchesPrediction) {
+  NithoModel m(small_model_config(), 512, 193.0, 1.35);
+  const nn::Var k = m.predict_kernels();
+  const std::vector<Grid<cd>> exported = m.export_kernels();
+  ASSERT_EQ(exported.size(), 12u);
+  const std::int64_t plane = 15 * 15;
+  for (int i = 0; i < 3; ++i) {
+    for (std::int64_t p = 0; p < plane; ++p) {
+      EXPECT_FLOAT_EQ(static_cast<float>(exported[i][p].real()),
+                      k->value[(i * plane + p) * 2]);
+      EXPECT_FLOAT_EQ(static_cast<float>(exported[i][p].imag()),
+                      k->value[(i * plane + p) * 2 + 1]);
+    }
+  }
+}
+
+TEST(Model, SaveLoadRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "nitho_model_test";
+  std::filesystem::create_directories(dir);
+  NithoModel a(small_model_config(), 512, 193.0, 1.35);
+  a.save((dir / "m.bin").string());
+  NithoConfig cfg = small_model_config();
+  cfg.seed = 777;  // different init
+  NithoModel b(cfg, 512, 193.0, 1.35);
+  b.load((dir / "m.bin").string());
+  const auto ka = a.export_kernels(), kb = b.export_kernels();
+  for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+  std::filesystem::remove_all(dir);
+}
+
+class TrainedNitho : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(engine().make_dataset(DatasetKind::B2v, 10, 1234));
+    model_ = new NithoModel(small_model_config(), 512, 193.0, 1.35);
+    std::vector<const Sample*> train;
+    for (int i = 0; i < 8; ++i) train.push_back(&dataset_->samples[i]);
+    NithoTrainConfig cfg;
+    cfg.epochs = 30;
+    cfg.batch = 4;
+    cfg.train_px = 32;
+    stats_ = train_nitho(*model_, train, cfg);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static NithoModel* model_;
+  static TrainStats stats_;
+};
+
+Dataset* TrainedNitho::dataset_ = nullptr;
+NithoModel* TrainedNitho::model_ = nullptr;
+TrainStats TrainedNitho::stats_;
+
+TEST_F(TrainedNitho, LossDecreasesByOrdersOfMagnitude) {
+  ASSERT_FALSE(stats_.epoch_losses.empty());
+  EXPECT_LT(stats_.final_loss, 0.05 * stats_.epoch_losses.front());
+  EXPECT_EQ(stats_.steps, 30 * 2);
+}
+
+TEST_F(TrainedNitho, GeneralizesToHeldOutMasks) {
+  // Samples 8..9 were never trained on.
+  for (int i = 8; i < 10; ++i) {
+    const Sample& s = dataset_->samples[static_cast<std::size_t>(i)];
+    const Grid<double> pred = predict_aerial(*model_, s, 64);
+    EXPECT_GT(psnr(s.aerial, pred), 22.0) << "held-out sample " << i;
+  }
+}
+
+TEST_F(TrainedNitho, BeatsUntrainedModel) {
+  NithoModel fresh(small_model_config(), 512, 193.0, 1.35);
+  const Sample& s = dataset_->samples[9];
+  EXPECT_GT(psnr(s.aerial, predict_aerial(*model_, s, 64)),
+            psnr(s.aerial, predict_aerial(fresh, s, 64)) + 5.0);
+}
+
+TEST_F(TrainedNitho, FastLithoMatchesModelPrediction) {
+  const FastLitho fast = FastLitho::from_model(*model_);
+  EXPECT_EQ(fast.kernel_dim(), 15);
+  EXPECT_EQ(fast.rank(), 12);
+  const Sample& s = dataset_->samples[5];
+  const Grid<cd> crop = center_crop(s.spectrum, 15, 15);
+  const Grid<double> a = fast.aerial_from_spectrum(crop, 64);
+  const Grid<double> b = predict_aerial(*model_, s, 64);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST_F(TrainedNitho, FastLithoFullPipelineFromMask) {
+  Rng rng(9);
+  const Layout l = make_layout(DatasetKind::B2v, 512, rng);
+  const Grid<double> mask = rasterize(l, 1);
+  const Sample s = engine().make_sample(mask);
+  const FastLitho fast = FastLitho::from_model(*model_);
+  const Grid<double> aerial = fast.aerial_from_mask(mask, 64);
+  EXPECT_GT(psnr(s.aerial, aerial), 22.0);
+  const Grid<double> resist = fast.resist_from_mask(mask, 64);
+  for (std::size_t i = 0; i < resist.size(); ++i) {
+    EXPECT_TRUE(resist[i] == 0.0 || resist[i] == 1.0);
+  }
+}
+
+TEST_F(TrainedNitho, KernelPersistenceRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "nitho_fast_test";
+  std::filesystem::create_directories(dir);
+  const FastLitho fast = FastLitho::from_model(*model_);
+  fast.save((dir / "kernels.bin").string());
+  const FastLitho back = FastLitho::load((dir / "kernels.bin").string());
+  EXPECT_EQ(back.rank(), fast.rank());
+  const Sample& s = dataset_->samples[0];
+  const Grid<cd> crop = center_crop(s.spectrum, 15, 15);
+  EXPECT_EQ(back.aerial_from_spectrum(crop, 32),
+            fast.aerial_from_spectrum(crop, 32));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  const Dataset ds = engine().make_dataset(DatasetKind::B1, 4, 55);
+  auto run = [&]() {
+    NithoConfig mc = small_model_config();
+    NithoModel m(mc, 512, 193.0, 1.35);
+    NithoTrainConfig cfg;
+    cfg.epochs = 4;
+    cfg.batch = 2;
+    cfg.train_px = 32;
+    return train_nitho(m, sample_ptrs(ds), cfg).final_loss;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Trainer, SamplePtrsHelpers) {
+  const Dataset a = engine().make_dataset(DatasetKind::B1, 3, 1);
+  const Dataset b = engine().make_dataset(DatasetKind::B2v, 2, 2);
+  EXPECT_EQ(sample_ptrs(a).size(), 3u);
+  EXPECT_EQ(sample_ptrs(a, 2).size(), 2u);
+  EXPECT_EQ(sample_ptrs({&a, &b}).size(), 5u);
+  EXPECT_EQ(sample_ptrs({&a, &b}, 1).size(), 2u);
+}
+
+TEST(Trainer, RejectsEmptyData) {
+  NithoModel m(small_model_config(), 512, 193.0, 1.35);
+  EXPECT_THROW(train_nitho(m, {}, NithoTrainConfig{}), check_error);
+}
+
+}  // namespace
+}  // namespace nitho

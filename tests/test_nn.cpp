@@ -1,0 +1,423 @@
+// Tests for the autodiff engine: forward values against references,
+// numerical gradient checks for every op, optimizers and serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "litho/simulator.hpp"
+#include "nn/autodiff.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_conv.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+
+namespace nitho::nn {
+namespace {
+
+using LossFn = std::function<Var(const std::vector<Var>&)>;
+
+std::vector<Var> as_leaves(const std::vector<Tensor>& ts) {
+  std::vector<Var> leaves;
+  for (const Tensor& t : ts) leaves.push_back(make_leaf(t, true));
+  return leaves;
+}
+
+// Central-difference gradient check of a scalar loss built by f.
+void expect_gradcheck(const std::vector<Tensor>& init, const LossFn& f,
+                      float eps = 1e-2f, float tol = 3e-2f) {
+  std::vector<Var> leaves = as_leaves(init);
+  Var loss = f(leaves);
+  ASSERT_EQ(loss->value.numel(), 1);
+  backward(loss);
+
+  for (std::size_t li = 0; li < init.size(); ++li) {
+    ASSERT_EQ(leaves[li]->grad.numel(), leaves[li]->value.numel())
+        << "no gradient reached leaf " << li;
+    for (std::int64_t i = 0; i < init[li].numel(); ++i) {
+      auto eval = [&](float delta) {
+        std::vector<Tensor> perturbed = init;
+        perturbed[li][i] += delta;
+        std::vector<Var> pl = as_leaves(perturbed);
+        return f(pl)->value[0];
+      };
+      const float numeric = (eval(eps) - eval(-eps)) / (2.0f * eps);
+      const float analytic = leaves[li]->grad[i];
+      EXPECT_NEAR(analytic, numeric, tol * (1.0f + std::abs(analytic) +
+                                            std::abs(numeric)))
+          << "leaf " << li << " elem " << i;
+    }
+  }
+}
+
+Tensor random_tensor(std::vector<int> shape, Rng& rng, float scale = 1.0f,
+                     float offset = 0.0f) {
+  Tensor t(std::move(shape));
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(0.0, scale)) + offset;
+  return t;
+}
+
+TEST(Tensor, ShapeAndReshape) {
+  Tensor t({2, 3, 2});
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.dim(1), 3);
+  Tensor r = t.reshaped({6, 2});
+  EXPECT_EQ(r.dim(0), 6);
+  EXPECT_THROW(t.reshaped({5, 2}), check_error);
+  EXPECT_EQ(t.shape_str(), "[2,3,2]");
+}
+
+TEST(Autodiff, SimpleChainRule) {
+  Tensor x({3});
+  x[0] = 1.0f;
+  x[1] = -2.0f;
+  x[2] = 0.5f;
+  Var vx = make_leaf(x, true);
+  Var loss = sum(square(vx));
+  backward(loss);
+  EXPECT_FLOAT_EQ(loss->value[0], 1.0f + 4.0f + 0.25f);
+  EXPECT_FLOAT_EQ(vx->grad[0], 2.0f);
+  EXPECT_FLOAT_EQ(vx->grad[1], -4.0f);
+  EXPECT_FLOAT_EQ(vx->grad[2], 1.0f);
+}
+
+TEST(Autodiff, DiamondGraphAccumulates) {
+  Tensor x({1});
+  x[0] = 3.0f;
+  Var vx = make_leaf(x, true);
+  Var a = scale(vx, 2.0f);
+  Var b = scale(vx, 5.0f);
+  Var loss = sum(add(a, b));  // d/dx (2x + 5x) = 7
+  backward(loss);
+  EXPECT_FLOAT_EQ(vx->grad[0], 7.0f);
+}
+
+TEST(Autodiff, ConstantsGetNoGradient) {
+  Var c = make_leaf(Tensor({2}, 1.0f), false);
+  Var p = make_leaf(Tensor({2}, 2.0f), true);
+  Var loss = sum(mul(c, p));
+  backward(loss);
+  EXPECT_EQ(c->grad.numel(), 0);
+  EXPECT_EQ(p->grad.numel(), 2);
+}
+
+TEST(Autodiff, BackwardRequiresScalar) {
+  Var p = make_leaf(Tensor({3}, 1.0f), true);
+  EXPECT_THROW(backward(p), check_error);
+}
+
+TEST(GradCheck, ElementwiseOps) {
+  Rng rng(1);
+  const std::vector<Tensor> init = {random_tensor({2, 3}, rng, 1.0f, 0.3f),
+                                    random_tensor({2, 3}, rng, 1.0f, -0.2f)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    Var t = add(v[0], v[1]);
+    t = mul(t, sub(v[0], v[1]));
+    t = add(t, scale(v[0], 0.5f));
+    return mean(square(t));
+  });
+}
+
+TEST(GradCheck, Activations) {
+  Rng rng(2);
+  // Keep values away from the ReLU kink for clean finite differences.
+  Tensor x = random_tensor({3, 4}, rng, 1.0f);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x[i]) < 0.15f) x[i] = 0.3f;
+  expect_gradcheck({x}, [](const std::vector<Var>& v) {
+    Var a = relu(v[0]);
+    Var b = leaky_relu(v[0], 0.2f);
+    Var c = sigmoid(v[0]);
+    Var d = tanh_op(v[0]);
+    return mean(add(add(a, b), add(c, d)));
+  });
+}
+
+TEST(GradCheck, BiasAndReductions) {
+  Rng rng(3);
+  const std::vector<Tensor> init = {random_tensor({4, 3, 2}, rng),
+                                    random_tensor({3, 2}, rng)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    return mean(square(add_bias(v[0], v[1])));
+  });
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(4);
+  Tensor target = random_tensor({3, 3}, rng);
+  expect_gradcheck({random_tensor({3, 3}, rng)},
+                   [target](const std::vector<Var>& v) {
+                     return mse_loss(v[0], target);
+                   });
+}
+
+TEST(Matmul, KnownProduct) {
+  Tensor a({2, 2});
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  a[3] = 4;
+  Tensor b({2, 2});
+  b[0] = 5;
+  b[1] = 6;
+  b[2] = 7;
+  b[3] = 8;
+  Var out = matmul(make_leaf(a), make_leaf(b));
+  EXPECT_FLOAT_EQ(out->value[0], 19);
+  EXPECT_FLOAT_EQ(out->value[1], 22);
+  EXPECT_FLOAT_EQ(out->value[2], 43);
+  EXPECT_FLOAT_EQ(out->value[3], 50);
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng(5);
+  const std::vector<Tensor> init = {random_tensor({3, 4}, rng),
+                                    random_tensor({4, 2}, rng)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    return mean(square(matmul(v[0], v[1])));
+  });
+}
+
+TEST(Cmatmul, MatchesComplexReference) {
+  Rng rng(6);
+  const int m = 3, k = 4, n = 2;
+  Tensor a = random_tensor({m, k, 2}, rng);
+  Tensor b = random_tensor({k, n, 2}, rng);
+  Var out = cmatmul(make_leaf(a), make_leaf(b));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::complex<float> acc{};
+      for (int p = 0; p < k; ++p) {
+        const std::complex<float> av(a[(i * k + p) * 2], a[(i * k + p) * 2 + 1]);
+        const std::complex<float> bv(b[(p * n + j) * 2], b[(p * n + j) * 2 + 1]);
+        acc += av * bv;
+      }
+      EXPECT_NEAR(out->value[(i * n + j) * 2], acc.real(), 1e-4);
+      EXPECT_NEAR(out->value[(i * n + j) * 2 + 1], acc.imag(), 1e-4);
+    }
+  }
+}
+
+TEST(GradCheck, Cmatmul) {
+  Rng rng(7);
+  const std::vector<Tensor> init = {random_tensor({2, 3, 2}, rng),
+                                    random_tensor({3, 2, 2}, rng)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    return mean(square(cmatmul(v[0], v[1])));
+  });
+}
+
+TEST(GradCheck, CmulConstWithBroadcast) {
+  Rng rng(8);
+  Tensor c = random_tensor({3, 3, 2}, rng);
+  expect_gradcheck({random_tensor({2, 3, 3, 2}, rng)},
+                   [c](const std::vector<Var>& v) {
+                     return mean(square(cmul_const(v[0], c)));
+                   });
+}
+
+TEST(GradCheck, ShapeOps) {
+  Rng rng(9);
+  const std::vector<Tensor> init = {random_tensor({2, 3, 2}, rng),
+                                    random_tensor({1, 3, 2}, rng)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    Var t = concat0(v[0], v[1]);           // [3,3,2]
+    t = transpose01(t);                     // [3,3,2]
+    t = slice0(t, 1, 3);                    // [2,3,2]
+    t = reshape(t, {12});
+    return mean(square(t));
+  });
+}
+
+TEST(GradCheck, SocsFieldAndIntensity) {
+  Rng rng(10);
+  Tensor spectrum = random_tensor({3, 3, 2}, rng, 0.3f);
+  const std::vector<Tensor> init = {random_tensor({2, 3, 3, 2}, rng, 0.5f)};
+  Tensor target({8, 8});
+  for (std::int64_t i = 0; i < target.numel(); ++i)
+    target[i] = static_cast<float>(rng.uniform());
+  expect_gradcheck(init, [spectrum, target](const std::vector<Var>& v) {
+    Var fields = socs_field(v[0], spectrum, 8);
+    return mse_loss(abs2_sum0(fields), target);
+  });
+}
+
+TEST(SocsField, MatchesPhysicsSubstrate) {
+  // The differentiable SOCS path must agree with litho::socs_aerial on the
+  // same kernels and spectrum — this pins all FFT scaling conventions.
+  Rng rng(11);
+  const int r = 3, n = 5, out = 16;
+  Tensor kt = random_tensor({r, n, n, 2}, rng, 0.5f);
+  Tensor st = random_tensor({n, n, 2}, rng, 0.3f);
+  std::vector<Grid<cd>> kernels;
+  Grid<cd> spectrum(n, n);
+  for (int i = 0; i < r; ++i) {
+    Grid<cd> k(n, n);
+    for (int a = 0; a < n * n; ++a) {
+      k[a] = cd(kt[(i * n * n + a) * 2], kt[(i * n * n + a) * 2 + 1]);
+    }
+    kernels.push_back(std::move(k));
+  }
+  for (int a = 0; a < n * n; ++a) st, spectrum[a] = cd(st[a * 2], st[a * 2 + 1]);
+
+  const Grid<double> expected = socs_aerial(kernels, spectrum, out);
+  Var fields = socs_field(make_leaf(kt), st, out);
+  Var intensity = abs2_sum0(fields);
+  for (int a = 0; a < out * out; ++a) {
+    EXPECT_NEAR(intensity->value[a], expected[a],
+                1e-3 * (1.0 + std::abs(expected[a])))
+        << a;
+  }
+}
+
+TEST(GradCheck, Fft2cCrop) {
+  Rng rng(20);
+  expect_gradcheck({random_tensor({8, 8}, rng)},
+                   [](const std::vector<Var>& v) {
+                     return mean(square(fft2c_crop(v[0], 5)));
+                   });
+}
+
+TEST(Fft2cCrop, DcIsMean) {
+  Rng rng(21);
+  Tensor mask = random_tensor({8, 8}, rng, 1.0f, 0.5f);
+  Var spec = fft2c_crop(make_leaf(mask), 3);
+  float mean_v = 0.0f;
+  for (std::int64_t i = 0; i < mask.numel(); ++i) mean_v += mask[i];
+  mean_v /= 64.0f;
+  // Centered crop: DC sits at (1,1) of the 3x3 crop.
+  EXPECT_NEAR(spec->value[(1 * 3 + 1) * 2], mean_v, 1e-5);
+  EXPECT_NEAR(spec->value[(1 * 3 + 1) * 2 + 1], 0.0f, 1e-5);
+}
+
+TEST(GradCheck, SocsFieldFromSpectrum) {
+  Rng rng(22);
+  Tensor kernels = random_tensor({2, 3, 3, 2}, rng, 0.5f);
+  expect_gradcheck({random_tensor({3, 3, 2}, rng, 0.3f)},
+                   [kernels](const std::vector<Var>& v) {
+                     return mean(square(
+                         abs2_sum0(socs_field_from_spectrum(v[0], kernels, 8))));
+                   });
+}
+
+TEST(SocsFieldFromSpectrum, MatchesKernelSidePath) {
+  // Swapping which argument is differentiable must not change the value.
+  Rng rng(23);
+  Tensor kernels = random_tensor({3, 5, 5, 2}, rng, 0.5f);
+  Tensor spectrum = random_tensor({5, 5, 2}, rng, 0.3f);
+  Var a = socs_field(make_leaf(kernels), spectrum, 16);
+  Var b = socs_field_from_spectrum(make_leaf(spectrum), kernels, 16);
+  for (std::int64_t i = 0; i < a->value.numel(); ++i) {
+    EXPECT_NEAR(a->value[i], b->value[i], 1e-5);
+  }
+}
+
+TEST(GradCheck, SpectralConv) {
+  Rng rng(12);
+  const std::vector<Tensor> init = {random_tensor({2, 8, 8}, rng, 0.5f),
+                                    random_tensor({2, 2, 3, 3, 2}, rng, 0.5f)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    return mean(square(spectral_conv2d(v[0], v[1])));
+  });
+}
+
+TEST(SpectralConv, DcWeightScalesMean) {
+  // With a single mode (DC) and unit weight, the op averages the input.
+  Tensor x({1, 4, 4});
+  Rng rng(13);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform());
+  Tensor w({1, 1, 1, 1, 2});
+  w[0] = 1.0f;  // real unit weight
+  Var y = spectral_conv2d(make_leaf(x), make_leaf(w));
+  float mean_x = 0.0f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) mean_x += x[i];
+  mean_x /= 16.0f;
+  for (int i = 0; i < 16; ++i) EXPECT_NEAR(y->value[i], mean_x, 1e-5);
+}
+
+TEST(GradCheck, Conv2d) {
+  Rng rng(14);
+  const std::vector<Tensor> init = {random_tensor({2, 5, 5}, rng, 0.5f),
+                                    random_tensor({3, 2, 3, 3}, rng, 0.5f),
+                                    random_tensor({3}, rng, 0.5f)};
+  expect_gradcheck(init, [](const std::vector<Var>& v) {
+    return mean(square(conv2d(v[0], v[1], v[2])));
+  });
+}
+
+TEST(Conv2d, IdentityKernel) {
+  Rng rng(15);
+  Tensor x = random_tensor({1, 4, 4}, rng);
+  Tensor w({1, 1, 3, 3}, 0.0f);
+  w[4] = 1.0f;  // center tap
+  Tensor b({1}, 0.0f);
+  Var y = conv2d(make_leaf(x), make_leaf(w), make_leaf(b));
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(y->value[i], x[i]);
+}
+
+TEST(GradCheck, PoolAndUpsample) {
+  Rng rng(16);
+  expect_gradcheck({random_tensor({2, 4, 4}, rng)},
+                   [](const std::vector<Var>& v) {
+                     return mean(square(upsample2(avg_pool2(v[0]))));
+                   });
+}
+
+TEST(Optimizer, AdamMinimizesQuadratic) {
+  Tensor x({4}, 5.0f);
+  Var vx = make_leaf(x, true);
+  Adam opt({vx}, 0.2f);
+  for (int i = 0; i < 200; ++i) {
+    opt.zero_grad();
+    Var loss = sum(square(vx));
+    backward(loss);
+    opt.step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(vx->value[i], 0.0f, 1e-2f);
+}
+
+TEST(Optimizer, SgdWithMomentumMinimizes) {
+  Tensor x({2}, 3.0f);
+  Var vx = make_leaf(x, true);
+  Sgd opt({vx}, 0.05f, 0.9f);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    Var loss = sum(square(vx));
+    backward(loss);
+    opt.step();
+  }
+  for (int i = 0; i < 2; ++i) EXPECT_NEAR(vx->value[i], 0.0f, 1e-2f);
+}
+
+TEST(Optimizer, RejectsConstants) {
+  Var c = make_leaf(Tensor({1}), false);
+  EXPECT_THROW(Adam({c}), check_error);
+}
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(17);
+  Var a = make_leaf(random_tensor({3, 2}, rng), true);
+  Var b = make_leaf(random_tensor({4}, rng), true);
+  const std::vector<Var> params = {a, b};
+  const std::vector<float> blob = dump_parameters(params);
+  EXPECT_EQ(blob.size(), 10u);
+  EXPECT_EQ(parameter_count(params), 10);
+  EXPECT_EQ(parameter_bytes(params), 40);
+
+  Var a2 = make_leaf(Tensor({3, 2}), true);
+  Var b2 = make_leaf(Tensor({4}), true);
+  load_parameters(std::vector<Var>{a2, b2}, blob);
+  for (int i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(a2->value[i], a->value[i]);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(b2->value[i], b->value[i]);
+
+  EXPECT_THROW(load_parameters(std::vector<Var>{a2}, blob), check_error);
+}
+
+}  // namespace
+}  // namespace nitho::nn

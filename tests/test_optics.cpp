@@ -1,0 +1,210 @@
+// Unit tests for src/optics: source sampling, pupil, resolution rule,
+// TCC construction and SOCS decomposition.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optics/pupil.hpp"
+#include "optics/resolution.hpp"
+#include "optics/socs.hpp"
+#include "optics/source.hpp"
+#include "optics/tcc.hpp"
+
+namespace nitho {
+namespace {
+
+constexpr double kLambda = 193.0;
+constexpr double kNa = 1.35;
+
+TEST(Resolution, RayleighElement) {
+  EXPECT_NEAR(resolution_element_nm(kLambda, kNa), 0.5 * 193.0 / 1.35, 1e-12);
+}
+
+TEST(Resolution, KernelDimMatchesPaperScaling) {
+  // Paper: m ~ 0.028 * W for lambda=193, NA=1.35.
+  EXPECT_EQ(kernel_dim(1024, kLambda, kNa), 29);
+  EXPECT_EQ(kernel_dim(512, kLambda, kNa), 15);
+  EXPECT_EQ(kernel_dim(2000, kLambda, kNa), 55);
+  // Always odd.
+  for (int w : {300, 511, 777, 1500}) {
+    EXPECT_EQ(kernel_dim(w, kLambda, kNa) % 2, 1) << w;
+  }
+}
+
+TEST(Resolution, PupilOrderIsHalfKernelRange) {
+  const int w = 1024;
+  EXPECT_EQ(pupil_order(w, kLambda, kNa), 7);
+  EXPECT_EQ(kernel_dim(w, kLambda, kNa) / 2, 14);  // 2x pupil support
+}
+
+TEST(Source, WeightsNormalized) {
+  for (auto shape : {SourceShape::Circular, SourceShape::Annular,
+                     SourceShape::Quadrupole}) {
+    SourceSpec spec;
+    spec.shape = shape;
+    const auto pts = sample_source(spec, kLambda, kNa, 1024, 2);
+    EXPECT_FALSE(pts.empty());
+    double total = 0.0;
+    for (const auto& p : pts) total += p.weight;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Source, AnnularPointsInsideAnnulus) {
+  SourceSpec spec;  // annular 0.5 / 0.8
+  const auto pts = sample_source(spec, kLambda, kNa, 1024, 3);
+  const double f_pupil = kNa / kLambda;
+  for (const auto& p : pts) {
+    const double r = std::hypot(p.fx, p.fy) / f_pupil;
+    EXPECT_GE(r, spec.sigma_in - 1e-9);
+    EXPECT_LE(r, spec.sigma_out + 1e-9);
+  }
+}
+
+TEST(Source, CircularContainsDc) {
+  SourceSpec spec;
+  spec.shape = SourceShape::Circular;
+  spec.sigma_in = 0.0;
+  const auto pts = sample_source(spec, kLambda, kNa, 1024, 1);
+  bool has_dc = false;
+  for (const auto& p : pts) has_dc = has_dc || (p.fx == 0.0 && p.fy == 0.0);
+  EXPECT_TRUE(has_dc);
+}
+
+TEST(Source, OversamplingRefinesQuadrature) {
+  SourceSpec spec;
+  const auto coarse = sample_source(spec, kLambda, kNa, 1024, 1);
+  const auto fine = sample_source(spec, kLambda, kNa, 1024, 3);
+  EXPECT_GT(fine.size(), 4 * coarse.size());
+}
+
+TEST(Source, QuadrupoleHasFourPoles) {
+  SourceSpec spec;
+  spec.shape = SourceShape::Quadrupole;
+  const auto pts = sample_source(spec, kLambda, kNa, 2048, 2);
+  int quads[4] = {0, 0, 0, 0};
+  for (const auto& p : pts) {
+    const int q = (p.fx >= 0 ? 0 : 1) + (p.fy >= 0 ? 0 : 2);
+    ++quads[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quads[q], 0);
+}
+
+TEST(Source, RejectsBadSigmas) {
+  SourceSpec spec;
+  spec.sigma_in = 0.9;
+  spec.sigma_out = 0.8;
+  EXPECT_THROW(sample_source(spec, kLambda, kNa, 1024, 2), check_error);
+}
+
+TEST(Pupil, DiskCutoff) {
+  const Pupil p(kLambda, kNa);
+  EXPECT_EQ(p(0.0, 0.0), cd(1.0, 0.0));
+  const double f = p.cutoff();
+  EXPECT_EQ(p(f * 1.01, 0.0), cd(0.0, 0.0));
+  EXPECT_NE(p(f * 0.99, 0.0), cd(0.0, 0.0));
+}
+
+TEST(Pupil, DefocusIsPhaseOnly) {
+  PupilSpec spec;
+  spec.defocus_nm = 50.0;
+  const Pupil p(kLambda, kNa, spec);
+  const cd v = p(0.004, 0.002);
+  EXPECT_NEAR(std::abs(v), 1.0, 1e-12);
+  EXPECT_NE(v.imag(), 0.0);
+}
+
+TEST(Pupil, DefocusSignSymmetric) {
+  PupilSpec plus, minus;
+  plus.defocus_nm = 40.0;
+  minus.defocus_nm = -40.0;
+  const Pupil pp(kLambda, kNa, plus), pm(kLambda, kNa, minus);
+  const cd a = pp(0.003, 0.001), b = pm(0.003, 0.001);
+  EXPECT_NEAR(a.real(), b.real(), 1e-12);
+  EXPECT_NEAR(a.imag(), -b.imag(), 1e-12);
+}
+
+class TccTest : public ::testing::Test {
+ protected:
+  static constexpr int kTile = 512;
+  OpticalSystem sys_;  // defaults: annular, oversample 2
+  int kdim_ = kernel_dim(kTile, kLambda, kNa);  // 15
+};
+
+TEST_F(TccTest, MatrixIsHermitian) {
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  ASSERT_EQ(t.rows(), kdim_ * kdim_);
+  for (int i = 0; i < t.rows(); ++i) {
+    for (int j = i; j < t.cols(); ++j) {
+      EXPECT_NEAR(std::abs(t(i, j) - std::conj(t(j, i))), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(TccTest, DcEntryIsUnityForContainedSource) {
+  // All annular source points pass the pupil, so T(dc, dc) = sum J = 1.
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  const int dc = (kdim_ / 2) * kdim_ + kdim_ / 2;
+  EXPECT_NEAR(t(dc, dc).real(), 1.0, 1e-12);
+  EXPECT_NEAR(t(dc, dc).imag(), 0.0, 1e-12);
+}
+
+TEST_F(TccTest, PositiveSemiDefinite) {
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  const SocsKernels socs = socs_decompose(t, kdim_, 1e-12, -1);
+  for (double l : socs.eigenvalues) EXPECT_GE(l, 0.0);
+}
+
+TEST_F(TccTest, EigenvaluesDecayFast) {
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  const SocsKernels socs = socs_decompose(t, kdim_, 0.0, -1);
+  ASSERT_GT(socs.rank(), 24);
+  // Paper keeps r < 60 on tiles twice this size; by kernel 24 the spectrum
+  // must have decayed by two orders of magnitude.
+  EXPECT_LT(socs.eigenvalues[24], 0.05 * socs.eigenvalues[0]);
+  for (int i = 1; i < socs.rank(); ++i) {
+    EXPECT_LE(socs.eigenvalues[i], socs.eigenvalues[i - 1] + 1e-12);
+  }
+}
+
+TEST_F(TccTest, SocsReconstructsTcc) {
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  const SocsKernels socs = socs_decompose(t, kdim_, 1e-12, -1);
+  const Grid<cd> back = tcc_from_kernels(socs);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i)
+    worst = std::max(worst, std::abs(t[i] - back[i]));
+  EXPECT_LT(worst, 1e-9);
+  EXPECT_NEAR(captured_energy(socs, t), 1.0, 1e-9);
+}
+
+TEST_F(TccTest, TruncationCapturesMostEnergy) {
+  const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
+  const SocsKernels socs = socs_decompose(t, kdim_, 0.0, 24);
+  EXPECT_EQ(socs.rank(), 24);
+  EXPECT_GT(captured_energy(socs, t), 0.85);
+}
+
+TEST_F(TccTest, CoherentSourceGivesRankOne) {
+  OpticalSystem coherent = sys_;
+  coherent.source.shape = SourceShape::Circular;
+  coherent.source.sigma_in = 0.0;
+  coherent.source.sigma_out = 1e-6;  // single on-axis point
+  coherent.source_oversample = 1;
+  const Grid<cd> t = build_tcc(coherent, kTile, kdim_);
+  const SocsKernels socs = socs_decompose(t, kdim_, 1e-9, -1);
+  EXPECT_EQ(socs.rank(), 1);
+}
+
+TEST_F(TccTest, RejectsEvenKdim) {
+  EXPECT_THROW(build_tcc(sys_, kTile, 8), check_error);
+}
+
+TEST(Socs, RejectsMismatchedSize) {
+  Grid<cd> t(9, 9);
+  EXPECT_THROW(socs_decompose(t, 5), check_error);
+}
+
+}  // namespace
+}  // namespace nitho
