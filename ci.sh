@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable anywhere the toolchain exists (mirrors
+# .github/workflows/ci.yml for environments without Actions).  Builds and
+# tests Debug and Release with -Wall -Wextra -Werror.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+for cfg in Release Debug; do
+  echo "=== ${cfg} ==="
+  build="build-ci-${cfg,,}"
+  cmake -B "${build}" -S . \
+        -DCMAKE_BUILD_TYPE="${cfg}" \
+        -DNITHO_WERROR=ON
+  cmake --build "${build}" -j "${jobs}"
+  ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
+done
+
+echo "CI OK: both configurations built warning-clean and all suites passed."

@@ -11,11 +11,12 @@ Flags::Flags(int argc, char** argv) {
     arg.remove_prefix(2);
     auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                               std::string(arg.substr(eq + 1)));
     } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
-      values_[std::string(arg)] = argv[++i];
+      values_.insert_or_assign(std::string(arg), std::string(argv[++i]));
     } else {
-      values_[std::string(arg)] = "1";
+      values_.insert_or_assign(std::string(arg), std::string("1"));
     }
   }
 }

@@ -7,6 +7,7 @@
 #include "analysis/pca.hpp"
 #include "analysis/tsne.hpp"
 #include "common/rng.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -32,8 +33,7 @@ TEST(Pca, RecoversDominantDirection) {
 
 TEST(Pca, ComponentsOrthonormal) {
   Rng rng(2);
-  Grid<double> data(50, 8);
-  for (auto& v : data) v = rng.normal();
+  const Grid<double> data = test::random_grid(50, 8, rng);
   const PcaResult r = pca(data, 4);
   for (int i = 0; i < 4; ++i) {
     for (int j = 0; j < 4; ++j) {
@@ -102,8 +102,7 @@ TEST(Tsne, SeparatesWellSeparatedClusters) {
 
 TEST(Tsne, DeterministicForSeed) {
   Rng rng(5);
-  Grid<double> data(20, 3);
-  for (auto& v : data) v = rng.normal();
+  const Grid<double> data = test::random_grid(20, 3, rng);
   TsneConfig cfg;
   cfg.perplexity = 5.0;
   cfg.iters = 50;

@@ -9,30 +9,14 @@
 #include "common/rng.hpp"
 #include "fft/fft.hpp"
 #include "fft/spectral.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
 
-std::vector<cd> random_signal(int n, Rng& rng) {
-  std::vector<cd> x(n);
-  for (auto& v : x) v = cd(rng.normal(), rng.normal());
-  return x;
-}
-
-// O(n^2) reference DFT.
-std::vector<cd> dft_reference(const std::vector<cd>& x) {
-  const int n = static_cast<int>(x.size());
-  std::vector<cd> out(n);
-  for (int k = 0; k < n; ++k) {
-    cd acc{};
-    for (int j = 0; j < n; ++j) {
-      const double ang = -2.0 * kPi * k * j / n;
-      acc += x[j] * cd(std::cos(ang), std::sin(ang));
-    }
-    out[k] = acc;
-  }
-  return out;
-}
+using test::dft_reference;
+using test::idft_reference;
+using test::random_signal;
 
 class FftSizeSweep : public ::testing::TestWithParam<int> {};
 
@@ -75,6 +59,54 @@ TEST_P(FftSizeSweep, ParsevalHolds) {
 INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 29, 31,
                                            63, 64, 100, 128, 243, 256));
+
+// Large prime sizes exercise the Bluestein chirp-z path exclusively: no
+// radix-2 or mixed-radix decomposition exists for them, so regressions in
+// the chirp convolution show up here and nowhere else.
+class PrimeSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrimeSizeSweep, BluesteinMatchesReferenceDft) {
+  const int n = GetParam();
+  Rng rng = test::make_rng(static_cast<std::uint64_t>(n));
+  std::vector<cd> x = random_signal(n, rng);
+  const std::vector<cd> ref = dft_reference(x);
+  fft_plan_d(n).forward(x.data());
+  EXPECT_TRUE(test::vectors_close(x, ref, 1e-8 * n));
+}
+
+TEST_P(PrimeSizeSweep, InverseMatchesReferenceIdft) {
+  const int n = GetParam();
+  Rng rng = test::make_rng(3 * static_cast<std::uint64_t>(n) + 1);
+  std::vector<cd> x = random_signal(n, rng);
+  const std::vector<cd> ref = idft_reference(x);
+  fft_plan_d(n).inverse(x.data());
+  EXPECT_TRUE(test::vectors_close(x, ref, 1e-8 * n));
+}
+
+TEST_P(PrimeSizeSweep, ForwardInverseRoundTripIsIdentity) {
+  const int n = GetParam();
+  Rng rng = test::make_rng(7 * static_cast<std::uint64_t>(n) + 5);
+  const std::vector<cd> orig = random_signal(n, rng);
+  std::vector<cd> x = orig;
+  fft_plan_d(n).forward(x.data());
+  fft_plan_d(n).inverse(x.data());
+  EXPECT_TRUE(test::vectors_close(x, orig, 1e-9 * n));
+}
+
+TEST_P(PrimeSizeSweep, ParsevalHolds) {
+  const int n = GetParam();
+  Rng rng = test::make_rng(11 * static_cast<std::uint64_t>(n) + 3);
+  std::vector<cd> x = random_signal(n, rng);
+  double time_energy = 0.0;
+  for (const cd& v : x) time_energy += norm2(v);
+  fft_plan_d(n).forward(x.data());
+  double freq_energy = 0.0;
+  for (const cd& v : x) freq_energy += norm2(v);
+  EXPECT_NEAR(freq_energy, time_energy * n, 1e-7 * time_energy * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(BluesteinPrimes, PrimeSizeSweep,
+                         ::testing::Values(97, 251, 509));
 
 TEST(Fft, ImpulseGivesFlatSpectrum) {
   const int n = 32;

@@ -11,6 +11,7 @@
 #include "io/csv.hpp"
 #include "io/pgm.hpp"
 #include "io/tensor_io.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -94,9 +95,8 @@ TEST_F(IoTest, CsvRejectsWidthMismatch) {
 }
 
 TEST_F(IoTest, GridRoundTrip) {
-  Grid<double> g(7, 9);
   Rng rng(2);
-  for (auto& v : g) v = rng.normal();
+  const Grid<double> g = test::random_grid(7, 9, rng);
   save_grid(path("g.bin"), g);
   const Grid<double> back = load_grid(path("g.bin"));
   EXPECT_EQ(back, g);
@@ -105,11 +105,7 @@ TEST_F(IoTest, GridRoundTrip) {
 TEST_F(IoTest, KernelsRoundTrip) {
   Rng rng(3);
   std::vector<Grid<cd>> ks;
-  for (int i = 0; i < 4; ++i) {
-    Grid<cd> k(5, 5);
-    for (auto& v : k) v = cd(rng.normal(), rng.normal());
-    ks.push_back(std::move(k));
-  }
+  for (int i = 0; i < 4; ++i) ks.push_back(test::random_cgrid(5, 5, rng));
   save_kernels(path("k.bin"), ks);
   const auto back = load_kernels(path("k.bin"));
   ASSERT_EQ(back.size(), 4u);

@@ -13,6 +13,7 @@
 #include "litho/simulator.hpp"
 #include "metrics/metrics.hpp"
 #include "optics/resolution.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -45,22 +46,7 @@ Grid<cd> clear_field_spectrum(int crop) {
   return spec;
 }
 
-Grid<cd> random_spectrum(int crop, Rng& rng, double scale = 0.05) {
-  // Hermitian-symmetric spectrum of a real mask, DC ~ density.
-  Grid<cd> spec(crop, crop, cd(0.0, 0.0));
-  const int h = crop / 2;
-  spec(h, h) = cd(0.3, 0.0);
-  for (int r = 0; r < crop; ++r) {
-    for (int c = 0; c < crop; ++c) {
-      const int sr = r - h, sc = c - h;
-      if (sr < 0 || (sr == 0 && sc <= 0)) continue;
-      const cd v(rng.normal() * scale, rng.normal() * scale);
-      spec(r, c) = v;
-      spec(h - sr, h - sc) = std::conj(v);
-    }
-  }
-  return spec;
-}
+using test::random_spectrum;
 
 TEST(Simulator, ClearFieldImagesToUnity) {
   const auto& e = engine();
@@ -114,6 +100,31 @@ TEST(Simulator, SocsMatchesDirectHopkins) {
   for (std::size_t i = 0; i < socs.size(); ++i) {
     EXPECT_NEAR(socs[i], hopkins[i], 1e-8) << i;
   }
+}
+
+TEST(Simulator, ThreeWayAgreementOnRandomMask) {
+  // All three simulator paths documented in litho/simulator.hpp — SOCS
+  // (production), Abbe (per-source-point) and direct Hopkins (TCC quadratic
+  // form) — must agree on the spectrum of an actual random binary mask, not
+  // just on synthetic Hermitian noise.
+  Rng rng = test::make_rng(42);
+  const auto cfg = small_config();
+  const auto& e = engine();
+  const int kdim = e.kernel_dim();
+
+  const int raster = 64;
+  const Grid<double> mask = test::random_mask(raster, raster, rng);
+  Grid<cd> spec = fft2_crop_centered(mask, kdim);
+  const double inv_n2 = 1.0 / (static_cast<double>(raster) * raster);
+  for (auto& z : spec) z *= inv_n2;  // DC = mean transmission
+
+  const Grid<double> socs = socs_aerial(e.kernels().kernels, spec, 32);
+  const Grid<double> abbe = abbe_aerial(cfg.optics, kTile, spec, 32);
+  const Grid<double> hopkins = hopkins_aerial_direct(e.tcc(), kdim, spec, 32);
+
+  EXPECT_TRUE(test::grids_close(socs, abbe, 1e-8));
+  EXPECT_TRUE(test::grids_close(socs, hopkins, 1e-8));
+  EXPECT_TRUE(test::grids_close(abbe, hopkins, 1e-8));
 }
 
 TEST(Simulator, TruncatedSocsApproachesFullRank) {

@@ -10,22 +10,12 @@
 #include "math/grid.hpp"
 #include "math/hermitian_eig.hpp"
 #include "math/stats.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
 
-Grid<cd> random_hermitian(int n, Rng& rng) {
-  Grid<cd> a(n, n);
-  for (int i = 0; i < n; ++i) {
-    a(i, i) = cd(rng.normal(), 0.0);
-    for (int j = i + 1; j < n; ++j) {
-      const cd v(rng.normal(), rng.normal());
-      a(i, j) = v;
-      a(j, i) = std::conj(v);
-    }
-  }
-  return a;
-}
+using test::random_hermitian;
 
 TEST(Grid, ConstructionAndIndexing) {
   Grid<double> g(3, 4, 1.5);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "metrics/metrics.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -25,6 +26,17 @@ TEST(Metrics, MseHandComputed) {
   const Grid<double> t = make({1.0, 2.0, 3.0, 4.0}, 2, 2);
   const Grid<double> p = make({1.5, 2.0, 2.0, 4.0}, 2, 2);
   EXPECT_DOUBLE_EQ(mse(t, p), (0.25 + 0.0 + 1.0 + 0.0) / 4.0);
+}
+
+TEST(Metrics, MsePropertiesOnRandomGrids) {
+  Rng rng = test::make_rng(1);
+  const Grid<double> a = test::random_grid(8, 8, rng);
+  const Grid<double> b = test::random_grid(8, 8, rng);
+  EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+  EXPECT_GT(mse(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(mse(a, b), mse(b, a));
+  const double worst = test::max_abs_diff(a, b);
+  EXPECT_LE(mse(a, b), worst * worst);
 }
 
 TEST(Metrics, MseShapeMismatchThrows) {

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
+#include <functional>
+#include <limits>
 
 #include "fft/spectral.hpp"
 #include "layout/raster.hpp"
@@ -17,6 +20,7 @@
 #include "nitho/trainer.hpp"
 #include "nn/ops.hpp"
 #include "nn/optimizer.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -125,6 +129,133 @@ TEST(Cmlp, OutputShapeAndParameterCount) {
   EXPECT_EQ(out->value.dim(0), 5);
   EXPECT_EQ(out->value.dim(1), 3);
   EXPECT_EQ(out->value.dim(2), 2);
+}
+
+// Double-precision replica of Cmlp::forward followed by L = sum |out|^2,
+// operating on flattened copies of the network parameters in parameters()
+// order (all weights, then all biases).  Used to finite-difference the full
+// complex MLP against float backprop at 1e-5 — re and im slots alike.
+double cmlp_ref_loss(const CmlpConfig& cfg,
+                     const std::vector<std::vector<double>>& params,
+                     const std::vector<double>& input, int P,
+                     double* min_preact = nullptr) {
+  const int layers = cfg.blocks + 2;
+  std::vector<int> fan_in{cfg.in_features}, fan_out{cfg.hidden};
+  for (int b = 0; b < cfg.blocks; ++b) {
+    fan_in.push_back(cfg.hidden);
+    fan_out.push_back(cfg.hidden);
+  }
+  fan_in.push_back(cfg.hidden);
+  fan_out.push_back(cfg.out);
+
+  double min_abs = std::numeric_limits<double>::infinity();
+  std::vector<double> h = input;  // [P, fan_in[0], 2]
+  for (int l = 0; l < layers; ++l) {
+    const std::vector<double>& w = params[static_cast<std::size_t>(l)];
+    const std::vector<double>& b =
+        params[static_cast<std::size_t>(layers + l)];
+    const int in = fan_in[l], out = fan_out[l];
+    std::vector<double> next(static_cast<std::size_t>(P) * out * 2);
+    for (int p = 0; p < P; ++p) {
+      for (int o = 0; o < out; ++o) {
+        double re = b[2 * o], im = b[2 * o + 1];
+        for (int i = 0; i < in; ++i) {
+          const double xr = h[(p * in + i) * 2], xi = h[(p * in + i) * 2 + 1];
+          const double wr = w[(i * out + o) * 2], wi = w[(i * out + o) * 2 + 1];
+          re += xr * wr - xi * wi;
+          im += xr * wi + xi * wr;
+        }
+        const bool activated = l >= 1 && l <= cfg.blocks;  // CReLU blocks
+        if (activated) {
+          min_abs = std::min({min_abs, std::abs(re), std::abs(im)});
+          re = re > 0.0 ? re : 0.0;
+          im = im > 0.0 ? im : 0.0;
+        }
+        next[(p * out + o) * 2] = re;
+        next[(p * out + o) * 2 + 1] = im;
+      }
+    }
+    h = std::move(next);
+  }
+  if (min_preact) *min_preact = min_abs;
+  double loss = 0.0;
+  for (double v : h) loss += v * v;
+  return loss;
+}
+
+TEST(Cmlp, FiniteDifferenceGradientsMatchBackprop) {
+  CmlpConfig cfg;
+  cfg.in_features = 2;
+  cfg.hidden = 3;
+  cfg.blocks = 1;
+  cfg.out = 2;
+  cfg.seed = 77;
+  const Cmlp mlp(cfg);
+  const int P = 4;
+
+  Rng rng = test::make_rng(9);
+  nn::Tensor in_t({P, cfg.in_features, 2});
+  for (std::int64_t i = 0; i < in_t.numel(); ++i) {
+    in_t[i] = static_cast<float>(rng.normal());
+  }
+  nn::Var input = nn::make_leaf(in_t, true);
+
+  nn::Var loss = nn::sum(nn::square(mlp.forward(input)));
+  nn::backward(loss);
+
+  const std::vector<nn::Var> params = mlp.parameters();
+  std::vector<std::vector<double>> pv(params.size());
+  for (std::size_t li = 0; li < params.size(); ++li) {
+    const nn::Tensor& t = params[li]->value;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      pv[li].push_back(static_cast<double>(t[i]));
+    }
+  }
+  std::vector<double> iv;
+  for (std::int64_t i = 0; i < in_t.numel(); ++i) {
+    iv.push_back(static_cast<double>(in_t[i]));
+  }
+
+  // Finite differences are only meaningful away from the CReLU kink.
+  double min_preact = 0.0;
+  cmlp_ref_loss(cfg, pv, iv, P, &min_preact);
+  ASSERT_GT(min_preact, 1e-3);
+
+  const double eps = 1e-6;
+  const auto check_leaf = [&](const nn::Tensor& grad, std::size_t n,
+                              const std::function<double(std::size_t, double)>&
+                                  eval_perturbed,
+                              const char* what) {
+    ASSERT_EQ(grad.numel(), static_cast<std::int64_t>(n)) << what;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double fd =
+          (eval_perturbed(i, eps) - eval_perturbed(i, -eps)) / (2.0 * eps);
+      const double analytic = static_cast<double>(grad[static_cast<std::int64_t>(i)]);
+      const char* slot = (i % 2 == 0) ? "re" : "im";
+      EXPECT_NEAR(analytic, fd,
+                  1e-5 * (1.0 + std::abs(analytic) + std::abs(fd)))
+          << what << " elem " << i << " (" << slot << " slot)";
+    }
+  };
+
+  for (std::size_t li = 0; li < params.size(); ++li) {
+    check_leaf(
+        params[li]->grad, pv[li].size(),
+        [&](std::size_t i, double delta) {
+          std::vector<std::vector<double>> p = pv;
+          p[li][i] += delta;
+          return cmlp_ref_loss(cfg, p, iv, P);
+        },
+        li < params.size() / 2 ? "weight" : "bias");
+  }
+  check_leaf(
+      input->grad, iv.size(),
+      [&](std::size_t i, double delta) {
+        std::vector<double> x = iv;
+        x[i] += delta;
+        return cmlp_ref_loss(cfg, pv, x, P);
+      },
+      "input");
 }
 
 TEST(Cmlp, LearnsComplexRegression) {

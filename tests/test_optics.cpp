@@ -10,6 +10,7 @@
 #include "optics/socs.hpp"
 #include "optics/source.hpp"
 #include "optics/tcc.hpp"
+#include "support/test_support.hpp"
 
 namespace nitho {
 namespace {
@@ -172,10 +173,7 @@ TEST_F(TccTest, SocsReconstructsTcc) {
   const Grid<cd> t = build_tcc(sys_, kTile, kdim_);
   const SocsKernels socs = socs_decompose(t, kdim_, 1e-12, -1);
   const Grid<cd> back = tcc_from_kernels(socs);
-  double worst = 0.0;
-  for (std::size_t i = 0; i < t.size(); ++i)
-    worst = std::max(worst, std::abs(t[i] - back[i]));
-  EXPECT_LT(worst, 1e-9);
+  EXPECT_TRUE(test::grids_close(t, back, 1e-9));
   EXPECT_NEAR(captured_energy(socs, t), 1.0, 1e-9);
 }
 
