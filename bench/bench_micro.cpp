@@ -13,6 +13,7 @@
 #include "nn/ops.hpp"
 #include "nn/ops_conv.hpp"
 #include "nn/optimizer.hpp"
+#include "litho/engine.hpp"
 #include "litho/simulator.hpp"
 #include "optics/resolution.hpp"
 #include "optics/socs.hpp"
@@ -99,6 +100,62 @@ void BM_SocsAerial(benchmark::State& state) {
   state.SetLabel("rank=" + std::to_string(socs.rank()));
 }
 BENCHMARK(BM_SocsAerial)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_Fft2dWorkspace(benchmark::State& state) {
+  // fft2_inplace with a reused workspace: the per-call column buffer and
+  // Bluestein scratch disappear (compare against BM_Fft2d).
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Grid<cd> g(n, n);
+  for (auto& v : g) v = cd(rng.normal(), rng.normal());
+  Fft2Workspace ws;
+  for (auto _ : state) {
+    fft2_inplace(g, ws);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_Fft2dWorkspace)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AerialEngineSingle(benchmark::State& state) {
+  // Persistent engine, one spectrum per call (compare against
+  // BM_SocsAerial, which pays transient-engine setup per call).
+  const int rank = static_cast<int>(state.range(0));
+  OpticalSystem sys;
+  const int kdim = kernel_dim(512, sys.wavelength_nm, sys.na);
+  const Grid<cd> tcc = build_tcc(sys, 512, kdim);
+  const SocsKernels socs = socs_decompose(tcc, kdim, 0.0, rank);
+  const AerialEngine engine(socs.kernels, 64);
+  Rng rng(5);
+  Grid<cd> spec(kdim, kdim);
+  for (auto& v : spec) v = cd(rng.normal() * 0.05, rng.normal() * 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.aerial(spec));
+  }
+  state.SetLabel("rank=" + std::to_string(socs.rank()));
+}
+BENCHMARK(BM_AerialEngineSingle)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_AerialEngineBatch(benchmark::State& state) {
+  // Eight spectra per engine sweep; items processed counts spectra so the
+  // per-mask rate is directly comparable to BM_AerialEngineSingle.
+  const int rank = static_cast<int>(state.range(0));
+  OpticalSystem sys;
+  const int kdim = kernel_dim(512, sys.wavelength_nm, sys.na);
+  const Grid<cd> tcc = build_tcc(sys, 512, kdim);
+  const SocsKernels socs = socs_decompose(tcc, kdim, 0.0, rank);
+  const AerialEngine engine(socs.kernels, 64);
+  Rng rng(5);
+  std::vector<Grid<cd>> spectra(8, Grid<cd>(kdim, kdim));
+  for (auto& spec : spectra) {
+    for (auto& v : spec) v = cd(rng.normal() * 0.05, rng.normal() * 0.05);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.aerial_batch(spectra));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.SetLabel("rank=" + std::to_string(socs.rank()) + " batch=8");
+}
+BENCHMARK(BM_AerialEngineBatch)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
 
 void BM_CmlpForward(benchmark::State& state) {
   CmlpConfig cfg;

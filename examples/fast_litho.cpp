@@ -54,12 +54,18 @@ int main() {
   }
   const double tile_um2 = 0.512 * 0.512;
 
+  // Single engine sweep over the whole stream: plans, workspaces and pool
+  // dispatch are shared across masks (bit-identical to per-mask calls).
   WallTimer t;
-  std::vector<Grid<double>> fast_aerials;
-  for (const auto& m : masks) {
-    fast_aerials.push_back(fast.aerial_from_mask(m, litho.analysis_px));
-  }
+  const std::vector<Grid<double>> fast_aerials =
+      fast.aerial_batch(masks, litho.analysis_px);
   const double fast_s = t.seconds();
+
+  t.reset();
+  for (const auto& m : masks) {
+    (void)fast.aerial_from_mask(m, litho.analysis_px);
+  }
+  const double single_s = t.seconds();
 
   t.reset();
   std::vector<Grid<double>> ref_aerials;
@@ -71,8 +77,10 @@ int main() {
     worst_psnr = std::min(worst_psnr, psnr(ref_aerials[static_cast<std::size_t>(i)],
                                            fast_aerials[static_cast<std::size_t>(i)]));
   }
-  std::printf("fast SOCS (learned kernels): %6.2f um^2/s\n",
+  std::printf("fast SOCS, batched sweep:    %6.2f um^2/s\n",
               n * tile_um2 / fast_s);
+  std::printf("fast SOCS, one mask a time:  %6.2f um^2/s\n",
+              n * tile_um2 / single_s);
   std::printf("rigorous Abbe reference:     %6.2f um^2/s\n",
               n * tile_um2 / ref_s);
   std::printf("speedup: %.0fx, worst-tile PSNR vs reference: %.2f dB\n",

@@ -86,11 +86,14 @@ struct FftPlan<R>::Impl {
     }
   }
 
-  void transform(C* x, bool inverse) const {
+  void transform(C* x, bool inverse, C* scratch) const {
     if (m == 0) {
       pow2_transform(x, n, inverse);
+    } else if (scratch != nullptr) {
+      bluestein(x, inverse, scratch);
     } else {
-      bluestein(x, inverse);
+      std::vector<C> local(static_cast<std::size_t>(m));
+      bluestein(x, inverse, local.data());
     }
     if (inverse) {
       const R scale = static_cast<R>(1.0 / n);
@@ -98,18 +101,18 @@ struct FftPlan<R>::Impl {
     }
   }
 
-  void bluestein(C* x, bool inverse) const {
+  void bluestein(C* x, bool inverse, C* a) const {
     // Forward (sign -): X_k = conj(b_k) * sum_j x_j conj(b_j) b_{k-j}.
     // Inverse reuses the identity ifft(x) = conj(fft(conj(x))) (scaling is
-    // applied by the caller).
-    std::vector<C> a(m, C{});
+    // applied by the caller).  `a` is the length-m convolution scratch.
     for (int j = 0; j < n; ++j) {
       const C xj = inverse ? std::conj(x[j]) : x[j];
       a[j] = xj * std::conj(chirp[j]);
     }
-    pow2_transform(a.data(), m, false);
+    for (int j = n; j < m; ++j) a[j] = C{};
+    pow2_transform(a, m, false);
     for (int i = 0; i < m; ++i) a[i] *= bfft[i];
-    pow2_transform(a.data(), m, true);
+    pow2_transform(a, m, true);
     const R inv_m = static_cast<R>(1.0 / m);
     for (int k = 0; k < n; ++k) {
       C v = a[k] * inv_m * std::conj(chirp[k]);
@@ -139,13 +142,28 @@ int FftPlan<R>::size() const {
 }
 
 template <typename R>
+int FftPlan<R>::scratch_size() const {
+  return impl_->m;
+}
+
+template <typename R>
 void FftPlan<R>::forward(std::complex<R>* x) const {
-  impl_->transform(x, false);
+  impl_->transform(x, false, nullptr);
 }
 
 template <typename R>
 void FftPlan<R>::inverse(std::complex<R>* x) const {
-  impl_->transform(x, true);
+  impl_->transform(x, true, nullptr);
+}
+
+template <typename R>
+void FftPlan<R>::forward(std::complex<R>* x, std::complex<R>* scratch) const {
+  impl_->transform(x, false, scratch);
+}
+
+template <typename R>
+void FftPlan<R>::inverse(std::complex<R>* x, std::complex<R>* scratch) const {
+  impl_->transform(x, true, scratch);
 }
 
 template class FftPlan<double>;
@@ -163,25 +181,27 @@ const FftPlan<R>& cached_plan(int n) {
   return *slot;
 }
 
-void fft2_dir(Grid<cd>& g, bool inverse) {
+void fft2_dir(Grid<cd>& g, bool inverse, Fft2Workspace& ws) {
   const int rows = g.rows(), cols = g.cols();
   if (rows == 0 || cols == 0) return;
   const FftPlan<double>& row_plan = fft_plan_d(cols);
+  cd* row_scratch = ws.scratch_for(row_plan);
   for (int r = 0; r < rows; ++r) {
     if (inverse) {
-      row_plan.inverse(g.row(r));
+      row_plan.inverse(g.row(r), row_scratch);
     } else {
-      row_plan.forward(g.row(r));
+      row_plan.forward(g.row(r), row_scratch);
     }
   }
   const FftPlan<double>& col_plan = fft_plan_d(rows);
-  std::vector<cd> buf(rows);
+  cd* col_scratch = ws.scratch_for(col_plan);
+  cd* buf = ws.col_buffer(rows);
   for (int c = 0; c < cols; ++c) {
     for (int r = 0; r < rows; ++r) buf[r] = g(r, c);
     if (inverse) {
-      col_plan.inverse(buf.data());
+      col_plan.inverse(buf, col_scratch);
     } else {
-      col_plan.forward(buf.data());
+      col_plan.forward(buf, col_scratch);
     }
     for (int r = 0; r < rows; ++r) g(r, c) = buf[r];
   }
@@ -192,8 +212,30 @@ void fft2_dir(Grid<cd>& g, bool inverse) {
 const FftPlan<double>& fft_plan_d(int n) { return cached_plan<double>(n); }
 const FftPlan<float>& fft_plan_f(int n) { return cached_plan<float>(n); }
 
-void fft2_inplace(Grid<cd>& g) { fft2_dir(g, false); }
-void ifft2_inplace(Grid<cd>& g) { fft2_dir(g, true); }
+cd* Fft2Workspace::col_buffer(int rows) {
+  if (static_cast<int>(col_.size()) < rows) col_.resize(rows);
+  return col_.data();
+}
+
+cd* Fft2Workspace::scratch_for(const FftPlan<double>& plan) {
+  const int need = plan.scratch_size();
+  if (need == 0) return nullptr;
+  if (static_cast<int>(scratch_.size()) < need) scratch_.resize(need);
+  return scratch_.data();
+}
+
+void fft2_inplace(Grid<cd>& g) {
+  Fft2Workspace ws;
+  fft2_dir(g, false, ws);
+}
+
+void ifft2_inplace(Grid<cd>& g) {
+  Fft2Workspace ws;
+  fft2_dir(g, true, ws);
+}
+
+void fft2_inplace(Grid<cd>& g, Fft2Workspace& ws) { fft2_dir(g, false, ws); }
+void ifft2_inplace(Grid<cd>& g, Fft2Workspace& ws) { fft2_dir(g, true, ws); }
 
 Grid<cd> fft2(const Grid<cd>& g) {
   Grid<cd> out = g;

@@ -6,9 +6,16 @@
 // supported (kernel supports are odd per Eq. 10 of the paper).  Forward
 // transforms are unnormalized (matching the Hopkins conventions in
 // DESIGN.md §5); inverse transforms scale by 1/n.
+//
+// Hot paths that transform many same-sized grids (the AerialEngine,
+// DESIGN.md §6) pass an Fft2Workspace so no per-transform heap allocation
+// happens: the workspace holds the column gather buffer and the Bluestein
+// convolution scratch that the plain entry points otherwise allocate per
+// call.
 
 #include <complex>
 #include <memory>
+#include <vector>
 
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
@@ -29,10 +36,20 @@ class FftPlan {
 
   int size() const;
 
+  /// Complex elements of external scratch the workspace overloads need:
+  /// 0 for power-of-two sizes, the Bluestein convolution length otherwise.
+  int scratch_size() const;
+
   /// In-place unnormalized DFT with exponent e^{-2*pi*i*jk/n}.
   void forward(std::complex<R>* x) const;
   /// In-place inverse DFT (exponent +) scaled by 1/n.
   void inverse(std::complex<R>* x) const;
+
+  /// Workspace overloads: bit-identical to the plain calls, but any
+  /// Bluestein scratch comes from `scratch` (>= scratch_size() elements;
+  /// may be null when scratch_size() == 0) instead of the heap.
+  void forward(std::complex<R>* x, std::complex<R>* scratch) const;
+  void inverse(std::complex<R>* x, std::complex<R>* scratch) const;
 
  private:
   struct Impl;
@@ -43,9 +60,28 @@ class FftPlan {
 const FftPlan<double>& fft_plan_d(int n);
 const FftPlan<float>& fft_plan_f(int n);
 
+/// Reusable scratch for the workspace-taking 2-D transforms: one column
+/// gather buffer plus Bluestein scratch, both sized on demand and retained
+/// across calls.  Not thread-safe — use one workspace per thread.
+class Fft2Workspace {
+ public:
+  /// Column gather buffer holding `rows` elements (grown, never shrunk).
+  cd* col_buffer(int rows);
+  /// Scratch sized for `plan` (nullptr when the plan needs none).
+  cd* scratch_for(const FftPlan<double>& plan);
+
+ private:
+  std::vector<cd> col_;
+  std::vector<cd> scratch_;
+};
+
 /// 2-D transforms over Grid<complex>: rows then columns.
 void fft2_inplace(Grid<cd>& g);
 void ifft2_inplace(Grid<cd>& g);
+/// Workspace variants: bit-identical results, zero heap allocation per call
+/// once the workspace has warmed up.
+void fft2_inplace(Grid<cd>& g, Fft2Workspace& ws);
+void ifft2_inplace(Grid<cd>& g, Fft2Workspace& ws);
 Grid<cd> fft2(const Grid<cd>& g);
 Grid<cd> ifft2(const Grid<cd>& g);
 /// Forward transform of a real image.

@@ -90,24 +90,47 @@ Grid<cd> fft2_crop_centered(const Grid<double>& img, int crop) {
   check(crop % 2 == 1, "spectrum crop must be odd (centered on DC)");
   const int half = crop / 2;
   const FftPlan<double>& row_plan = fft_plan_d(cols);
+  Fft2Workspace ws;
+  cd* row_scratch = ws.scratch_for(row_plan);
   // Signed frequency k in [-half, half] lives at unshifted index (k+N)%N and
   // at crop position k + half.
   Grid<cd> partial(rows, crop);
   std::vector<cd> buf(cols);
-  for (int r = 0; r < rows; ++r) {
-    const double* src = img.row(r);
-    for (int c = 0; c < cols; ++c) buf[c] = cd(src[c], 0.0);
-    row_plan.forward(buf.data());
+  // The rows are real, so two of them ride one complex transform: with
+  // Z = F(a + i b), conjugate symmetry splits them back as
+  // A[k] = (Z[k] + conj(Z[-k]))/2 and B[k] = (Z[k] - conj(Z[-k]))/(2i)
+  // (DESIGN.md §5.5).  Only the crop band is ever unpacked, so the split
+  // costs O(rows * crop) against the O(rows * cols log cols) it halves.
+  int r = 0;
+  for (; r + 1 < rows; r += 2) {
+    const double* a = img.row(r);
+    const double* b = img.row(r + 1);
+    for (int c = 0; c < cols; ++c) buf[c] = cd(a[c], b[c]);
+    row_plan.forward(buf.data(), row_scratch);
+    for (int k = -half; k <= half; ++k) {
+      const int idx = (k + cols) % cols;
+      const cd z = buf[idx];
+      const cd zc = std::conj(buf[(cols - idx) % cols]);
+      partial(r, k + half) = 0.5 * (z + zc);
+      const cd d = z - zc;
+      partial(r + 1, k + half) = cd(0.5 * d.imag(), -0.5 * d.real());
+    }
+  }
+  if (r < rows) {  // odd row count: transform the last row on its own
+    const double* a = img.row(r);
+    for (int c = 0; c < cols; ++c) buf[c] = cd(a[c], 0.0);
+    row_plan.forward(buf.data(), row_scratch);
     for (int k = -half; k <= half; ++k) {
       partial(r, k + half) = buf[(k + cols) % cols];
     }
   }
   const FftPlan<double>& col_plan = fft_plan_d(rows);
+  cd* col_scratch = ws.scratch_for(col_plan);
   Grid<cd> out(crop, crop);
   std::vector<cd> col(rows);
   for (int j = 0; j < crop; ++j) {
-    for (int r = 0; r < rows; ++r) col[r] = partial(r, j);
-    col_plan.forward(col.data());
+    for (int r2 = 0; r2 < rows; ++r2) col[r2] = partial(r2, j);
+    col_plan.forward(col.data(), col_scratch);
     for (int k = -half; k <= half; ++k) {
       out(k + half, j) = col[(k + rows) % rows];
     }

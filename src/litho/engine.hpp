@@ -1,0 +1,102 @@
+#pragma once
+// Batched SOCS aerial-image engine (DESIGN.md §6).
+//
+// AerialEngine fixes one (kernel set, out_px) configuration and owns
+// everything the per-kernel hot loop needs: the cached FFT plan for the
+// output grid, the precomputed embed/ifftshift scatter maps, and a pool of
+// per-thread workspaces.  Evaluating a kernel is then a fused
+// crop -> kernel-multiply -> embed/shift scatter -> pruned inverse FFT with
+// zero heap allocation per kernel; batches of mask spectra are swept in a
+// single parallel_for over (mask, kernel-chunk) tasks.
+//
+// The floating-point result is bit-identical to the historical per-mask
+// socs_aerial: the same chunked ordered reduction (grain 8) is used, the
+// scatter feeds the inverse transform exactly the grid
+// ifftshift(center_embed(K . c, out_px, out_px)) would hold, and rows of
+// that grid that are structurally zero are skipped — a pruning that cannot
+// change any output bit because zero rows only ever enter the column pass
+// additively and |.|^2 erases the sign of zero (DESIGN.md §6.3).
+//
+// Thread-safety: aerial / aerial_batch may be called concurrently from
+// multiple threads (workspaces are leased from an internal pool), but not
+// from inside a parallel_for callback — the shared thread pool does not
+// nest.
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+
+namespace nitho {
+
+class AerialEngine {
+ public:
+  /// Owning constructor: the engine keeps a private copy of the kernels.
+  /// All kernels must be square with one common odd-or-even dimension, and
+  /// out_px must fit the kernel support.
+  AerialEngine(std::vector<Grid<cd>> kernels, int out_px);
+
+  /// Shared-ownership constructor.  Pass an aliasing shared_ptr (empty
+  /// deleter) to borrow a kernel vector that outlives the engine without
+  /// copying it — socs_aerial builds its transient engines this way.
+  AerialEngine(std::shared_ptr<const std::vector<Grid<cd>>> kernels,
+               int out_px);
+
+  ~AerialEngine();
+  AerialEngine(const AerialEngine&) = delete;
+  AerialEngine& operator=(const AerialEngine&) = delete;
+
+  int kernel_dim() const { return kdim_; }
+  int out_px() const { return out_px_; }
+  int rank() const { return static_cast<int>(kernels_->size()); }
+  const std::vector<Grid<cd>>& kernels() const { return *kernels_; }
+
+  /// Aerial intensity of one centered cropped spectrum (>= kernel support).
+  /// Bit-identical to socs_aerial(kernels(), spectrum, out_px()).
+  Grid<double> aerial(const Grid<cd>& spectrum) const;
+
+  /// Batched evaluation: one intensity grid per input spectrum.  The
+  /// (mask, kernel-chunk) task grid keeps every pool worker busy even when
+  /// a single mask has fewer chunks than workers; each mask's reduction
+  /// stays in chunk order, so results match aerial() bit for bit.
+  std::vector<Grid<double>> aerial_batch(
+      const std::vector<Grid<cd>>& spectra) const;
+  std::vector<Grid<double>> aerial_batch(
+      const std::vector<const Grid<cd>*>& spectra) const;
+
+ private:
+  struct Workspace;
+
+  std::unique_ptr<Workspace> acquire_workspace() const;
+  void release_workspace(std::unique_ptr<Workspace> ws) const;
+  void accumulate_kernel(const Grid<cd>& kernel, const Grid<cd>& spectrum,
+                         int r0, int c0, Workspace& ws,
+                         Grid<double>& local) const;
+
+  std::shared_ptr<const std::vector<Grid<cd>>> kernels_;
+  int kdim_ = 0;
+  int out_px_ = 0;
+  /// Set after the configuration checks pass (never null afterwards), so a
+  /// bad out_px fails with the engine's own diagnostics and no plan is
+  /// inserted into the process-wide cache.
+  const FftPlan<double>* out_plan_ = nullptr;
+  /// embed+ifftshift target index per kernel row/column (DESIGN.md §6.2).
+  std::vector<int> scatter_;
+  /// Sorted field rows that receive kernel data; the only rows the inverse
+  /// transform's row pass must touch.
+  std::vector<int> band_rows_;
+
+  mutable std::mutex ws_mu_;
+  mutable std::vector<std::unique_ptr<Workspace>> ws_pool_;
+};
+
+/// Ordered sum of per-chunk partial intensities.  Shared by the engine and
+/// abbe_aerial so the two reductions cannot drift apart; empty partials
+/// (chunks that contributed nothing) are skipped.
+Grid<double> reduce_ordered(const Grid<double>* partials, std::size_t count,
+                            int out_px);
+
+}  // namespace nitho

@@ -24,6 +24,9 @@ GoldenEngine::GoldenEngine(LithoConfig cfg) : cfg_(cfg) {
         "simulation grid cannot hold the kernel band");
   tcc_ = build_tcc(cfg_.optics, cfg_.tile_nm, kdim_);
   kernels_ = socs_decompose(tcc_, kdim_, cfg_.rank_tol, cfg_.max_rank);
+  // Owning copy so the engine survives moves of this GoldenEngine.
+  aerial_engine_ =
+      std::make_unique<AerialEngine>(kernels_.kernels, cfg_.sim_px);
 }
 
 Sample GoldenEngine::make_sample(const Grid<double>& mask_raster) const {
@@ -42,8 +45,7 @@ Sample GoldenEngine::make_sample(const Grid<double>& mask_raster) const {
   s.mask_coarse =
       downsample_area(mask_raster, cfg_.raster_px / cfg_.analysis_px);
 
-  const Grid<double> aerial_sim =
-      socs_aerial(kernels_.kernels, s.spectrum, cfg_.sim_px);
+  const Grid<double> aerial_sim = aerial_engine_->aerial(s.spectrum);
   s.aerial = cfg_.sim_px == cfg_.analysis_px
                  ? aerial_sim
                  : spectral_resample(aerial_sim, cfg_.analysis_px,

@@ -7,10 +7,12 @@
 // substitutes the paper's Lithosim/Calibre golden simulators (DESIGN.md §3).
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "layout/datasets.hpp"
+#include "litho/engine.hpp"
 #include "litho/resist.hpp"
 #include "litho/simulator.hpp"
 #include "math/grid.hpp"
@@ -75,6 +77,9 @@ class GoldenEngine {
   int kdim_ = 0;
   Grid<cd> tcc_;
   SocsKernels kernels_;
+  /// Persistent batched SOCS engine on the sim grid: make_sample reuses its
+  /// FFT plans and workspaces instead of paying per-call setup.
+  std::unique_ptr<AerialEngine> aerial_engine_;
 };
 
 }  // namespace nitho

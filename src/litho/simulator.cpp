@@ -1,11 +1,12 @@
 #include "litho/simulator.hpp"
 
-#include <mutex>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "fft/fft.hpp"
 #include "fft/spectral.hpp"
+#include "litho/engine.hpp"
 
 namespace nitho {
 namespace {
@@ -24,38 +25,14 @@ Grid<cd> field_from_centered(const Grid<cd>& centered, int out_px) {
 
 Grid<double> socs_aerial(const std::vector<Grid<cd>>& kernels,
                          const Grid<cd>& spectrum, int out_px) {
-  check(!kernels.empty(), "socs_aerial needs at least one kernel");
-  const int kdim = kernels[0].rows();
-  check(kernels[0].cols() == kdim, "kernels must be square");
-  check(spectrum.rows() >= kdim && spectrum.cols() >= kdim,
-        "spectrum crop smaller than the kernel support");
-  check(out_px >= kdim, "output grid must fit the kernel support");
-
-  const Grid<cd> c = center_crop(spectrum, kdim, kdim);
-  // Fixed chunking + ordered reduction keeps the floating-point sum
-  // bit-identical regardless of thread scheduling.
-  const std::int64_t n = static_cast<std::int64_t>(kernels.size());
-  const std::int64_t grain = 8;
-  const std::int64_t chunks = (n + grain - 1) / grain;
-  std::vector<Grid<double>> partial(static_cast<std::size_t>(chunks));
-  parallel_for(chunks, [&](std::int64_t ci) {
-    Grid<double> local(out_px, out_px, 0.0);
-    const std::int64_t begin = ci * grain, end = std::min(n, begin + grain);
-    for (std::int64_t i = begin; i < end; ++i) {
-      const Grid<cd>& k = kernels[static_cast<std::size_t>(i)];
-      check(k.rows() == kdim && k.cols() == kdim, "kernel shape mismatch");
-      Grid<cd> prod(kdim, kdim);
-      for (std::size_t a = 0; a < prod.size(); ++a) prod[a] = k[a] * c[a];
-      const Grid<cd> e = field_from_centered(prod, out_px);
-      for (std::size_t a = 0; a < local.size(); ++a) local[a] += norm2(e[a]);
-    }
-    partial[static_cast<std::size_t>(ci)] = std::move(local);
-  });
-  Grid<double> intensity(out_px, out_px, 0.0);
-  for (const Grid<double>& p : partial) {
-    for (std::size_t a = 0; a < intensity.size(); ++a) intensity[a] += p[a];
-  }
-  return intensity;
+  // A transient engine borrowing the caller's kernels (aliasing shared_ptr,
+  // no copy).  Callers with a stable (kernels, out_px) configuration should
+  // hold an AerialEngine instead and reuse its plans and workspaces.
+  const AerialEngine engine(
+      std::shared_ptr<const std::vector<Grid<cd>>>(
+          std::shared_ptr<const void>(), &kernels),
+      out_px);
+  return engine.aerial(spectrum);
 }
 
 Grid<double> abbe_aerial(const OpticalSystem& sys, int tile_nm,
@@ -73,7 +50,9 @@ Grid<double> abbe_aerial(const OpticalSystem& sys, int tile_nm,
   const std::int64_t chunks = (n + grain - 1) / grain;
   std::vector<Grid<double>> partial(static_cast<std::size_t>(chunks));
   parallel_for(chunks, [&](std::int64_t ci) {
-    Grid<double> local(out_px, out_px, 0.0);
+    // Allocated on the first contributing source point; chunks whose every
+    // point is dark leave an empty partial that reduce_ordered skips.
+    Grid<double> local;
     const std::int64_t begin = ci * grain, end = std::min(n, begin + grain);
     for (std::int64_t si = begin; si < end; ++si) {
       const SourcePoint& s = src[static_cast<std::size_t>(si)];
@@ -89,18 +68,14 @@ Grid<double> abbe_aerial(const OpticalSystem& sys, int tile_nm,
         }
       }
       if (!any) continue;
+      if (local.empty()) local = Grid<double>(out_px, out_px, 0.0);
       const Grid<cd> e = field_from_centered(shifted, out_px);
       for (std::size_t a = 0; a < local.size(); ++a)
         local[a] += s.weight * norm2(e[a]);
     }
     partial[static_cast<std::size_t>(ci)] = std::move(local);
   });
-  Grid<double> intensity(out_px, out_px, 0.0);
-  for (const Grid<double>& p : partial) {
-    if (p.empty()) continue;
-    for (std::size_t a = 0; a < intensity.size(); ++a) intensity[a] += p[a];
-  }
-  return intensity;
+  return reduce_ordered(partial.data(), partial.size(), out_px);
 }
 
 Grid<double> hopkins_aerial_direct(const Grid<cd>& tcc, int kdim,

@@ -24,7 +24,10 @@
 namespace nitho {
 
 /// SOCS imaging.  spectrum must be a centered odd-sized crop at least as
-/// large as the kernels; out_px must fit the kernel support.
+/// large as the kernels; out_px must fit the kernel support.  One-shot
+/// convenience over AerialEngine (litho/engine.hpp): callers that image
+/// many spectra against one kernel set should hold an engine and use its
+/// batch path instead.
 Grid<double> socs_aerial(const std::vector<Grid<cd>>& kernels,
                          const Grid<cd>& spectrum, int out_px);
 

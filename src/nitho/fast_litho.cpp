@@ -1,6 +1,7 @@
 #include "nitho/fast_litho.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "fft/spectral.hpp"
 #include "io/tensor_io.hpp"
 #include "litho/simulator.hpp"
@@ -9,10 +10,13 @@
 namespace nitho {
 
 FastLitho::FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold)
-    : kernels_(std::move(kernels)), resist_threshold_(resist_threshold) {
-  check(!kernels_.empty(), "FastLitho needs at least one kernel");
-  kdim_ = kernels_[0].rows();
-  for (const auto& k : kernels_) {
+    : kernels_(std::make_shared<const std::vector<Grid<cd>>>(
+          std::move(kernels))),
+      resist_threshold_(resist_threshold),
+      engines_(std::make_unique<EngineCache>()) {
+  check(!kernels_->empty(), "FastLitho needs at least one kernel");
+  kdim_ = (*kernels_)[0].rows();
+  for (const auto& k : *kernels_) {
     check(k.rows() == kdim_ && k.cols() == kdim_, "kernel shape mismatch");
   }
 }
@@ -22,18 +26,46 @@ FastLitho FastLitho::from_model(const NithoModel& model,
   return FastLitho(model.export_kernels(), resist_threshold);
 }
 
-Grid<double> FastLitho::aerial_from_spectrum(const Grid<cd>& spectrum,
-                                             int out_px) const {
-  return socs_aerial(kernels_, spectrum, out_px);
+const AerialEngine& FastLitho::engine_for(int out_px) const {
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  for (const auto& [px, engine] : engines_->engines) {
+    if (px == out_px) return *engine;
+  }
+  engines_->engines.emplace_back(
+      out_px, std::make_unique<AerialEngine>(kernels_, out_px));
+  return *engines_->engines.back().second;
 }
 
-Grid<double> FastLitho::aerial_from_mask(const Grid<double>& mask_raster,
-                                         int out_px) const {
+Grid<cd> FastLitho::spectrum_of(const Grid<double>& mask_raster) const {
   Grid<cd> spectrum = fft2_crop_centered(mask_raster, kdim_);
   const double inv_n2 = 1.0 / (static_cast<double>(mask_raster.rows()) *
                                mask_raster.cols());
   for (auto& z : spectrum) z *= inv_n2;
-  return socs_aerial(kernels_, spectrum, out_px);
+  return spectrum;
+}
+
+Grid<double> FastLitho::aerial_from_spectrum(const Grid<cd>& spectrum,
+                                             int out_px) const {
+  return engine_for(out_px).aerial(spectrum);
+}
+
+Grid<double> FastLitho::aerial_from_mask(const Grid<double>& mask_raster,
+                                         int out_px) const {
+  return engine_for(out_px).aerial(spectrum_of(mask_raster));
+}
+
+std::vector<Grid<double>> FastLitho::aerial_batch(
+    const std::vector<Grid<double>>& mask_rasters, int out_px) const {
+  // Phase 1: mask spectra across the pool (the row-paired cropped FFT is
+  // the dominant per-mask cost at production raster sizes), then phase 2:
+  // one engine sweep over every (mask, kernel-chunk) task.
+  std::vector<Grid<cd>> spectra(mask_rasters.size());
+  parallel_for(static_cast<std::int64_t>(mask_rasters.size()),
+               [&](std::int64_t i) {
+                 spectra[static_cast<std::size_t>(i)] =
+                     spectrum_of(mask_rasters[static_cast<std::size_t>(i)]);
+               });
+  return engine_for(out_px).aerial_batch(spectra);
 }
 
 Grid<double> FastLitho::resist_from_mask(const Grid<double>& mask_raster,
@@ -42,7 +74,7 @@ Grid<double> FastLitho::resist_from_mask(const Grid<double>& mask_raster,
 }
 
 void FastLitho::save(const std::string& path) const {
-  save_kernels(path, kernels_);
+  save_kernels(path, *kernels_);
 }
 
 FastLitho FastLitho::load(const std::string& path, double resist_threshold) {
@@ -51,9 +83,12 @@ FastLitho FastLitho::load(const std::string& path, double resist_threshold) {
 
 Grid<double> predict_aerial(const NithoModel& model, const Sample& sample,
                             int out_px) {
-  const int kdim = model.kernel_dim();
-  const Grid<cd> crop = center_crop(sample.spectrum, kdim, kdim);
-  return socs_aerial(model.export_kernels(), crop, out_px);
+  // A transient owning engine: export_kernels() materializes fresh kernel
+  // grids anyway, so the engine adopts them instead of copying.  The engine
+  // reads the kernel-support window of the sample spectrum in place (no
+  // explicit center_crop).
+  const AerialEngine engine(model.export_kernels(), out_px);
+  return engine.aerial(sample.spectrum);
 }
 
 }  // namespace nitho

@@ -2,11 +2,17 @@
 // Fast lithography (paper §III-C1): after training, the predicted kernels
 // are exported as plain complex arrays and used exactly like calibrated TCC
 // kernels — no network inference at simulation time.  The hot path is
-// mask raster -> cropped-spectrum FFT -> batched SOCS on the thread pool.
+// mask raster -> cropped-spectrum FFT -> batched SOCS on the AerialEngine
+// (DESIGN.md §6), whose plans and workspaces are cached here per output
+// resolution.
 
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "litho/engine.hpp"
 #include "litho/golden.hpp"
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
@@ -14,6 +20,12 @@
 
 namespace nitho {
 
+/// Move-only (the engine cache is not shareable); kernels themselves are
+/// cheaply shared with every cached engine.  Engines are memoized per
+/// output resolution for the lifetime of the object and never evicted —
+/// callers sweeping many distinct out_px values hold one engine (plus its
+/// per-thread workspaces, ~out_px^2 complex doubles each) per resolution
+/// until the FastLitho is destroyed.
 class FastLitho {
  public:
   FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold = 0.25);
@@ -23,8 +35,8 @@ class FastLitho {
                               double resist_threshold = 0.25);
 
   int kernel_dim() const { return kdim_; }
-  int rank() const { return static_cast<int>(kernels_.size()); }
-  const std::vector<Grid<cd>>& kernels() const { return kernels_; }
+  int rank() const { return static_cast<int>(kernels_->size()); }
+  const std::vector<Grid<cd>>& kernels() const { return *kernels_; }
 
   /// Aerial image from a centered cropped spectrum (>= kernel support).
   Grid<double> aerial_from_spectrum(const Grid<cd>& spectrum, int out_px) const;
@@ -33,6 +45,14 @@ class FastLitho {
   /// cropped FFT; this is what the Fig. 5 throughput bench times).
   Grid<double> aerial_from_mask(const Grid<double>& mask_raster,
                                 int out_px) const;
+
+  /// Batched pipeline: spectra for all masks, then one engine sweep over
+  /// the (mask, kernel-chunk) task grid.  Each output is bit-identical to
+  /// the corresponding aerial_from_mask call; plans, workspaces and pool
+  /// dispatch are shared across the whole batch, and the task grid keeps
+  /// every pool worker busy even when one mask alone could not.
+  std::vector<Grid<double>> aerial_batch(
+      const std::vector<Grid<double>>& mask_rasters, int out_px) const;
 
   Grid<double> resist_from_mask(const Grid<double>& mask_raster,
                                 int out_px) const;
@@ -44,9 +64,21 @@ class FastLitho {
                         double resist_threshold = 0.25);
 
  private:
-  std::vector<Grid<cd>> kernels_;
+  /// Lazily built, memoized engine per output resolution.  Kernels are
+  /// shared (not copied) with every engine.
+  const AerialEngine& engine_for(int out_px) const;
+
+  Grid<cd> spectrum_of(const Grid<double>& mask_raster) const;
+
+  struct EngineCache {
+    std::mutex mu;
+    std::vector<std::pair<int, std::unique_ptr<AerialEngine>>> engines;
+  };
+
+  std::shared_ptr<const std::vector<Grid<cd>>> kernels_;
   int kdim_;
   double resist_threshold_;
+  std::unique_ptr<EngineCache> engines_;
 };
 
 /// Model prediction for one dataset sample at out_px resolution (the

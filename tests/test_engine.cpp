@@ -1,0 +1,193 @@
+// Tests for litho/engine.hpp: the batched AerialEngine must reproduce the
+// pre-refactor socs_aerial arithmetic bit for bit (the legacy loop is
+// reimplemented here as the pinned reference), across odd/even output grids
+// and prime (Bluestein) kernel dimensions, under batching, and under
+// concurrent callers.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fft/fft.hpp"
+#include "fft/spectral.hpp"
+#include "litho/engine.hpp"
+#include "litho/simulator.hpp"
+#include "nitho/fast_litho.hpp"
+#include "support/test_support.hpp"
+
+namespace nitho {
+namespace {
+
+using test::make_rng;
+using test::random_cgrid;
+using test::random_mask;
+using test::random_spectrum;
+
+// Verbatim reimplementation of the pre-AerialEngine socs_aerial hot loop
+// (per-kernel allocations, ifftshift(center_embed(...)), full-grid inverse
+// transform, grain-8 ordered reduction).  The engine must match it exactly:
+// any bitwise drift here is a regression against historical golden data.
+Grid<double> legacy_socs_aerial(const std::vector<Grid<cd>>& kernels,
+                                const Grid<cd>& spectrum, int out_px) {
+  const int kdim = kernels[0].rows();
+  const Grid<cd> c = center_crop(spectrum, kdim, kdim);
+  const std::int64_t n = static_cast<std::int64_t>(kernels.size());
+  const std::int64_t grain = 8;
+  const std::int64_t chunks = (n + grain - 1) / grain;
+  std::vector<Grid<double>> partial(static_cast<std::size_t>(chunks));
+  for (std::int64_t ci = 0; ci < chunks; ++ci) {
+    Grid<double> local(out_px, out_px, 0.0);
+    const std::int64_t begin = ci * grain;
+    const std::int64_t end = std::min(n, begin + grain);
+    for (std::int64_t i = begin; i < end; ++i) {
+      const Grid<cd>& k = kernels[static_cast<std::size_t>(i)];
+      Grid<cd> prod(kdim, kdim);
+      for (std::size_t a = 0; a < prod.size(); ++a) prod[a] = k[a] * c[a];
+      Grid<cd> e = ifftshift(center_embed(prod, out_px, out_px));
+      ifft2_inplace(e);
+      const double scale = static_cast<double>(out_px) * out_px;
+      for (auto& z : e) z *= scale;
+      for (std::size_t a = 0; a < local.size(); ++a) local[a] += norm2(e[a]);
+    }
+    partial[static_cast<std::size_t>(ci)] = std::move(local);
+  }
+  Grid<double> intensity(out_px, out_px, 0.0);
+  for (const Grid<double>& p : partial) {
+    for (std::size_t a = 0; a < intensity.size(); ++a) intensity[a] += p[a];
+  }
+  return intensity;
+}
+
+std::vector<Grid<cd>> random_kernels(int count, int kdim, Rng& rng) {
+  std::vector<Grid<cd>> kernels;
+  kernels.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Grid<cd> k = random_cgrid(kdim, kdim, rng);
+    // Zero a border ring so kernels have structurally dark rows/columns,
+    // like real pupil-limited SOCS kernels.
+    if (kdim >= 5) {
+      for (int j = 0; j < kdim; ++j) {
+        k(0, j) = k(kdim - 1, j) = cd(0.0, 0.0);
+        k(j, 0) = k(j, kdim - 1) = cd(0.0, 0.0);
+      }
+    }
+    kernels.push_back(std::move(k));
+  }
+  return kernels;
+}
+
+TEST(AerialEngine, BitIdenticalToLegacyAcrossOutputSizes) {
+  Rng rng = make_rng(71);
+  // Prime kdim exercises the Bluestein path for the kernel support; the
+  // out_px list covers even, odd and prime (Bluestein) output grids.
+  for (const int kdim : {13, 9}) {
+    const std::vector<Grid<cd>> kernels = random_kernels(11, kdim, rng);
+    const Grid<cd> spectrum = random_spectrum(kdim + 8, rng);
+    for (const int out_px : {kdim, kdim + 1, 17, 32, 33}) {
+      if (out_px < kdim) continue;
+      const AerialEngine engine(kernels, out_px);
+      const Grid<double> got = engine.aerial(spectrum);
+      const Grid<double> want = legacy_socs_aerial(kernels, spectrum, out_px);
+      EXPECT_EQ(got, want) << "kdim=" << kdim << " out_px=" << out_px;
+    }
+  }
+}
+
+TEST(AerialEngine, SocsAerialStillMatchesLegacy) {
+  Rng rng = make_rng(72);
+  const std::vector<Grid<cd>> kernels = random_kernels(10, 11, rng);
+  const Grid<cd> spectrum = random_spectrum(11, rng);
+  EXPECT_EQ(socs_aerial(kernels, spectrum, 24),
+            legacy_socs_aerial(kernels, spectrum, 24));
+}
+
+TEST(AerialEngine, BatchBitIdenticalToSingle) {
+  Rng rng = make_rng(73);
+  const std::vector<Grid<cd>> kernels = random_kernels(20, 13, rng);
+  const AerialEngine engine(kernels, 32);
+  std::vector<Grid<cd>> spectra;
+  for (int i = 0; i < 5; ++i) spectra.push_back(random_spectrum(21, rng));
+  const std::vector<Grid<double>> batch = engine.aerial_batch(spectra);
+  ASSERT_EQ(batch.size(), spectra.size());
+  for (std::size_t i = 0; i < spectra.size(); ++i) {
+    EXPECT_EQ(batch[i], engine.aerial(spectra[i])) << "mask " << i;
+    EXPECT_EQ(batch[i], socs_aerial(kernels, spectra[i], 32)) << "mask " << i;
+  }
+}
+
+TEST(AerialEngine, ConcurrentBatchesAreRaceFree) {
+  Rng rng = make_rng(74);
+  const std::vector<Grid<cd>> kernels = random_kernels(17, 9, rng);
+  const AerialEngine engine(kernels, 20);
+  std::vector<std::vector<Grid<cd>>> inputs;
+  std::vector<std::vector<Grid<double>>> expected;
+  for (int t = 0; t < 4; ++t) {
+    std::vector<Grid<cd>> spectra;
+    for (int i = 0; i < 3; ++i) spectra.push_back(random_spectrum(9, rng));
+    expected.push_back(engine.aerial_batch(spectra));
+    inputs.push_back(std::move(spectra));
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::vector<Grid<double>>> got(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        got[static_cast<std::size_t>(t)] =
+            engine.aerial_batch(inputs[static_cast<std::size_t>(t)]);
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < 4; ++t) {
+      ASSERT_EQ(got[static_cast<std::size_t>(t)].size(),
+                expected[static_cast<std::size_t>(t)].size());
+      for (std::size_t i = 0; i < expected[static_cast<std::size_t>(t)].size();
+           ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(t)][i],
+                  expected[static_cast<std::size_t>(t)][i])
+            << "thread " << t << " mask " << i;
+      }
+    }
+  }
+}
+
+TEST(AerialEngine, FastLithoBatchMatchesSingleMaskCalls) {
+  Rng rng = make_rng(75);
+  const FastLitho fast(random_kernels(12, 13, rng));
+  std::vector<Grid<double>> masks;
+  for (int i = 0; i < 4; ++i) masks.push_back(random_mask(64, 64, rng));
+  const std::vector<Grid<double>> batch = fast.aerial_batch(masks, 32);
+  ASSERT_EQ(batch.size(), masks.size());
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    EXPECT_EQ(batch[i], fast.aerial_from_mask(masks[i], 32)) << "mask " << i;
+  }
+}
+
+TEST(AerialEngine, RejectsBadConfigurations) {
+  Rng rng = make_rng(76);
+  EXPECT_THROW(AerialEngine(std::vector<Grid<cd>>{}, 16), check_error);
+  const std::vector<Grid<cd>> kernels = random_kernels(3, 9, rng);
+  EXPECT_THROW(AerialEngine(kernels, 8), check_error);  // out_px < kdim
+  const AerialEngine engine(kernels, 16);
+  EXPECT_THROW(engine.aerial(random_spectrum(7, rng)), check_error);
+}
+
+TEST(AerialEngine, EmptyBatchReturnsEmpty) {
+  Rng rng = make_rng(77);
+  const AerialEngine engine(random_kernels(3, 9, rng), 16);
+  EXPECT_TRUE(engine.aerial_batch(std::vector<Grid<cd>>{}).empty());
+}
+
+TEST(ReduceOrdered, SkipsEmptyPartialsAndKeepsOrder) {
+  std::vector<Grid<double>> partials;
+  partials.emplace_back(2, 2, 1.0);
+  partials.emplace_back();  // chunk that contributed nothing
+  partials.emplace_back(2, 2, 2.5);
+  const Grid<double> sum =
+      reduce_ordered(partials.data(), partials.size(), 2);
+  for (std::size_t a = 0; a < sum.size(); ++a) EXPECT_EQ(sum[a], 3.5);
+}
+
+}  // namespace
+}  // namespace nitho

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -255,6 +256,57 @@ TEST(Spectral, CroppedFftMatchesFullPath) {
     ASSERT_EQ(fast.rows(), crop);
     for (std::size_t i = 0; i < fast.size(); ++i)
       EXPECT_NEAR(std::abs(fast[i] - full[i]), 0.0, 1e-8) << crop;
+  }
+}
+
+TEST(Spectral, CroppedFftOddRowCountMatchesFullPath) {
+  // Odd image sizes leave an unpaired row in the conjugate-symmetric
+  // row-pairing scheme; the tail row must transform on its own.
+  Rng rng(88);
+  Grid<double> img(33, 33);
+  for (auto& v : img) v = rng.uniform();
+  for (int crop : {3, 9, 17}) {
+    const Grid<cd> fast = fft2_crop_centered(img, crop);
+    const Grid<cd> full = center_crop(fftshift(fft2(img)), crop, crop);
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      EXPECT_NEAR(std::abs(fast[i] - full[i]), 0.0, 1e-8) << crop;
+  }
+}
+
+TEST(Fft2, WorkspaceVariantBitIdentical) {
+  // The workspace-taking 2-D transforms must match the plain entry points
+  // bit for bit, across power-of-two and Bluestein sizes and with one
+  // workspace reused (and re-sized) across all of them.
+  Rng rng(89);
+  Fft2Workspace ws;
+  for (const auto [rows, cols] :
+       {std::pair{8, 8}, {16, 4}, {12, 10}, {31, 17}, {9, 32}}) {
+    Grid<cd> g(rows, cols);
+    for (auto& v : g) v = cd(rng.normal(), rng.normal());
+    Grid<cd> plain = g, with_ws = g;
+    fft2_inplace(plain);
+    fft2_inplace(with_ws, ws);
+    EXPECT_EQ(plain, with_ws) << rows << "x" << cols;
+    ifft2_inplace(plain);
+    ifft2_inplace(with_ws, ws);
+    EXPECT_EQ(plain, with_ws) << rows << "x" << cols;
+  }
+}
+
+TEST(FftPlan, ScratchOverloadBitIdentical) {
+  Rng rng(90);
+  for (const int n : {16, 31, 97}) {
+    const FftPlan<double>& plan = fft_plan_d(n);
+    std::vector<cd> scratch(static_cast<std::size_t>(plan.scratch_size()));
+    cd* sc = scratch.empty() ? nullptr : scratch.data();
+    std::vector<cd> plain = random_signal(n, rng);
+    std::vector<cd> with_scratch = plain;
+    plan.forward(plain.data());
+    plan.forward(with_scratch.data(), sc);
+    EXPECT_EQ(plain, with_scratch) << "forward n=" << n;
+    plan.inverse(plain.data());
+    plan.inverse(with_scratch.data(), sc);
+    EXPECT_EQ(plain, with_scratch) << "inverse n=" << n;
   }
 }
 
