@@ -1,0 +1,207 @@
+// Serving-layer throughput: LithoServer micro-batching vs naive
+// concurrency (DESIGN.md §7.6).
+//
+// Kernel values do not affect runtime, so the kernel set is synthesized
+// directly (no training) at the golden engine's shape class.  Four
+// strategies answer the same stream of mask->aerial requests:
+//
+//   direct_serial            one thread, one aerial_from_mask per request —
+//                            the raw compute floor, no serving overhead.
+//   naive_thread_per_request the obvious "server": spawn a thread per
+//                            request, every request computes independently.
+//                            This is the baseline the serving layer must
+//                            beat (vs_naive column, acceptance >= 1.3x for
+//                            served_open_loop).
+//   served_open_loop         LithoServer, one submitter streaming every
+//                            request through the bounded queue (backpressure
+//                            paces it), then collecting futures — the
+//                            batch-friendliest load.
+//   served_closed_loop       LithoServer, N clients each keeping a small
+//                            pipeline of outstanding requests (closed loop,
+//                            like examples/serve_demo.cpp).
+//
+// The acceptance number is recorded in bench/baselines/serve_throughput.csv
+// and gated by bench/check_baselines.py.
+
+#include <cinttypes>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "io/csv.hpp"
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+#include "nitho/fast_litho.hpp"
+#include "serve/server.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+namespace {
+
+std::vector<Grid<cd>> synth_kernels(int rank, int kdim, Rng& rng) {
+  std::vector<Grid<cd>> kernels;
+  kernels.reserve(static_cast<std::size_t>(rank));
+  for (int k = 0; k < rank; ++k) {
+    Grid<cd> g(kdim, kdim);
+    for (auto& z : g) z = cd(rng.normal(), rng.normal());
+    kernels.push_back(std::move(g));
+  }
+  return kernels;
+}
+
+std::vector<Grid<double>> synth_masks(int count, int px, Rng& rng) {
+  std::vector<Grid<double>> masks;
+  masks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Grid<double> m(px, px, 0.0);
+    // A few random rectangles, like a contact/metal tile.
+    for (int r = 0; r < 6; ++r) {
+      const int h = rng.randint(2, px / 4), w = rng.randint(2, px / 4);
+      const int r0 = rng.randint(0, px - h), c0 = rng.randint(0, px - w);
+      for (int y = r0; y < r0 + h; ++y)
+        for (int x = c0; x < c0 + w; ++x) m(y, x) = 1.0;
+    }
+    masks.push_back(std::move(m));
+  }
+  return masks;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  // Default workload: batch-friendly load — many small tiles (an OPC-style
+  // tile sweep), where per-request overhead rivals compute and coalescing
+  // pays.  At heavier per-request compute (e.g. --mask-px 64 --rank 16)
+  // every strategy converges on the compute floor and the ratio tends to 1.
+  const int reqs = flags.get_int("reqs", 512);
+  const int mask_px = flags.get_int("mask-px", 32);
+  const int out_px = flags.get_int("out-px", 16);
+  const int rank = flags.get_int("rank", 8);
+  const int kdim = flags.get_int("kdim", 9);
+  const int shards = flags.get_int("shards", 1);
+  const int max_batch = flags.get_int("max-batch", 16);
+  const int max_delay_us = flags.get_int("max-delay-us", 300);
+  const int clients = flags.get_int("clients", 4);
+  const int depth = flags.get_int("depth", 16);
+
+  std::printf("== Serving throughput: micro-batched LithoServer vs naive ==\n");
+  std::printf("reqs=%d mask=%dpx out=%dpx rank=%d kdim=%d shards=%d "
+              "max_batch=%d max_delay=%dus\n\n",
+              reqs, mask_px, out_px, rank, kdim, shards, max_batch,
+              max_delay_us);
+
+  Rng rng(20260730);
+  const std::vector<Grid<cd>> kernels = synth_kernels(rank, kdim, rng);
+  const std::vector<Grid<double>> masks = synth_masks(reqs, mask_px, rng);
+
+  const auto serve_options = [&] {
+    serve::ServeOptions opts;
+    opts.shards = shards;
+    opts.queue_capacity = 64;
+    opts.batch.max_batch = max_batch;
+    opts.batch.max_delay = std::chrono::microseconds(max_delay_us);
+    return opts;
+  }();
+
+  // --- direct serial loop (compute floor) --------------------------------
+  const double direct_tp = [&] {
+    const FastLitho fast{std::vector<Grid<cd>>(kernels)};
+    (void)fast.aerial_from_mask(masks[0], out_px);  // warm plans + cache
+    WallTimer t;
+    for (const Grid<double>& m : masks) (void)fast.aerial_from_mask(m, out_px);
+    return reqs / t.seconds();
+  }();
+
+  // --- naive one-thread-per-request loop ---------------------------------
+  const double naive_tp = [&] {
+    const FastLitho fast{std::vector<Grid<cd>>(kernels)};
+    (void)fast.aerial_from_mask(masks[0], out_px);
+    std::vector<Grid<double>> results(masks.size());
+    WallTimer t;
+    std::vector<std::thread> threads;
+    threads.reserve(masks.size());
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      threads.emplace_back([&, i] {
+        results[i] = fast.aerial_from_mask(masks[i], out_px);
+      });
+    }
+    for (auto& th : threads) th.join();
+    return reqs / t.seconds();
+  }();
+
+  // --- served, open loop --------------------------------------------------
+  const double served_open_tp = [&] {
+    serve::LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels)},
+                              serve_options);
+    (void)server.submit(masks[0], out_px).get();  // warm engines
+    WallTimer t;
+    std::vector<std::future<Grid<double>>> futs;
+    futs.reserve(masks.size());
+    for (const Grid<double>& m : masks) futs.push_back(server.submit(m, out_px));
+    for (auto& f : futs) (void)f.get();
+    const double tp = reqs / t.seconds();
+    const serve::ShardStats st = server.stats();
+    std::printf("  open loop:   %" PRIu64 " batches, %.1f avg occupancy, "
+                "p50 %.0f us, p99 %.0f us\n",
+                static_cast<std::uint64_t>(st.batches),
+                st.mean_batch_occupancy, st.p50_latency_us, st.p99_latency_us);
+    return tp;
+  }();
+
+  // --- served, closed loop (pipelined clients) ----------------------------
+  const double served_closed_tp = [&] {
+    serve::LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels)},
+                              serve_options);
+    (void)server.submit(masks[0], out_px).get();
+    const int per_client = reqs / clients;
+    WallTimer t;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<std::future<Grid<double>>> window;
+        for (int i = 0; i < per_client; ++i) {
+          window.push_back(server.submit(
+              masks[static_cast<std::size_t>(c * per_client + i)], out_px));
+          if (static_cast<int>(window.size()) >= depth) {
+            for (auto& f : window) (void)f.get();
+            window.clear();
+          }
+        }
+        for (auto& f : window) (void)f.get();
+      });
+    }
+    for (auto& th : threads) th.join();
+    return clients * per_client / t.seconds();
+  }();
+
+  TablePrinter tp({"Mode", "reqs/s", "vs naive"}, 16);
+  tp.row({"direct_serial", fmt(direct_tp, 1), fmt(direct_tp / naive_tp, 2) + "x"});
+  tp.row({"naive_thread_per_request", fmt(naive_tp, 1), "1.00x"});
+  tp.row({"served_open_loop", fmt(served_open_tp, 1),
+          fmt(served_open_tp / naive_tp, 2) + "x"});
+  tp.row({"served_closed_loop", fmt(served_closed_tp, 1),
+          fmt(served_closed_tp / naive_tp, 2) + "x"});
+  tp.rule();
+
+  CsvWriter csv(out_dir() + "/serve_throughput.csv",
+                {"mode", "reqs_per_s", "vs_naive"});
+  csv.row({"direct_serial", fmt(direct_tp, 1), fmt(direct_tp / naive_tp, 2)});
+  csv.row({"naive_thread_per_request", fmt(naive_tp, 1), "1.00"});
+  csv.row({"served_open_loop", fmt(served_open_tp, 1),
+           fmt(served_open_tp / naive_tp, 2)});
+  csv.row({"served_closed_loop", fmt(served_closed_tp, 1),
+           fmt(served_closed_tp / naive_tp, 2)});
+
+  std::printf(
+      "\nServing acceptance: open-loop served throughput is %.2fx the naive "
+      "one-thread-per-request loop (target >= 1.3x).\n",
+      served_open_tp / naive_tp);
+  return 0;
+}

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed CSV baselines.
+
+Compares bench output CSVs (``build/bench_out/*.csv``) against the
+snapshots committed under ``bench/baselines/`` and fails (exit 1) when a
+gated ratio regresses.  Only machine-independent *ratio* columns are gated
+(e.g. ``vs_prerefactor``, ``vs_naive``): absolute throughputs move with the
+hardware, but a ratio of two runs on the same box should not fall below its
+committed value by more than the tolerance, and acceptance floors from the
+PR that introduced each subsystem must keep holding outright.
+
+Usage:
+  check_baselines.py [--baseline-dir bench/baselines] [--out-dir build/bench_out]
+                     [--tol 0.25] [--require] [--self-test]
+
+Typical flow (see bench/README.md):
+  1. cmake --preset release && cmake --build --preset release
+  2. ./build/bench_fig5_runtime <flags>  &&  ./build/bench_serve
+  3. python3 bench/check_baselines.py          # or: cmake --build build --target check_baselines
+
+By default a bench whose output CSV is absent is skipped (so the gate can
+run after any subset of benches); --require turns a missing candidate into
+a failure, which is what CI uses after running the full set.
+"""
+
+import argparse
+import csv
+import os
+import sys
+import tempfile
+
+# file -> list of (row key, ratio column, absolute floor or None).
+# A floor is the acceptance threshold from the PR that introduced the
+# subsystem; the relative check (candidate >= (1 - tol) * baseline) guards
+# against creeping regressions from later PRs.
+GATES = {
+    "fig5_runtime.csv": [
+        ("Nitho_single", "vs_prerefactor", None),
+        ("Nitho_batch", "vs_prerefactor", 1.5),
+    ],
+    "serve_throughput.csv": [
+        ("served_open_loop", "vs_naive", 1.3),
+    ],
+}
+
+
+def read_csv(path):
+    """Returns {first-column value: {column: value}}."""
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    key_col = next(iter(rows[0]))
+    return {row[key_col]: row for row in rows}
+
+
+def ratio(table, key, column, path):
+    row = table.get(key)
+    if row is None:
+        raise ValueError(f"{path}: missing row '{key}'")
+    if column not in row:
+        raise ValueError(f"{path}: missing column '{column}'")
+    try:
+        return float(row[column])
+    except ValueError as err:
+        raise ValueError(
+            f"{path}: row '{key}' column '{column}' is not numeric "
+            f"({row[column]!r})"
+        ) from err
+
+
+def check_file(name, baseline_path, candidate_path, tol):
+    """Returns a list of failure strings (empty = gate passed)."""
+    failures = []
+    baseline = read_csv(baseline_path)
+    candidate = read_csv(candidate_path)
+    for key, column, floor in GATES[name]:
+        base = ratio(baseline, key, column, baseline_path)
+        cand = ratio(candidate, key, column, candidate_path)
+        min_rel = (1.0 - tol) * base
+        if cand < min_rel:
+            failures.append(
+                f"{name}: {key}.{column} = {cand:.3f} regressed below "
+                f"(1 - {tol}) * baseline {base:.3f} = {min_rel:.3f}"
+            )
+        if floor is not None and cand < floor:
+            failures.append(
+                f"{name}: {key}.{column} = {cand:.3f} is under the "
+                f"acceptance floor {floor}"
+            )
+    return failures
+
+
+def run(baseline_dir, out_dir, tol, require):
+    failures = []
+    checked = 0
+    for name in sorted(GATES):
+        baseline_path = os.path.join(baseline_dir, name)
+        candidate_path = os.path.join(out_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"SKIP {name}: no committed baseline")
+            continue
+        if not os.path.exists(candidate_path):
+            msg = f"{name}: bench output not found at {candidate_path}"
+            if require:
+                failures.append(msg)
+            else:
+                print(f"SKIP {msg} (run the bench first; --require makes this fail)")
+            continue
+        try:
+            file_failures = check_file(name, baseline_path, candidate_path, tol)
+        except ValueError as err:
+            file_failures = [str(err)]
+        checked += 1
+        if file_failures:
+            failures.extend(file_failures)
+        else:
+            print(f"OK   {name}")
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures and checked == 0 and not require:
+        print("note: nothing checked (no bench outputs found)")
+    return 1 if failures else 0
+
+
+def write_csv(path, header, rows):
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(header)
+        w.writerows(rows)
+
+
+def self_test():
+    """Exercises the gate logic on synthetic CSVs (run from ctest)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        basedir = os.path.join(tmp, "baselines")
+        outdir = os.path.join(tmp, "out")
+        os.mkdir(basedir)
+        os.mkdir(outdir)
+        header = ["model", "um2_per_s", "vs_prerefactor"]
+        base_rows = [
+            ["Nitho_prerefactor", "55.4", "1.00"],
+            ["Nitho_single", "95.7", "1.73"],
+            ["Nitho_batch", "95.2", "1.72"],
+        ]
+        write_csv(os.path.join(basedir, "fig5_runtime.csv"), header, base_rows)
+
+        # 1. identical candidate passes.
+        write_csv(os.path.join(outdir, "fig5_runtime.csv"), header, base_rows)
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 2. absolute throughput may move freely; the ratio within tolerance
+        #    still passes (1.60 >= 0.75 * 1.72 and >= floor 1.5).
+        write_csv(
+            os.path.join(outdir, "fig5_runtime.csv"),
+            header,
+            [
+                ["Nitho_prerefactor", "31.0", "1.00"],
+                ["Nitho_single", "52.1", "1.68"],
+                ["Nitho_batch", "49.6", "1.60"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 3. a collapsed ratio fails both the relative check and the floor.
+        write_csv(
+            os.path.join(outdir, "fig5_runtime.csv"),
+            header,
+            [
+                ["Nitho_prerefactor", "55.0", "1.00"],
+                ["Nitho_single", "56.0", "1.02"],
+                ["Nitho_batch", "57.0", "1.04"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1
+
+        # 4. above the floor but > tol below the committed ratio fails.
+        write_csv(
+            os.path.join(outdir, "fig5_runtime.csv"),
+            header,
+            [
+                ["Nitho_prerefactor", "55.0", "1.00"],
+                ["Nitho_single", "60.0", "1.09"],
+                ["Nitho_batch", "85.0", "1.55"],
+            ],
+        )
+        assert run(basedir, outdir, 0.10, require=False) == 1
+
+        # 5. a missing gated row is a failure, not a silent pass.
+        write_csv(
+            os.path.join(outdir, "fig5_runtime.csv"),
+            header,
+            [["Nitho_prerefactor", "55.0", "1.00"]],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1
+
+        # 6. missing candidate: skip by default, failure under --require.
+        os.remove(os.path.join(outdir, "fig5_runtime.csv"))
+        assert run(basedir, outdir, 0.25, require=False) == 0
+        assert run(basedir, outdir, 0.25, require=True) == 1
+
+        # 7. serve gate: the 1.3x acceptance floor binds even when the
+        #    committed baseline is higher.
+        serve_header = ["mode", "reqs_per_s", "vs_naive"]
+        write_csv(
+            os.path.join(basedir, "serve_throughput.csv"),
+            serve_header,
+            [
+                ["naive_thread_per_request", "1000", "1.00"],
+                ["served_open_loop", "1800", "1.80"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "serve_throughput.csv"),
+            serve_header,
+            [
+                ["naive_thread_per_request", "900", "1.00"],
+                ["served_open_loop", "1150", "1.28"],
+            ],
+        )
+        assert run(basedir, outdir, 0.40, require=False) == 1
+        write_csv(
+            os.path.join(outdir, "serve_throughput.csv"),
+            serve_header,
+            [
+                ["naive_thread_per_request", "900", "1.00"],
+                ["served_open_loop", "1500", "1.67"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+    print("self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--out-dir", default="build/bench_out")
+    ap.add_argument("--tol", type=float, default=0.25,
+                    help="allowed relative drop of a gated ratio vs baseline")
+    ap.add_argument("--require", action="store_true",
+                    help="fail when a gated bench output CSV is missing")
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        sys.exit(self_test())
+    sys.exit(run(args.baseline_dir, args.out_dir, args.tol, args.require))
+
+
+if __name__ == "__main__":
+    main()

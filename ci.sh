@@ -17,4 +17,10 @@ for cfg in Release Debug; do
   ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
 done
 
-echo "CI OK: both configurations built warning-clean and all suites passed."
+echo "=== ThreadSanitizer (serve / engine / common) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "${jobs}" --target test_serve test_engine test_common
+ctest --preset tsan -j 1
+
+echo "CI OK: both configurations built warning-clean, all suites passed,"
+echo "and the threaded suites are TSan-clean."

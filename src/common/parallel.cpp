@@ -12,7 +12,9 @@
 namespace nitho {
 namespace {
 
-int g_workers_override = 0;
+// Relaxed is enough: the override is a plain size hint with no data guarded
+// behind it, and Pool::run snapshots it exactly once per dispatch.
+std::atomic<int> g_workers_override{0};
 
 int hardware_workers() {
   unsigned hc = std::thread::hardware_concurrency();
@@ -129,12 +131,13 @@ class Pool {
 }  // namespace
 
 int parallel_workers() {
-  return g_workers_override > 0 ? g_workers_override : hardware_workers();
+  const int n = g_workers_override.load(std::memory_order_relaxed);
+  return n > 0 ? n : hardware_workers();
 }
 
 void set_parallel_workers(int n) {
   check(n >= 0, "worker override must be >= 0");
-  g_workers_override = n;
+  g_workers_override.store(n, std::memory_order_relaxed);
 }
 
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {

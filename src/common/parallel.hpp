@@ -14,11 +14,22 @@ int parallel_workers();
 /// Override the pool size (0 restores the hardware default).  Takes effect
 /// for subsequent parallel_for calls; intended for benches that want serial
 /// baselines.
+///
+/// Thread-safety: may be called concurrently with parallel_for (including
+/// from other threads while a dispatch is in flight).  Each parallel_for
+/// snapshots the worker count once at entry, so an in-flight dispatch is
+/// never resized mid-run; the new value applies to dispatches that start
+/// after the store.
 void set_parallel_workers(int n);
 
 /// Runs fn(i) for i in [0, n) across the shared pool and blocks until done.
 /// fn must be safe to invoke concurrently for distinct i.  Exceptions thrown
 /// by fn are captured and the first one is rethrown on the calling thread.
+///
+/// May be called from any plain thread (concurrent callers serialize on the
+/// pool, one dispatch at a time — long-lived pinned threads such as the
+/// serving shards coexist with the pool this way), but must not be called
+/// from inside a parallel_for callback: the shared pool does not nest.
 void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn);
 
 /// Grain-size variant: fn(begin, end) over chunks.

@@ -76,8 +76,12 @@ std::unique_ptr<AerialEngine::Workspace> AerialEngine::acquire_workspace()
 }
 
 void AerialEngine::release_workspace(std::unique_ptr<Workspace> ws) const {
+  // Keep enough idle workspaces for a full pool dispatch plus a few pinned
+  // external callers (serving shards); beyond that, burst workspaces are
+  // cheaper to reallocate than to pin for the engine's lifetime.
+  const std::size_t cap = static_cast<std::size_t>(parallel_workers()) + 4;
   std::lock_guard<std::mutex> lk(ws_mu_);
-  ws_pool_.push_back(std::move(ws));
+  if (ws_pool_.size() < cap) ws_pool_.push_back(std::move(ws));
 }
 
 void AerialEngine::accumulate_kernel(const Grid<cd>& kernel,

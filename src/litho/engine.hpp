@@ -20,7 +20,10 @@
 // Thread-safety: aerial / aerial_batch may be called concurrently from
 // multiple threads (workspaces are leased from an internal pool), but not
 // from inside a parallel_for callback — the shared thread pool does not
-// nest.
+// nest.  The pool retains at most parallel_workers() + 4 idle workspaces
+// (~out_px^2 complex doubles each); a burst of extra concurrent callers
+// allocates transient workspaces that are freed on release instead of
+// pinning memory for the engine's lifetime.
 
 #include <memory>
 #include <mutex>

@@ -1,5 +1,7 @@
 #include "nitho/fast_litho.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 #include "fft/spectral.hpp"
@@ -10,11 +12,17 @@
 namespace nitho {
 
 FastLitho::FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold)
-    : kernels_(std::make_shared<const std::vector<Grid<cd>>>(
-          std::move(kernels))),
+    : FastLitho(std::make_shared<const std::vector<Grid<cd>>>(
+                    std::move(kernels)),
+                resist_threshold) {}
+
+FastLitho::FastLitho(std::shared_ptr<const std::vector<Grid<cd>>> kernels,
+                     double resist_threshold)
+    : kernels_(std::move(kernels)),
       resist_threshold_(resist_threshold),
       engines_(std::make_unique<EngineCache>()) {
-  check(!kernels_->empty(), "FastLitho needs at least one kernel");
+  check(kernels_ != nullptr && !kernels_->empty(),
+        "FastLitho needs at least one kernel");
   kdim_ = (*kernels_)[0].rows();
   for (const auto& k : *kernels_) {
     check(k.rows() == kdim_ && k.cols() == kdim_, "kernel shape mismatch");
@@ -26,14 +34,66 @@ FastLitho FastLitho::from_model(const NithoModel& model,
   return FastLitho(model.export_kernels(), resist_threshold);
 }
 
-const AerialEngine& FastLitho::engine_for(int out_px) const {
-  std::lock_guard<std::mutex> lk(engines_->mu);
-  for (const auto& [px, engine] : engines_->engines) {
-    if (px == out_px) return *engine;
+std::shared_ptr<const AerialEngine> FastLitho::engine_for(int out_px) const {
+  const auto lookup = [&]() -> std::shared_ptr<const AerialEngine> {
+    auto& engines = engines_->engines;
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      if (engines[i].first == out_px) {
+        // Touch: rotate the hit to the back (most recently used).
+        std::rotate(engines.begin() + static_cast<std::ptrdiff_t>(i),
+                    engines.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    engines.end());
+        return engines.back().second;
+      }
+    }
+    return nullptr;
+  };
+  {
+    std::lock_guard<std::mutex> lk(engines_->mu);
+    if (auto hit = lookup()) return hit;
   }
-  engines_->engines.emplace_back(
-      out_px, std::make_unique<AerialEngine>(kernels_, out_px));
-  return *engines_->engines.back().second;
+  // Miss: build outside the lock so concurrent callers (warm hits at other
+  // resolutions included) are not stalled behind the plan/scatter setup,
+  // then double-check — a racing builder may have inserted first, in which
+  // case this copy is simply dropped (engines are immutable and cheap next
+  // to the kernels they share).
+  auto engine = std::make_shared<const AerialEngine>(kernels_, out_px);
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  if (auto hit = lookup()) return hit;
+  auto& engines = engines_->engines;
+  engines.emplace_back(out_px, engine);
+  while (static_cast<int>(engines.size()) > engines_->capacity) {
+    engines.erase(engines.begin());  // LRU lives at the front
+  }
+  return engine;
+}
+
+void FastLitho::set_engine_cache_capacity(int capacity) {
+  check(capacity >= 1, "engine cache capacity must be >= 1");
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  engines_->capacity = capacity;
+  auto& engines = engines_->engines;
+  while (static_cast<int>(engines.size()) > capacity) {
+    engines.erase(engines.begin());
+  }
+}
+
+int FastLitho::engine_cache_capacity() const {
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  return engines_->capacity;
+}
+
+int FastLitho::engine_cache_size() const {
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  return static_cast<int>(engines_->engines.size());
+}
+
+std::vector<int> FastLitho::engine_cache_pxs() const {
+  std::lock_guard<std::mutex> lk(engines_->mu);
+  std::vector<int> pxs;
+  pxs.reserve(engines_->engines.size());
+  for (const auto& [px, engine] : engines_->engines) pxs.push_back(px);
+  return pxs;
 }
 
 Grid<cd> FastLitho::spectrum_of(const Grid<double>& mask_raster) const {
@@ -46,16 +106,27 @@ Grid<cd> FastLitho::spectrum_of(const Grid<double>& mask_raster) const {
 
 Grid<double> FastLitho::aerial_from_spectrum(const Grid<cd>& spectrum,
                                              int out_px) const {
-  return engine_for(out_px).aerial(spectrum);
+  return engine_for(out_px)->aerial(spectrum);
 }
 
 Grid<double> FastLitho::aerial_from_mask(const Grid<double>& mask_raster,
                                          int out_px) const {
-  return engine_for(out_px).aerial(spectrum_of(mask_raster));
+  return engine_for(out_px)->aerial(spectrum_of(mask_raster));
 }
 
 std::vector<Grid<double>> FastLitho::aerial_batch(
     const std::vector<Grid<double>>& mask_rasters, int out_px) const {
+  std::vector<const Grid<double>*> ptrs;
+  ptrs.reserve(mask_rasters.size());
+  for (const Grid<double>& m : mask_rasters) ptrs.push_back(&m);
+  return aerial_batch(ptrs, out_px);
+}
+
+std::vector<Grid<double>> FastLitho::aerial_batch(
+    const std::vector<const Grid<double>*>& mask_rasters, int out_px) const {
+  for (const Grid<double>* m : mask_rasters) {
+    check(m != nullptr, "aerial_batch: null mask");
+  }
   // Phase 1: mask spectra across the pool (the row-paired cropped FFT is
   // the dominant per-mask cost at production raster sizes), then phase 2:
   // one engine sweep over every (mask, kernel-chunk) task.
@@ -63,9 +134,9 @@ std::vector<Grid<double>> FastLitho::aerial_batch(
   parallel_for(static_cast<std::int64_t>(mask_rasters.size()),
                [&](std::int64_t i) {
                  spectra[static_cast<std::size_t>(i)] =
-                     spectrum_of(mask_rasters[static_cast<std::size_t>(i)]);
+                     spectrum_of(*mask_rasters[static_cast<std::size_t>(i)]);
                });
-  return engine_for(out_px).aerial_batch(spectra);
+  return engine_for(out_px)->aerial_batch(spectra);
 }
 
 Grid<double> FastLitho::resist_from_mask(const Grid<double>& mask_raster,

@@ -21,14 +21,30 @@
 namespace nitho {
 
 /// Move-only (the engine cache is not shareable); kernels themselves are
-/// cheaply shared with every cached engine.  Engines are memoized per
-/// output resolution for the lifetime of the object and never evicted —
-/// callers sweeping many distinct out_px values hold one engine (plus its
-/// per-thread workspaces, ~out_px^2 complex doubles each) per resolution
-/// until the FastLitho is destroyed.
+/// cheaply shared with every cached engine and with sibling FastLitho
+/// instances built from kernels_shared() (the serving shards do this).
+///
+/// Memory model: engines are memoized per output resolution in an LRU cache
+/// bounded by set_engine_cache_capacity() (default 8).  Each cached engine
+/// holds its FFT plan references, scatter maps and a pool of per-thread
+/// workspaces of ~out_px^2 complex doubles, so the worst-case footprint is
+/// capacity * (parallel_workers() + 4) * out_px^2 * 16 bytes on top of the
+/// shared kernels.  A caller sweeping more distinct out_px values than the
+/// capacity evicts the least-recently-used engine; evicted engines stay
+/// alive (shared_ptr) until every in-flight call through them finishes, so
+/// eviction is safe under concurrency — it only costs the rebuilt plans and
+/// workspaces on the next use of that resolution.
 class FastLitho {
  public:
-  FastLitho(std::vector<Grid<cd>> kernels, double resist_threshold = 0.25);
+  explicit FastLitho(std::vector<Grid<cd>> kernels,
+                     double resist_threshold = 0.25);
+
+  /// Shared-kernel constructor: borrows an existing kernel vector without
+  /// copying it.  Sibling instances built this way (one per serving shard)
+  /// share the kernel arrays but keep private engine caches, so their
+  /// workspaces never contend.
+  explicit FastLitho(std::shared_ptr<const std::vector<Grid<cd>>> kernels,
+                     double resist_threshold = 0.25);
 
   /// Detaches the model's current kernel prediction.
   static FastLitho from_model(const NithoModel& model,
@@ -37,6 +53,12 @@ class FastLitho {
   int kernel_dim() const { return kdim_; }
   int rank() const { return static_cast<int>(kernels_->size()); }
   const std::vector<Grid<cd>>& kernels() const { return *kernels_; }
+  /// Shared ownership of the kernel vector, for handing the same arrays to
+  /// another FastLitho (or engine) without a copy.
+  std::shared_ptr<const std::vector<Grid<cd>>> kernels_shared() const {
+    return kernels_;
+  }
+  double resist_threshold() const { return resist_threshold_; }
 
   /// Aerial image from a centered cropped spectrum (>= kernel support).
   Grid<double> aerial_from_spectrum(const Grid<cd>& spectrum, int out_px) const;
@@ -53,9 +75,23 @@ class FastLitho {
   /// every pool worker busy even when one mask alone could not.
   std::vector<Grid<double>> aerial_batch(
       const std::vector<Grid<double>>& mask_rasters, int out_px) const;
+  /// Pointer variant: batches masks that live in caller-owned storage (the
+  /// serving batcher flushes coalesced requests this way without copying).
+  std::vector<Grid<double>> aerial_batch(
+      const std::vector<const Grid<double>*>& mask_rasters, int out_px) const;
 
   Grid<double> resist_from_mask(const Grid<double>& mask_raster,
                                 int out_px) const;
+
+  /// Bounds the per-resolution engine cache (LRU, >= 1).  Shrinking evicts
+  /// the least recently used engines immediately; in-flight calls holding
+  /// an evicted engine finish safely on their shared_ptr.
+  void set_engine_cache_capacity(int capacity);
+  int engine_cache_capacity() const;
+  /// Current cache occupancy / resolutions in LRU order (oldest first);
+  /// exposed for tests and server stats.
+  int engine_cache_size() const;
+  std::vector<int> engine_cache_pxs() const;
 
   /// Kernel persistence — the stored format is identical to real TCC kernel
   /// files, so downstream tools cannot tell learned kernels apart.
@@ -64,15 +100,18 @@ class FastLitho {
                         double resist_threshold = 0.25);
 
  private:
-  /// Lazily built, memoized engine per output resolution.  Kernels are
-  /// shared (not copied) with every engine.
-  const AerialEngine& engine_for(int out_px) const;
+  /// Lazily built, memoized engine per output resolution (LRU).  Kernels
+  /// are shared (not copied) with every engine; the returned shared_ptr
+  /// keeps the engine alive across a concurrent eviction.
+  std::shared_ptr<const AerialEngine> engine_for(int out_px) const;
 
   Grid<cd> spectrum_of(const Grid<double>& mask_raster) const;
 
   struct EngineCache {
     std::mutex mu;
-    std::vector<std::pair<int, std::unique_ptr<AerialEngine>>> engines;
+    int capacity = 8;
+    /// LRU order: front = least recently used, back = most recent.
+    std::vector<std::pair<int, std::shared_ptr<const AerialEngine>>> engines;
   };
 
   std::shared_ptr<const std::vector<Grid<cd>>> kernels_;

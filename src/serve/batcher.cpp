@@ -1,0 +1,83 @@
+#include "serve/batcher.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nitho::serve {
+
+MicroBatcher::MicroBatcher(BatchPolicy policy) : policy_(policy) {
+  check(policy_.max_batch >= 1, "max_batch must be >= 1");
+  check(policy_.max_delay.count() >= 0, "max_delay must be >= 0");
+}
+
+Batch MicroBatcher::take_bucket(std::size_t i) {
+  Batch batch = std::move(buckets_[i].batch);
+  buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(i));
+  return batch;
+}
+
+std::optional<Batch> MicroBatcher::add(
+    ServeRequest req, std::chrono::steady_clock::time_point now) {
+  check(req.litho != nullptr, "request without a kernel snapshot");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    Batch& b = buckets_[i].batch;
+    if (b.litho.get() == req.litho.get() && b.out_px == req.out_px) {
+      b.requests.push_back(std::move(req));
+      if (static_cast<int>(b.requests.size()) >= policy_.max_batch) {
+        return take_bucket(i);
+      }
+      return std::nullopt;
+    }
+  }
+  Bucket bucket;
+  bucket.batch.litho = req.litho;
+  bucket.batch.out_px = req.out_px;
+  bucket.deadline = now + policy_.max_delay;
+  bucket.batch.requests.push_back(std::move(req));
+  if (policy_.max_batch == 1) {
+    Batch batch = std::move(bucket.batch);
+    return batch;
+  }
+  buckets_.push_back(std::move(bucket));
+  return std::nullopt;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+MicroBatcher::next_deadline() const {
+  std::optional<std::chrono::steady_clock::time_point> earliest;
+  for (const Bucket& b : buckets_) {
+    if (!earliest || b.deadline < *earliest) earliest = b.deadline;
+  }
+  return earliest;
+}
+
+std::optional<Batch> MicroBatcher::poll(
+    std::chrono::steady_clock::time_point now) {
+  std::size_t best = buckets_.size();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i].deadline > now) continue;
+    if (best == buckets_.size() ||
+        buckets_[i].deadline < buckets_[best].deadline) {
+      best = i;
+    }
+  }
+  if (best == buckets_.size()) return std::nullopt;
+  return take_bucket(best);
+}
+
+std::vector<Batch> MicroBatcher::drain() {
+  std::vector<Batch> out;
+  out.reserve(buckets_.size());
+  for (Bucket& b : buckets_) out.push_back(std::move(b.batch));
+  buckets_.clear();
+  return out;
+}
+
+std::size_t MicroBatcher::pending_requests() const {
+  std::size_t n = 0;
+  for (const Bucket& b : buckets_) n += b.batch.requests.size();
+  return n;
+}
+
+}  // namespace nitho::serve

@@ -1,0 +1,82 @@
+#pragma once
+// Dynamic micro-batching scheduler (DESIGN.md §7.2).
+//
+// The batcher coalesces in-flight requests into buckets keyed by
+// (kernel-set snapshot, out_px) — exactly the configuration an AerialEngine
+// fixes, so every bucket can be flushed through one
+// FastLitho::aerial_batch sweep.  A bucket flushes when either
+//   * it reaches policy.max_batch requests (size flush: add() returns the
+//     full batch immediately), or
+//   * policy.max_delay has elapsed since its oldest request arrived
+//     (deadline flush: next_deadline() tells the shard worker how long it
+//     may block on its queue; poll() then hands back expired buckets).
+// Latency is therefore bounded by max_delay even at trickle load, while
+// bursts amortize spectra + engine dispatch across up to max_batch masks.
+//
+// MicroBatcher is deliberately single-threaded: it is owned by one shard
+// worker and never locked.  All cross-thread handoff happens in the
+// RequestQueue in front of it.
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace nitho::serve {
+
+struct BatchPolicy {
+  /// Size flush threshold (>= 1).
+  int max_batch = 8;
+  /// Deadline flush: max time a request may wait in a bucket.
+  std::chrono::microseconds max_delay{500};
+};
+
+/// One flushable unit: requests sharing a kernel snapshot and out_px.
+struct Batch {
+  std::shared_ptr<const FastLitho> litho;
+  int out_px = 0;
+  std::vector<ServeRequest> requests;
+};
+
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatchPolicy policy);
+
+  /// Files the request into its (kernel-set, out_px) bucket.  Returns the
+  /// bucket as a ready batch iff this request filled it to max_batch.
+  std::optional<Batch> add(ServeRequest req,
+                           std::chrono::steady_clock::time_point now);
+
+  /// Earliest deadline across pending buckets; nullopt when empty.
+  std::optional<std::chrono::steady_clock::time_point> next_deadline() const;
+
+  /// Pops one bucket whose deadline has passed at `now` (oldest first);
+  /// nullopt when nothing has expired.  Call in a loop to drain all
+  /// expired buckets.
+  std::optional<Batch> poll(std::chrono::steady_clock::time_point now);
+
+  /// Flushes every pending bucket regardless of deadline (shutdown).
+  std::vector<Batch> drain();
+
+  std::size_t pending_requests() const;
+  std::size_t pending_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    Batch batch;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  Batch take_bucket(std::size_t i);
+
+  BatchPolicy policy_;
+  /// Few distinct keys are in flight at once (a handful of out_px values
+  /// times at most two kernel snapshots mid-swap), so a flat vector beats
+  /// a hash map here.
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace nitho::serve

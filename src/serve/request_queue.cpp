@@ -1,0 +1,78 @@
+#include "serve/request_queue.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace nitho::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  check(capacity >= 1, "RequestQueue capacity must be >= 1");
+}
+
+bool RequestQueue::push_locked(std::unique_lock<std::mutex>& lk,
+                               ServeRequest& req) {
+  if (closed_) return false;
+  items_.push_back(std::move(req));
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::push(ServeRequest& req) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_full_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+  return push_locked(lk, req);
+}
+
+bool RequestQueue::try_push(ServeRequest& req) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (items_.size() >= capacity_) return false;
+  return push_locked(lk, req);
+}
+
+RequestQueue::PopResult RequestQueue::pop(ServeRequest& out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return PopResult::kClosed;
+  out = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  not_full_.notify_one();
+  return PopResult::kItem;
+}
+
+RequestQueue::PopResult RequestQueue::pop_until(
+    ServeRequest& out, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool ready = not_empty_.wait_until(
+      lk, deadline, [&] { return closed_ || !items_.empty(); });
+  if (!ready) return PopResult::kTimeout;
+  if (items_.empty()) return PopResult::kClosed;
+  out = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  not_full_.notify_one();
+  return PopResult::kItem;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+}  // namespace nitho::serve

@@ -1,0 +1,88 @@
+#pragma once
+// Bounded MPMC submission queue for the serving layer (DESIGN.md §7.3).
+//
+// One RequestQueue sits in front of each serving shard.  Producers are the
+// client threads inside LithoServer::submit / try_submit; the single
+// consumer is the shard's pinned worker (the queue itself supports multiple
+// consumers — nothing in it assumes one).  The capacity bound is the
+// server's backpressure mechanism: a full queue blocks push (or fails
+// try_push), which throttles clients to the speed the shard can absorb
+// instead of growing an unbounded backlog.
+//
+// Shutdown semantics: close() wakes every blocked producer and consumer.
+// After close, push/try_push refuse new work (leaving the caller's request
+// intact so its promise can be failed upstream), while pop continues to
+// drain already-accepted requests and only then reports kClosed — accepted
+// work is never dropped, which is what lets the server resolve every
+// outstanding future on shutdown.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "math/grid.hpp"
+#include "nitho/fast_litho.hpp"
+
+namespace nitho::serve {
+
+/// What the client asked for: raw aerial intensity or the thresholded
+/// resist pattern (binarize(aerial, snapshot->resist_threshold())).
+enum class RequestKind { kAerial, kResist };
+
+/// One in-flight simulation request.  The kernel snapshot is captured at
+/// submit time, so a request is always served by the kernels that were
+/// current when the client submitted it, even if a hot-swap lands while it
+/// waits in the queue or in a batcher bucket (DESIGN.md §7.4).
+struct ServeRequest {
+  RequestKind kind = RequestKind::kAerial;
+  Grid<double> mask;
+  int out_px = 0;
+  std::shared_ptr<const FastLitho> litho;
+  std::promise<Grid<double>> result;
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class RequestQueue {
+ public:
+  enum class PopResult { kItem, kTimeout, kClosed };
+
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Blocks while the queue is full (backpressure).  Returns false — with
+  /// req left intact — iff the queue was closed before the push succeeded.
+  bool push(ServeRequest& req);
+
+  /// Non-blocking push; false (req intact) when full or closed.
+  bool try_push(ServeRequest& req);
+
+  /// Blocks until an item arrives or the queue is closed *and* drained.
+  PopResult pop(ServeRequest& out);
+
+  /// As pop, but gives up at `deadline` (the batcher's next flush time).
+  PopResult pop_until(ServeRequest& out,
+                      std::chrono::steady_clock::time_point deadline);
+
+  /// Idempotent; wakes all waiters.  Items already accepted remain
+  /// poppable — pop reports kClosed only once the queue is empty too.
+  void close();
+
+  bool closed() const;
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  bool push_locked(std::unique_lock<std::mutex>& lk, ServeRequest& req);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<ServeRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nitho::serve

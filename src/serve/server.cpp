@@ -1,0 +1,297 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "metrics/metrics.hpp"
+
+namespace nitho::serve {
+
+using Clock = std::chrono::steady_clock;
+
+/// One pinned worker: queue in front, batcher inside, private FastLitho.
+struct LithoServer::Shard {
+  explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+
+  RequestQueue queue;
+  std::thread worker;
+
+  /// Current kernel snapshot; replaced wholesale by swap_kernels.
+  mutable std::mutex snap_mu;
+  std::shared_ptr<const FastLitho> snapshot;
+
+  /// Counters + a sliding latency window (ring buffer, so a long-lived
+  /// server keeps O(1) stats memory).  submitted is atomic — it sits on
+  /// the client-facing submit path, which must not contend on stats_mu
+  /// with the worker's per-batch accounting.
+  static constexpr std::size_t kLatencyWindow = 4096;
+  std::atomic<std::uint64_t> submitted{0};
+  mutable std::mutex stats_mu;
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  std::vector<double> latencies_us;
+  std::size_t latency_next = 0;
+
+  std::shared_ptr<const FastLitho> current_snapshot() const {
+    std::lock_guard<std::mutex> lk(snap_mu);
+    return snapshot;
+  }
+};
+
+LithoServer::LithoServer(FastLitho litho, ServeOptions options)
+    : options_(options) {
+  check(options_.shards >= 1, "LithoServer needs at least one shard");
+  const auto kernels = litho.kernels_shared();
+  const double threshold = litho.resist_threshold();
+  for (int s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    // Shard 0 adopts the caller's instance (keeping any engines it has
+    // already warmed); the rest share its kernels with fresh caches.
+    shard->snapshot =
+        s == 0 ? std::make_shared<const FastLitho>(std::move(litho))
+               : std::make_shared<const FastLitho>(
+                     FastLitho(kernels, threshold));
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* sh = shard.get();
+    sh->worker = std::thread([this, sh] { shard_loop(*sh); });
+  }
+}
+
+LithoServer::~LithoServer() { stop(); }
+
+int LithoServer::shard_of(int out_px) const {
+  if (options_.route == RouteMode::kRoundRobin) return -1;  // any shard
+  // Fibonacci hash of out_px: neighbouring resolutions land on different
+  // shards even when the shard count is a power of two.
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(out_px) * 0x9E3779B97F4A7C15ull;
+  return static_cast<int>((h >> 32) % static_cast<std::uint64_t>(shards()));
+}
+
+LithoServer::Shard& LithoServer::route(int out_px) {
+  int s = shard_of(out_px);
+  if (s < 0) {
+    s = static_cast<int>(round_robin_.fetch_add(1, std::memory_order_relaxed) %
+                         static_cast<std::uint64_t>(shards()));
+  }
+  return *shards_[static_cast<std::size_t>(s)];
+}
+
+ServeRequest LithoServer::make_request(Shard& shard, Grid<double>& mask,
+                                       int out_px, RequestKind kind) const {
+  // Validate before touching the caller's mask, so a rejected submission
+  // (empty mask, out_px under the current snapshot's kernel support —
+  // reachable when a hot-swap races a submit) leaves it intact.
+  check(!mask.empty(), "submit: empty mask");
+  auto snapshot = shard.current_snapshot();  // never null, even after stop()
+  check(out_px >= snapshot->kernel_dim(),
+        "submit: out_px smaller than the kernel support");
+  ServeRequest req;
+  req.kind = kind;
+  req.mask = std::move(mask);
+  req.out_px = out_px;
+  req.litho = std::move(snapshot);
+  req.enqueued_at = Clock::now();
+  return req;
+}
+
+std::future<Grid<double>> LithoServer::submit(Grid<double> mask, int out_px,
+                                              RequestKind kind) {
+  Shard& shard = route(out_px);
+  ServeRequest req = make_request(shard, mask, out_px, kind);
+  std::future<Grid<double>> fut = req.result.get_future();
+  // Count before push so a stats reader can never observe a completed
+  // request that is not yet in submitted; roll back if the queue refuses.
+  shard.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!shard.queue.push(req)) {
+    shard.submitted.fetch_sub(1, std::memory_order_relaxed);
+    check_fail("submit on a stopped server", std::source_location::current());
+  }
+  return fut;
+}
+
+std::optional<std::future<Grid<double>>> LithoServer::try_submit(
+    Grid<double>& mask, int out_px, RequestKind kind) {
+  Shard& shard = route(out_px);
+  ServeRequest req = make_request(shard, mask, out_px, kind);
+  std::future<Grid<double>> fut = req.result.get_future();
+  shard.submitted.fetch_add(1, std::memory_order_relaxed);
+  if (!shard.queue.try_push(req)) {
+    shard.submitted.fetch_sub(1, std::memory_order_relaxed);
+    mask = std::move(req.mask);  // hand the mask back on rejection
+    // A full queue is the caller's load-shedding signal; a stopped server
+    // is not retryable and must not masquerade as backpressure.
+    check(!shard.queue.closed(), "submit on a stopped server");
+    return std::nullopt;
+  }
+  return fut;
+}
+
+void LithoServer::swap_kernels(FastLitho fresh) {
+  const auto kernels = fresh.kernels_shared();
+  const double threshold = fresh.resist_threshold();
+  for (auto& shard : shards_) {
+    auto snap = std::make_shared<const FastLitho>(FastLitho(kernels, threshold));
+    std::lock_guard<std::mutex> lk(shard->snap_mu);
+    shard->snapshot = std::move(snap);
+  }
+}
+
+std::shared_ptr<const FastLitho> LithoServer::snapshot(int shard) const {
+  check(shard >= 0 && shard < shards(), "snapshot: shard out of range");
+  return shards_[static_cast<std::size_t>(shard)]->current_snapshot();
+}
+
+void LithoServer::stop() {
+  std::lock_guard<std::mutex> lk(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void LithoServer::shard_loop(Shard& shard) {
+  MicroBatcher batcher(options_.batch);
+  for (;;) {
+    ServeRequest req;
+    const auto deadline = batcher.next_deadline();
+    const RequestQueue::PopResult popped =
+        deadline ? shard.queue.pop_until(req, *deadline)
+                 : shard.queue.pop(req);
+    if (popped == RequestQueue::PopResult::kItem) {
+      if (auto full = batcher.add(std::move(req), Clock::now())) {
+        execute_batch(shard, std::move(*full));
+      }
+    }
+    // Deadline-triggered partial batches (also sweeps buckets that expired
+    // while a size-triggered flush was executing).
+    while (auto expired = batcher.poll(Clock::now())) {
+      execute_batch(shard, std::move(*expired));
+    }
+    if (popped == RequestQueue::PopResult::kClosed) {
+      // Queue drained and closed: flush what the batcher still holds so
+      // every accepted future resolves, then retire the worker.
+      for (Batch& b : batcher.drain()) execute_batch(shard, std::move(b));
+      return;
+    }
+  }
+}
+
+void LithoServer::execute_batch(Shard& shard, Batch batch) {
+  std::vector<const Grid<double>*> masks;
+  masks.reserve(batch.requests.size());
+  for (const ServeRequest& r : batch.requests) masks.push_back(&r.mask);
+  std::vector<Grid<double>> aerials;
+  std::exception_ptr err;
+  try {
+    aerials = batch.litho->aerial_batch(masks, batch.out_px);
+  } catch (...) {
+    // A failed sweep (e.g. a mask/out_px combination the engine rejects)
+    // fails every request in the batch instead of wedging their futures.
+    err = std::current_exception();
+  }
+  // Account first, then resolve: a client that has seen its future resolve
+  // must also see it counted in completed.  Latencies are computed outside
+  // the lock; only the ring-buffer append holds stats_mu.
+  const auto now = Clock::now();
+  std::vector<double> batch_latencies_us;
+  batch_latencies_us.reserve(batch.requests.size());
+  for (const ServeRequest& r : batch.requests) {
+    batch_latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - r.enqueued_at)
+            .count());
+  }
+  {
+    std::lock_guard<std::mutex> lk(shard.stats_mu);
+    shard.completed += batch.requests.size();
+    ++shard.batches;
+    for (const double us : batch_latencies_us) {
+      if (shard.latencies_us.size() < Shard::kLatencyWindow) {
+        shard.latencies_us.push_back(us);
+      } else {
+        shard.latencies_us[shard.latency_next] = us;
+        shard.latency_next = (shard.latency_next + 1) % Shard::kLatencyWindow;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+    ServeRequest& r = batch.requests[i];
+    if (err) {
+      r.result.set_exception(err);
+    } else if (r.kind == RequestKind::kResist) {
+      r.result.set_value(binarize(aerials[i], batch.litho->resist_threshold()));
+    } else {
+      r.result.set_value(std::move(aerials[i]));
+    }
+  }
+}
+
+namespace {
+
+void fill_percentiles(std::vector<double> latencies, ShardStats& st) {
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t n = latencies.size();
+  st.p50_latency_us = latencies[(n - 1) / 2];
+  st.p99_latency_us = latencies[(99 * (n - 1)) / 100];
+}
+
+}  // namespace
+
+ShardStats LithoServer::shard_stats(int shard) const {
+  check(shard >= 0 && shard < shards(), "shard_stats: shard out of range");
+  const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
+  ShardStats st;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lk(sh.stats_mu);
+    st.completed = sh.completed;
+    st.batches = sh.batches;
+    latencies = sh.latencies_us;
+  }
+  // Read submitted after completed: every completion happens-after its own
+  // submission count, so this order keeps completed <= submitted for
+  // readers.
+  st.submitted = sh.submitted.load(std::memory_order_acquire);
+  st.queue_depth = sh.queue.depth();
+  st.mean_batch_occupancy =
+      st.batches == 0
+          ? 0.0
+          : static_cast<double>(st.completed) / static_cast<double>(st.batches);
+  fill_percentiles(std::move(latencies), st);
+  return st;
+}
+
+ShardStats LithoServer::stats() const {
+  ShardStats total;
+  std::vector<double> latencies;
+  for (int s = 0; s < shards(); ++s) {
+    const Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    {
+      std::lock_guard<std::mutex> lk(sh.stats_mu);
+      total.completed += sh.completed;
+      total.batches += sh.batches;
+      latencies.insert(latencies.end(), sh.latencies_us.begin(),
+                       sh.latencies_us.end());
+    }
+    // After completed, as in shard_stats: keeps completed <= submitted.
+    total.submitted += sh.submitted.load(std::memory_order_acquire);
+  }
+  for (int s = 0; s < shards(); ++s) {
+    total.queue_depth += shards_[static_cast<std::size_t>(s)]->queue.depth();
+  }
+  total.mean_batch_occupancy =
+      total.batches == 0 ? 0.0
+                         : static_cast<double>(total.completed) /
+                               static_cast<double>(total.batches);
+  fill_percentiles(std::move(latencies), total);
+  return total;
+}
+
+}  // namespace nitho::serve

@@ -1,0 +1,138 @@
+#pragma once
+// LithoServer: sharded, micro-batching aerial-image serving on top of
+// FastLitho / AerialEngine (DESIGN.md §7).
+//
+// The synchronous FastLitho API answers one caller at a time; the server
+// turns it into a concurrent front end for heavy traffic:
+//
+//   * N shards, each a pinned worker thread with its own bounded
+//     RequestQueue, its own MicroBatcher and its own FastLitho instance.
+//     Shard instances share the kernel arrays (FastLitho::kernels_shared)
+//     but keep private engine caches, so shard workers never contend on
+//     workspaces.  Requests route to a shard by out_px affinity (default:
+//     each shard only ever builds engines for the resolutions it serves,
+//     which bounds memory together with the FastLitho LRU cap) or round
+//     robin.
+//   * A future-based client API: submit() moves the mask in and returns a
+//     std::future<Grid<double>> that resolves to exactly the grid a direct
+//     aerial_from_mask / resist_from_mask call would produce — served
+//     results are bit-identical to the synchronous API.
+//   * Backpressure: submit() blocks while the shard queue is full;
+//     try_submit() fails fast instead.  Either way the server's memory is
+//     bounded by shards * (queue_capacity + batcher buckets).
+//   * Snapshot hot-swap: swap_kernels() atomically publishes a new kernel
+//     set (e.g. a fresh NithoModel export) without draining the server.
+//     Every request is served by the snapshot that was current at its
+//     submit time; in-flight work on the old kernels finishes on its
+//     shared_ptr and the old engines free once the last request drains.
+//   * stop() closes the queues, drains every accepted request and joins
+//     the workers: all futures resolve (shutdown never breaks a promise).
+//     The destructor calls stop().
+//
+// Per-shard stats (queue depth, batch count/occupancy, p50/p99 latency
+// over a sliding window) are exported for load shedding and dashboards.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+
+namespace nitho::serve {
+
+enum class RouteMode {
+  /// Hash out_px to a fixed shard: maximal coalescing, each shard builds
+  /// engines only for the resolutions routed to it.
+  kOutPxAffinity,
+  /// Spread requests evenly regardless of key (uniform load when the
+  /// resolution mix is skewed; batches then form per shard).
+  kRoundRobin,
+};
+
+struct ServeOptions {
+  int shards = 1;
+  /// Per-shard queue bound — the backpressure knob.
+  std::size_t queue_capacity = 64;
+  BatchPolicy batch;
+  RouteMode route = RouteMode::kOutPxAffinity;
+};
+
+struct ShardStats {
+  std::uint64_t submitted = 0;   ///< requests accepted into the queue
+  std::uint64_t completed = 0;   ///< futures resolved (value or error)
+  std::uint64_t batches = 0;     ///< engine sweeps executed
+  double mean_batch_occupancy = 0.0;  ///< completed / batches
+  std::size_t queue_depth = 0;   ///< instantaneous
+  /// Submit-to-resolve latency percentiles over the last
+  /// kLatencyWindow completed requests, in microseconds.
+  double p50_latency_us = 0.0;
+  double p99_latency_us = 0.0;
+};
+
+class LithoServer {
+ public:
+  explicit LithoServer(FastLitho litho, ServeOptions options = {});
+  ~LithoServer();
+  LithoServer(const LithoServer&) = delete;
+  LithoServer& operator=(const LithoServer&) = delete;
+
+  /// Submits one mask for aerial (or resist) simulation at out_px.  Blocks
+  /// while the target shard's queue is full (backpressure); throws
+  /// check_error if the server is stopped or the request is invalid
+  /// against the current kernel snapshot (out_px < kernel_dim).
+  std::future<Grid<double>> submit(Grid<double> mask, int out_px,
+                                   RequestKind kind = RequestKind::kAerial);
+
+  /// Non-blocking submit: nullopt (mask intact) when the shard queue is
+  /// full — the caller's load-shedding signal.  A stopped server is not
+  /// retryable, so it throws check_error like submit() instead of
+  /// masquerading as backpressure.
+  std::optional<std::future<Grid<double>>> try_submit(
+      Grid<double>& mask, int out_px, RequestKind kind = RequestKind::kAerial);
+
+  /// Publishes a new kernel snapshot (shape may differ from the old one).
+  /// Requests submitted before the swap are still served by the old
+  /// kernels; requests submitted after see the new ones.
+  void swap_kernels(FastLitho fresh);
+
+  /// The kernel snapshot a submit routed to `shard` would capture now.
+  std::shared_ptr<const FastLitho> snapshot(int shard = 0) const;
+
+  /// Close queues, drain accepted requests, join workers.  Idempotent and
+  /// safe to call concurrently; submits racing with stop either complete
+  /// or throw, but an accepted future always resolves.
+  void stop();
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  /// Routing decision, exposed for tests: the shard index under
+  /// kOutPxAffinity, or -1 under kRoundRobin (any shard — the actual pick
+  /// happens per submit).  Do not feed -1 to shard_stats/snapshot.
+  int shard_of(int out_px) const;
+  ShardStats shard_stats(int shard) const;
+  ShardStats stats() const;  ///< aggregate over all shards
+
+ private:
+  struct Shard;
+
+  Shard& route(int out_px);
+  /// Validates against the shard's current snapshot and only then moves
+  /// the mask into the returned request (a throw leaves `mask` intact).
+  ServeRequest make_request(Shard& shard, Grid<double>& mask, int out_px,
+                            RequestKind kind) const;
+  void shard_loop(Shard& shard);
+  void execute_batch(Shard& shard, Batch batch);
+
+  ServeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> round_robin_{0};
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+};
+
+}  // namespace nitho::serve

@@ -131,6 +131,23 @@ Grid<double> random_mask(int rows, int cols, Rng& rng, double p) {
   return g;
 }
 
+std::vector<Grid<cd>> random_kernels(int count, int kdim, Rng& rng,
+                                     bool dark_border) {
+  std::vector<Grid<cd>> kernels;
+  kernels.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Grid<cd> k = random_cgrid(kdim, kdim, rng);
+    if (dark_border && kdim >= 5) {
+      for (int j = 0; j < kdim; ++j) {
+        k(0, j) = k(kdim - 1, j) = cd(0.0, 0.0);
+        k(j, 0) = k(j, kdim - 1) = cd(0.0, 0.0);
+      }
+    }
+    kernels.push_back(std::move(k));
+  }
+  return kernels;
+}
+
 Grid<cd> random_hermitian(int n, Rng& rng) {
   Grid<cd> a(n, n);
   for (int i = 0; i < n; ++i) {

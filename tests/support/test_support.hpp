@@ -48,6 +48,12 @@ Grid<cd> random_cgrid(int rows, int cols, Rng& rng);
 Grid<double> random_grid(int rows, int cols, Rng& rng);
 /// Random binary mask with the given fill probability.
 Grid<double> random_mask(int rows, int cols, Rng& rng, double p = 0.5);
+/// Random complex kernel stack (count kernels of kdim x kdim).  With
+/// dark_border (and kdim >= 5), a one-pixel border ring is zeroed so the
+/// kernels have structurally dark rows/columns like real pupil-limited
+/// SOCS kernels — what the engine's row pruning keys on.
+std::vector<Grid<cd>> random_kernels(int count, int kdim, Rng& rng,
+                                     bool dark_border = false);
 /// Random Hermitian n x n matrix (real diagonal, conjugate-symmetric).
 Grid<cd> random_hermitian(int n, Rng& rng);
 /// Hermitian-symmetric centered spectrum of a real mask; DC ~ density.

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
@@ -171,6 +172,57 @@ TEST(Parallel, WorkerOverride) {
   EXPECT_EQ(count.load(), 50);
   set_parallel_workers(0);
   EXPECT_GE(parallel_workers(), 1);
+}
+
+TEST(Parallel, WorkerOverrideSafeConcurrentWithDispatch) {
+  // set_parallel_workers is documented safe to call while parallel_for is
+  // in flight on other threads (the serving shards and the shared pool
+  // coexist this way): every dispatch must still cover its range exactly
+  // once, whatever worker count it snapshot.  Run under the tsan preset,
+  // this also proves the override itself is race-free.
+  std::atomic<bool> done{false};
+  std::thread toggler([&] {
+    int n = 1;
+    while (!done.load(std::memory_order_relaxed)) {
+      set_parallel_workers(n);
+      n = n % 4 + 1;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    const int size = 257;
+    std::vector<std::atomic<int>> hits(size);
+    parallel_for(size, [&](std::int64_t i) { hits[i].fetch_add(1); });
+    for (int i = 0; i < size; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+  done.store(true);
+  toggler.join();
+  set_parallel_workers(0);
+}
+
+TEST(Parallel, ConcurrentDispatchersFromPlainThreadsSerialize) {
+  // Multiple long-lived threads (like pinned serving shards) may each call
+  // parallel_for; dispatches serialize on the pool without deadlock or
+  // lost indices.
+  set_parallel_workers(2);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::atomic<int>> hits(kThreads * kRounds * 7);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int base = (t * kRounds + r) * 7;
+        parallel_for(7, [&](std::int64_t i) {
+          hits[static_cast<std::size_t>(base + i)].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+  set_parallel_workers(0);
 }
 
 TEST(Timer, MeasuresForwardTime) {

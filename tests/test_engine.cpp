@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -21,7 +23,6 @@ namespace nitho {
 namespace {
 
 using test::make_rng;
-using test::random_cgrid;
 using test::random_mask;
 using test::random_spectrum;
 
@@ -61,21 +62,8 @@ Grid<double> legacy_socs_aerial(const std::vector<Grid<cd>>& kernels,
 }
 
 std::vector<Grid<cd>> random_kernels(int count, int kdim, Rng& rng) {
-  std::vector<Grid<cd>> kernels;
-  kernels.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) {
-    Grid<cd> k = random_cgrid(kdim, kdim, rng);
-    // Zero a border ring so kernels have structurally dark rows/columns,
-    // like real pupil-limited SOCS kernels.
-    if (kdim >= 5) {
-      for (int j = 0; j < kdim; ++j) {
-        k(0, j) = k(kdim - 1, j) = cd(0.0, 0.0);
-        k(j, 0) = k(j, kdim - 1) = cd(0.0, 0.0);
-      }
-    }
-    kernels.push_back(std::move(k));
-  }
-  return kernels;
+  // Dark borders exercise the engine's structurally-zero row pruning.
+  return test::random_kernels(count, kdim, rng, /*dark_border=*/true);
 }
 
 TEST(AerialEngine, BitIdenticalToLegacyAcrossOutputSizes) {
@@ -177,6 +165,101 @@ TEST(AerialEngine, EmptyBatchReturnsEmpty) {
   Rng rng = make_rng(77);
   const AerialEngine engine(random_kernels(3, 9, rng), 16);
   EXPECT_TRUE(engine.aerial_batch(std::vector<Grid<cd>>{}).empty());
+}
+
+TEST(FastLitho, EngineCacheIsBoundedLru) {
+  Rng rng = make_rng(78);
+  FastLitho fast(random_kernels(6, 9, rng));
+  fast.set_engine_cache_capacity(2);
+  EXPECT_EQ(fast.engine_cache_capacity(), 2);
+  const Grid<double> mask = random_mask(64, 64, rng);
+  // Record the results once, then sweep more resolutions than the cap.
+  std::vector<Grid<double>> first;
+  for (const int px : {16, 20, 24, 32}) {
+    first.push_back(fast.aerial_from_mask(mask, px));
+  }
+  EXPECT_EQ(fast.engine_cache_size(), 2);
+  EXPECT_EQ(fast.engine_cache_pxs(), (std::vector<int>{24, 32}));
+  // A hit refreshes recency: 24 survives the next insertion, 32 does not.
+  (void)fast.aerial_from_mask(mask, 24);
+  (void)fast.aerial_from_mask(mask, 16);
+  EXPECT_EQ(fast.engine_cache_pxs(), (std::vector<int>{24, 16}));
+  // Rebuilt engines reproduce the evicted engines' results bit for bit.
+  std::size_t i = 0;
+  for (const int px : {16, 20, 24, 32}) {
+    EXPECT_EQ(fast.aerial_from_mask(mask, px), first[i++]) << "px " << px;
+  }
+  // Shrinking evicts immediately.
+  fast.set_engine_cache_capacity(1);
+  EXPECT_EQ(fast.engine_cache_size(), 1);
+  EXPECT_THROW(fast.set_engine_cache_capacity(0), check_error);
+}
+
+TEST(FastLitho, SharedKernelSiblingsMatchBitForBit) {
+  Rng rng = make_rng(79);
+  FastLitho owner(random_kernels(8, 13, rng));
+  // A sibling built from kernels_shared() shares the arrays (no copy) but
+  // keeps its own engine cache — the serving shards are built this way.
+  FastLitho sibling(owner.kernels_shared(), owner.resist_threshold());
+  EXPECT_EQ(&sibling.kernels(), &owner.kernels());
+  const Grid<double> mask = random_mask(64, 64, rng);
+  EXPECT_EQ(sibling.aerial_from_mask(mask, 32), owner.aerial_from_mask(mask, 32));
+  EXPECT_EQ(sibling.resist_from_mask(mask, 32), owner.resist_from_mask(mask, 32));
+}
+
+TEST(FastLitho, MaskPointerBatchMatchesOwningBatch) {
+  Rng rng = make_rng(80);
+  const FastLitho fast(random_kernels(9, 9, rng));
+  std::vector<Grid<double>> masks;
+  for (int i = 0; i < 3; ++i) masks.push_back(random_mask(48, 48, rng));
+  std::vector<const Grid<double>*> ptrs;
+  for (const Grid<double>& m : masks) ptrs.push_back(&m);
+  EXPECT_EQ(fast.aerial_batch(ptrs, 24), fast.aerial_batch(masks, 24));
+  std::vector<const Grid<double>*> with_null = ptrs;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(fast.aerial_batch(with_null, 24), check_error);
+}
+
+TEST(FastLitho, ResistFromMaskMatchesThresholdedAerial) {
+  Rng rng = make_rng(81);
+  const std::vector<Grid<cd>> kernels = random_kernels(7, 13, rng);
+  const Grid<double> mask = random_mask(64, 64, rng);
+  for (const int out_px : {32, 33}) {  // even and odd output grids
+    const FastLitho fast{std::vector<Grid<cd>>(kernels)};
+    const Grid<double> aerial = fast.aerial_from_mask(mask, out_px);
+    const Grid<double> resist = fast.resist_from_mask(mask, out_px);
+    ASSERT_EQ(resist.rows(), out_px);
+    ASSERT_EQ(resist.cols(), out_px);
+    for (std::size_t a = 0; a < resist.size(); ++a) {
+      EXPECT_TRUE(resist[a] == 0.0 || resist[a] == 1.0);
+      EXPECT_EQ(resist[a], aerial[a] >= fast.resist_threshold() ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(FastLitho, ResistThresholdBoundaryIsInclusive) {
+  Rng rng = make_rng(82);
+  const std::vector<Grid<cd>> kernels = random_kernels(5, 9, rng);
+  const Grid<double> mask = random_mask(48, 48, rng);
+  const Grid<double> aerial =
+      FastLitho{std::vector<Grid<cd>>(kernels)}.aerial_from_mask(mask, 24);
+  // Pin the threshold to an exact intensity value: >= keeps that pixel lit.
+  const double pivot = aerial(7, 11);
+  const FastLitho at{std::vector<Grid<cd>>(kernels), pivot};
+  EXPECT_EQ(at.resist_threshold(), pivot);
+  EXPECT_EQ(at.resist_from_mask(mask, 24)(7, 11), 1.0);
+  // An infinitesimally higher threshold flips exactly the boundary pixels.
+  const FastLitho above{
+      std::vector<Grid<cd>>(kernels),
+      std::nextafter(pivot, std::numeric_limits<double>::infinity())};
+  EXPECT_EQ(above.resist_from_mask(mask, 24)(7, 11), 0.0);
+  // Degenerate thresholds: everything clears / nothing does.
+  const FastLitho zero{std::vector<Grid<cd>>(kernels), 0.0};
+  const Grid<double> all_on = zero.resist_from_mask(mask, 24);
+  for (std::size_t a = 0; a < all_on.size(); ++a) EXPECT_EQ(all_on[a], 1.0);
+  const FastLitho huge{std::vector<Grid<cd>>(kernels), 1e300};
+  const Grid<double> all_off = huge.resist_from_mask(mask, 24);
+  for (std::size_t a = 0; a < all_off.size(); ++a) EXPECT_EQ(all_off[a], 0.0);
 }
 
 TEST(ReduceOrdered, SkipsEmptyPartialsAndKeepsOrder) {

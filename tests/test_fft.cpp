@@ -279,7 +279,7 @@ TEST(Fft2, WorkspaceVariantBitIdentical) {
   // workspace reused (and re-sized) across all of them.
   Rng rng(89);
   Fft2Workspace ws;
-  for (const auto [rows, cols] :
+  for (const auto& [rows, cols] :
        {std::pair{8, 8}, {16, 4}, {12, 10}, {31, 17}, {9, 32}}) {
     Grid<cd> g(rows, cols);
     for (auto& v : g) v = cd(rng.normal(), rng.normal());

@@ -1,0 +1,551 @@
+// Tests for src/serve/: RequestQueue backpressure/shutdown semantics,
+// MicroBatcher flush policy, and the LithoServer contract — every served
+// result bit-identical to the corresponding direct FastLitho call under
+// concurrent mixed load, deadline-triggered partial batches, backpressure
+// with a full queue, kernel hot-swap mid-stream, and clean shutdown with
+// all futures resolved.  This suite also runs under the `tsan` preset.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <latch>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+#include "support/test_support.hpp"
+
+namespace nitho {
+namespace {
+
+using serve::Batch;
+using serve::BatchPolicy;
+using serve::LithoServer;
+using serve::MicroBatcher;
+using serve::RequestKind;
+using serve::RequestQueue;
+using serve::RouteMode;
+using serve::ServeOptions;
+using serve::ServeRequest;
+using serve::ShardStats;
+using test::make_rng;
+using test::random_kernels;
+using test::random_mask;
+
+using Clock = std::chrono::steady_clock;
+
+ServeRequest make_req(int tag, std::shared_ptr<const FastLitho> litho,
+                      int out_px = 16) {
+  ServeRequest req;
+  req.mask = Grid<double>(1, 1, static_cast<double>(tag));
+  req.out_px = out_px;
+  req.litho = std::move(litho);
+  return req;
+}
+
+std::shared_ptr<const FastLitho> dummy_litho(std::uint64_t salt) {
+  Rng rng = make_rng(salt);
+  return std::make_shared<const FastLitho>(
+      FastLitho(random_kernels(1, 3, rng)));
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueue, FifoOrderAndDepth) {
+  RequestQueue q(4);
+  const auto litho = dummy_litho(1);
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest r = make_req(i, litho);
+    ASSERT_TRUE(q.push(r));
+  }
+  EXPECT_EQ(q.depth(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ServeRequest out;
+    ASSERT_EQ(q.pop(out), RequestQueue::PopResult::kItem);
+    EXPECT_EQ(out.mask(0, 0), static_cast<double>(i));
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueue, TryPushFailsWhenFullAndKeepsRequest) {
+  RequestQueue q(2);
+  const auto litho = dummy_litho(2);
+  ServeRequest a = make_req(0, litho), b = make_req(1, litho);
+  ASSERT_TRUE(q.try_push(a));
+  ASSERT_TRUE(q.try_push(b));
+  ServeRequest c = make_req(42, litho);
+  EXPECT_FALSE(q.try_push(c));
+  // The rejected request is intact: the caller can retry or fail it.
+  EXPECT_EQ(c.mask(0, 0), 42.0);
+  EXPECT_TRUE(c.litho != nullptr);
+}
+
+TEST(RequestQueue, PushBlocksUntilPopMakesRoom) {
+  RequestQueue q(1);
+  const auto litho = dummy_litho(3);
+  ServeRequest first = make_req(0, litho);
+  ASSERT_TRUE(q.push(first));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ServeRequest second = make_req(1, litho);
+    ASSERT_TRUE(q.push(second));  // must block until the pop below
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still blocked on the full queue
+  ServeRequest out;
+  ASSERT_EQ(q.pop(out), RequestQueue::PopResult::kItem);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_EQ(q.pop(out), RequestQueue::PopResult::kItem);
+  EXPECT_EQ(out.mask(0, 0), 1.0);
+}
+
+TEST(RequestQueue, CloseDrainsAcceptedItemsThenReportsClosed) {
+  RequestQueue q(4);
+  const auto litho = dummy_litho(4);
+  ServeRequest a = make_req(7, litho);
+  ASSERT_TRUE(q.push(a));
+  q.close();
+  ServeRequest b = make_req(8, litho);
+  EXPECT_FALSE(q.push(b));      // refused, request intact
+  EXPECT_FALSE(q.try_push(b));
+  EXPECT_EQ(b.mask(0, 0), 8.0);
+  ServeRequest out;
+  ASSERT_EQ(q.pop(out), RequestQueue::PopResult::kItem);  // drains
+  EXPECT_EQ(out.mask(0, 0), 7.0);
+  EXPECT_EQ(q.pop(out), RequestQueue::PopResult::kClosed);
+  EXPECT_EQ(q.pop_until(out, Clock::now() + std::chrono::milliseconds(5)),
+            RequestQueue::PopResult::kClosed);
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducerAndConsumer) {
+  RequestQueue q(1);
+  const auto litho = dummy_litho(5);
+  ServeRequest fill = make_req(0, litho);
+  ASSERT_TRUE(q.push(fill));
+  std::thread producer([&] {
+    ServeRequest r = make_req(1, litho);
+    EXPECT_FALSE(q.push(r));  // blocked on full, then woken by close
+  });
+  RequestQueue empty(1);
+  std::thread consumer([&] {
+    ServeRequest out;
+    EXPECT_EQ(empty.pop(out), RequestQueue::PopResult::kClosed);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  empty.close();
+  producer.join();
+  consumer.join();
+}
+
+TEST(RequestQueue, PopUntilTimesOutOnEmptyQueue) {
+  RequestQueue q(2);
+  ServeRequest out;
+  EXPECT_EQ(q.pop_until(out, Clock::now() + std::chrono::milliseconds(5)),
+            RequestQueue::PopResult::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// MicroBatcher
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcher, SizeFlushAtMaxBatch) {
+  MicroBatcher batcher({.max_batch = 3, .max_delay = std::chrono::hours(1)});
+  const auto litho = dummy_litho(10);
+  const auto now = Clock::now();
+  EXPECT_FALSE(batcher.add(make_req(0, litho), now).has_value());
+  EXPECT_FALSE(batcher.add(make_req(1, litho), now).has_value());
+  auto full = batcher.add(make_req(2, litho), now);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->requests.size(), 3u);
+  EXPECT_EQ(full->out_px, 16);
+  EXPECT_EQ(full->litho.get(), litho.get());
+  EXPECT_EQ(batcher.pending_requests(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(full->requests[static_cast<std::size_t>(i)].mask(0, 0),
+              static_cast<double>(i));
+  }
+}
+
+TEST(MicroBatcher, MaxBatchOneFlushesImmediately) {
+  MicroBatcher batcher({.max_batch = 1, .max_delay = std::chrono::hours(1)});
+  auto batch = batcher.add(make_req(0, dummy_litho(11)), Clock::now());
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->requests.size(), 1u);
+  EXPECT_EQ(batcher.pending_buckets(), 0u);
+}
+
+TEST(MicroBatcher, SeparateBucketsPerOutPxAndKernelSet) {
+  MicroBatcher batcher({.max_batch = 8, .max_delay = std::chrono::hours(1)});
+  const auto lithoA = dummy_litho(12);
+  const auto lithoB = dummy_litho(13);
+  const auto now = Clock::now();
+  EXPECT_FALSE(batcher.add(make_req(0, lithoA, 16), now).has_value());
+  EXPECT_FALSE(batcher.add(make_req(1, lithoA, 32), now).has_value());
+  EXPECT_FALSE(batcher.add(make_req(2, lithoB, 16), now).has_value());
+  EXPECT_EQ(batcher.pending_buckets(), 3u);  // (A,16) (A,32) (B,16)
+  EXPECT_FALSE(batcher.add(make_req(3, lithoA, 16), now).has_value());
+  EXPECT_EQ(batcher.pending_buckets(), 3u);  // coalesced into (A,16)
+  EXPECT_EQ(batcher.pending_requests(), 4u);
+}
+
+TEST(MicroBatcher, DeadlinePollFlushesOldestFirst) {
+  const auto delay = std::chrono::milliseconds(10);
+  MicroBatcher batcher({.max_batch = 8, .max_delay = delay});
+  const auto lithoA = dummy_litho(14);
+  const auto lithoB = dummy_litho(15);
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(batcher.add(make_req(0, lithoA, 16), t0).has_value());
+  EXPECT_FALSE(batcher.add(make_req(1, lithoB, 20), t0 + delay).has_value());
+  ASSERT_TRUE(batcher.next_deadline().has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + delay);
+  EXPECT_FALSE(batcher.poll(t0 + delay / 2).has_value());  // nothing expired
+  auto first = batcher.poll(t0 + 3 * delay);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->litho.get(), lithoA.get());  // older bucket first
+  auto second = batcher.poll(t0 + 3 * delay);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->litho.get(), lithoB.get());
+  EXPECT_FALSE(batcher.poll(t0 + 3 * delay).has_value());
+  EXPECT_FALSE(batcher.next_deadline().has_value());
+}
+
+TEST(MicroBatcher, DrainFlushesEverythingRegardlessOfDeadline) {
+  MicroBatcher batcher({.max_batch = 8, .max_delay = std::chrono::hours(1)});
+  const auto now = Clock::now();
+  EXPECT_FALSE(batcher.add(make_req(0, dummy_litho(16), 16), now).has_value());
+  EXPECT_FALSE(batcher.add(make_req(1, dummy_litho(17), 24), now).has_value());
+  const std::vector<Batch> all = batcher.drain();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(batcher.pending_requests(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LithoServer
+// ---------------------------------------------------------------------------
+
+/// Shared fixture state: one kernel set plus an independent reference
+/// FastLitho (same kernel values => bit-identical arithmetic) that all
+/// expectations are computed against.
+struct ServerHarness {
+  explicit ServerHarness(std::uint64_t seed, int rank = 12, int kdim = 9)
+      : rng(make_rng(seed)),
+        kernels(random_kernels(rank, kdim, rng)),
+        reference(std::vector<Grid<cd>>(kernels)) {}
+
+  FastLitho make_litho() const { return FastLitho(std::vector<Grid<cd>>(kernels)); }
+
+  Grid<double> expected(const Grid<double>& mask, int out_px,
+                        RequestKind kind) const {
+    return kind == RequestKind::kResist
+               ? reference.resist_from_mask(mask, out_px)
+               : reference.aerial_from_mask(mask, out_px);
+  }
+
+  Rng rng;
+  std::vector<Grid<cd>> kernels;
+  FastLitho reference;
+};
+
+TEST(LithoServer, ServesBitIdenticalResultsUnderConcurrentMixedLoad) {
+  ServerHarness h(101);
+  for (const auto route : {RouteMode::kOutPxAffinity, RouteMode::kRoundRobin}) {
+    ServeOptions opts;
+    opts.shards = 2;
+    opts.queue_capacity = 32;
+    opts.batch.max_batch = 4;
+    opts.batch.max_delay = std::chrono::microseconds(200);
+    opts.route = route;
+    LithoServer server(h.make_litho(), opts);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 24;
+    const int out_pxs[] = {16, 20, 33};
+    struct Expect {
+      Grid<double> mask;
+      int out_px;
+      RequestKind kind;
+      std::future<Grid<double>> fut;
+    };
+    std::vector<std::vector<Expect>> per_client(kClients);
+    // Pre-generate masks on the main thread (Rng is not thread-safe).
+    std::vector<std::vector<Grid<double>>> masks(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      for (int i = 0; i < kPerClient; ++i) {
+        masks[static_cast<std::size_t>(c)].push_back(random_mask(32, 32, h.rng));
+      }
+    }
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto& mine = per_client[static_cast<std::size_t>(c)];
+        for (int i = 0; i < kPerClient; ++i) {
+          Expect e;
+          e.mask = masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+          e.out_px = out_pxs[(c + i) % 3];
+          e.kind = ((c + i) % 4 == 0) ? RequestKind::kResist
+                                      : RequestKind::kAerial;
+          e.fut = server.submit(e.mask, e.out_px, e.kind);
+          mine.push_back(std::move(e));
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (int c = 0; c < kClients; ++c) {
+      for (auto& e : per_client[static_cast<std::size_t>(c)]) {
+        EXPECT_EQ(e.fut.get(), h.expected(e.mask, e.out_px, e.kind))
+            << "client " << c << " out_px " << e.out_px;
+      }
+    }
+    const ShardStats total = server.stats();
+    EXPECT_EQ(total.submitted, static_cast<std::uint64_t>(kClients * kPerClient));
+    EXPECT_EQ(total.completed, total.submitted);
+    EXPECT_GE(total.batches, 1u);
+    EXPECT_GE(total.mean_batch_occupancy, 1.0);
+    EXPECT_LE(total.p50_latency_us, total.p99_latency_us);
+    server.stop();
+    EXPECT_EQ(server.stats().queue_depth, 0u);
+  }
+}
+
+TEST(LithoServer, DeadlineFlushResolvesPartialBatches) {
+  ServerHarness h(102);
+  ServeOptions opts;
+  opts.batch.max_batch = 64;  // never fills by size
+  opts.batch.max_delay = std::chrono::milliseconds(2);
+  LithoServer server(h.make_litho(), opts);
+  std::vector<Grid<double>> masks;
+  std::vector<std::future<Grid<double>>> futs;
+  for (int i = 0; i < 3; ++i) {
+    masks.push_back(random_mask(32, 32, h.rng));
+    futs.push_back(server.submit(masks.back(), 16));
+  }
+  // Only the latency deadline can flush this batch of 3.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(),
+              h.expected(masks[static_cast<std::size_t>(i)], 16,
+                         RequestKind::kAerial));
+  }
+  const ShardStats st = server.stats();
+  EXPECT_EQ(st.completed, 3u);
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_LE(st.batches, 3u);
+}
+
+TEST(LithoServer, BackpressureBlocksAndTrySubmitShedsWhenQueueFull) {
+  // Occupy the shared pool so the shard worker blocks mid-execute: the
+  // queue then fills deterministically.  rank 17 -> 3 kernel chunks, so
+  // the engine sweep must take the pool's dispatch lock (workers == 2).
+  set_parallel_workers(2);
+  ServerHarness h(103, /*rank=*/17, /*kdim=*/9);
+  ServeOptions opts;
+  opts.queue_capacity = 2;
+  opts.batch.max_batch = 1;  // execute immediately on pop
+  LithoServer server(h.make_litho(), opts);
+
+  std::latch pool_entered(2);
+  std::latch release_pool(1);
+  std::thread pool_hog([&] {
+    parallel_for(2, [&](std::int64_t) {
+      pool_entered.count_down();
+      release_pool.wait();
+    });
+  });
+  pool_entered.wait();  // both pool slots are now blocked
+
+  struct Pending {
+    Grid<double> mask;
+    std::future<Grid<double>> fut;
+  };
+  std::vector<Pending> accepted;
+  // Probe request: once the worker has popped it (queue depth back to 0),
+  // it is committed to an execute that cannot finish while the pool is
+  // held — from here on, nothing drains the queue.
+  {
+    Grid<double> mask = random_mask(32, 32, h.rng);
+    accepted.push_back({mask, server.submit(std::move(mask), 16)});
+    while (server.shard_stats(0).queue_depth != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  bool shed = false;
+  for (int i = 0; i < 8 && !shed; ++i) {
+    Grid<double> mask = random_mask(32, 32, h.rng);
+    Grid<double> copy = mask;
+    if (auto fut = server.try_submit(mask, 16)) {
+      accepted.push_back({std::move(copy), std::move(*fut)});
+    } else {
+      shed = true;
+      EXPECT_FALSE(mask.empty());  // rejected mask handed back intact
+    }
+  }
+  EXPECT_TRUE(shed);
+  // The probe in the worker plus exactly queue_capacity queued requests.
+  EXPECT_EQ(accepted.size(), 3u);
+
+  // A blocking submit must park on the full queue instead of failing...
+  std::atomic<bool> unblocked{false};
+  Grid<double> blocked_mask = random_mask(32, 32, h.rng);
+  Pending blocked;
+  blocked.mask = blocked_mask;
+  std::thread blocked_client([&] {
+    blocked.fut = server.submit(std::move(blocked_mask), 16);
+    unblocked.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unblocked.load());
+
+  // ...and everything resolves once the pool frees up.
+  release_pool.count_down();
+  pool_hog.join();
+  blocked_client.join();
+  EXPECT_TRUE(unblocked.load());
+  for (auto& p : accepted) {
+    EXPECT_EQ(p.fut.get(), h.expected(p.mask, 16, RequestKind::kAerial));
+  }
+  EXPECT_EQ(blocked.fut.get(), h.expected(blocked.mask, 16, RequestKind::kAerial));
+  server.stop();
+  set_parallel_workers(0);
+}
+
+TEST(LithoServer, KernelHotSwapMidStreamKeepsSnapshotSemantics) {
+  Rng rng = make_rng(104);
+  const std::vector<Grid<cd>> kernels_a = random_kernels(10, 9, rng);
+  const std::vector<Grid<cd>> kernels_b = random_kernels(5, 13, rng);
+  const FastLitho ref_a{std::vector<Grid<cd>>(kernels_a)};
+  const FastLitho ref_b{std::vector<Grid<cd>>(kernels_b)};
+
+  ServeOptions opts;
+  opts.batch.max_batch = 64;
+  opts.batch.max_delay = std::chrono::milliseconds(50);
+  LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels_a)}, opts);
+
+  // Wave A parks in the batcher (deadline far away)...
+  std::vector<Grid<double>> masks_a, masks_b;
+  std::vector<std::future<Grid<double>>> futs_a, futs_b;
+  for (int i = 0; i < 4; ++i) {
+    masks_a.push_back(random_mask(32, 32, rng));
+    futs_a.push_back(server.submit(masks_a.back(), 16));
+  }
+  // ...the swap lands mid-stream...
+  server.swap_kernels(FastLitho{std::vector<Grid<cd>>(kernels_b)});
+  EXPECT_EQ(server.snapshot()->kernel_dim(), 13);
+  // ...and wave B follows on the new kernels.
+  for (int i = 0; i < 4; ++i) {
+    masks_b.push_back(random_mask(32, 32, rng));
+    futs_b.push_back(server.submit(masks_b.back(), 16));
+  }
+  // Every request is served by the snapshot captured at its submit time,
+  // bit-identically, no matter when its batch actually executed.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(futs_a[static_cast<std::size_t>(i)].get(),
+              ref_a.aerial_from_mask(masks_a[static_cast<std::size_t>(i)], 16));
+    EXPECT_EQ(futs_b[static_cast<std::size_t>(i)].get(),
+              ref_b.aerial_from_mask(masks_b[static_cast<std::size_t>(i)], 16));
+  }
+}
+
+TEST(LithoServer, StopDrainsEveryAcceptedRequestAndRefusesNewOnes) {
+  ServerHarness h(105);
+  ServeOptions opts;
+  opts.batch.max_batch = 64;
+  opts.batch.max_delay = std::chrono::seconds(5);  // only drain can flush
+  LithoServer server(h.make_litho(), opts);
+  std::vector<Grid<double>> masks;
+  std::vector<std::future<Grid<double>>> futs;
+  for (int i = 0; i < 6; ++i) {
+    masks.push_back(random_mask(32, 32, h.rng));
+    futs.push_back(server.submit(masks.back(), 16, RequestKind::kResist));
+  }
+  const auto t0 = Clock::now();
+  server.stop();  // must not wait out the 5 s deadline
+  EXPECT_LT(Clock::now() - t0, std::chrono::seconds(4));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(),
+              h.expected(masks[static_cast<std::size_t>(i)], 16,
+                         RequestKind::kResist));
+  }
+  EXPECT_EQ(server.stats().completed, 6u);
+  EXPECT_THROW(server.submit(random_mask(32, 32, h.rng), 16), check_error);
+  // try_submit must not report a stopped server as mere backpressure — a
+  // shed-and-retry loop would spin forever.
+  Grid<double> m = random_mask(32, 32, h.rng);
+  EXPECT_THROW(server.try_submit(m, 16), check_error);
+  server.stop();  // idempotent
+}
+
+TEST(LithoServer, DestructorResolvesOutstandingFutures) {
+  ServerHarness h(106);
+  std::vector<Grid<double>> masks;
+  std::vector<std::future<Grid<double>>> futs;
+  {
+    ServeOptions opts;
+    opts.batch.max_batch = 64;
+    opts.batch.max_delay = std::chrono::seconds(5);
+    LithoServer server(h.make_litho(), opts);
+    for (int i = 0; i < 3; ++i) {
+      masks.push_back(random_mask(32, 32, h.rng));
+      futs.push_back(server.submit(masks.back(), 16));
+    }
+  }  // ~LithoServer == stop()
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(),
+              h.expected(masks[static_cast<std::size_t>(i)], 16,
+                         RequestKind::kAerial));
+  }
+}
+
+TEST(LithoServer, RejectsInvalidSubmissions) {
+  ServerHarness h(107);  // kdim 9
+  LithoServer server(h.make_litho());
+  EXPECT_THROW(server.submit(Grid<double>(), 16), check_error);
+  EXPECT_THROW(server.submit(random_mask(32, 32, h.rng), 8), check_error);
+  // Validation failures leave the caller's mask intact (like a full-queue
+  // rejection), so a shed-and-retry loop can retry the same request.
+  Grid<double> mask = random_mask(32, 32, h.rng);
+  const Grid<double> copy = mask;
+  EXPECT_THROW(server.try_submit(mask, 8), check_error);
+  EXPECT_EQ(mask, copy);
+  EXPECT_EQ(server.stats().submitted, 0u);  // rejected work is not counted
+}
+
+TEST(LithoServer, ExecuteTimeFailureResolvesFutureWithException) {
+  ServerHarness h(108);  // kdim 9: a 4x4 mask cannot host the spectrum crop
+  LithoServer server(h.make_litho());
+  auto bad = server.submit(Grid<double>(4, 4, 1.0), 16);
+  EXPECT_THROW(bad.get(), check_error);
+  // The failure is contained: the worker survives and serves the next
+  // request normally.
+  Grid<double> good_mask = random_mask(32, 32, h.rng);
+  auto good = server.submit(good_mask, 16);
+  EXPECT_EQ(good.get(), h.expected(good_mask, 16, RequestKind::kAerial));
+}
+
+TEST(LithoServer, OutPxAffinityRoutesStably) {
+  ServerHarness h(109);
+  ServeOptions opts;
+  opts.shards = 3;
+  LithoServer server(h.make_litho(), opts);
+  const int s16 = server.shard_of(16);
+  EXPECT_EQ(server.shard_of(16), s16);  // deterministic
+  EXPECT_GE(s16, 0);
+  EXPECT_LT(s16, 3);
+  // Every shard snapshot shares one kernel vector (no copies).
+  EXPECT_EQ(server.snapshot(0)->kernels_shared().get(),
+            server.snapshot(2)->kernels_shared().get());
+}
+
+}  // namespace
+}  // namespace nitho
