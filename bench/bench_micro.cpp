@@ -10,6 +10,9 @@
 #include "math/hermitian_eig.hpp"
 #include "nitho/cmlp.hpp"
 #include "nitho/encoding.hpp"
+#include "nitho/model.hpp"
+#include "nitho/trainer.hpp"
+#include "nn/gemm.hpp"
 #include "nn/ops.hpp"
 #include "nn/ops_conv.hpp"
 #include "nn/optimizer.hpp"
@@ -18,6 +21,7 @@
 #include "optics/resolution.hpp"
 #include "optics/socs.hpp"
 #include "optics/tcc.hpp"
+#include "train_ref.hpp"
 
 namespace nitho {
 namespace {
@@ -197,6 +201,105 @@ void BM_CmlpTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CmlpTrainStep)->Unit(benchmark::kMillisecond);
+
+// CMLP-shaped GEMM (the complex matmul splits into four of these): left
+// operand dense or ReLU-sparse, kernel with or without the zero-skip
+// branch.  The sweep decides which variant the batched training path keeps
+// (see nn/gemm.hpp).
+void gemm_bench(benchmark::State& state, bool skip_zeros, double zero_frac) {
+  const std::int64_t m = 841, k = 96, n = 48;  // paper-scale CMLP layer
+  Rng rng(8);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) {
+    v = rng.uniform() < zero_frac ? 0.0f : static_cast<float>(rng.normal());
+  }
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    if (skip_zeros) {
+      nn::gemm_nn<true>(m, n, k, a.data(), b.data(), c.data(), false);
+    } else {
+      nn::gemm_nn<false>(m, n, k, a.data(), b.data(), c.data(), false);
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * n * k);
+}
+
+void BM_GemmNNSkipZeros(benchmark::State& state) {
+  gemm_bench(state, true, state.range(0) / 100.0);
+  state.SetLabel("zeros=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_GemmNNSkipZeros)->Arg(0)->Arg(50);
+
+void BM_GemmNNDense(benchmark::State& state) {
+  gemm_bench(state, false, state.range(0) / 100.0);
+  state.SetLabel("zeros=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_GemmNNDense)->Arg(0)->Arg(50);
+
+// One Algorithm-1 optimizer step at paper scale (kdim 29, rank 24, px 64,
+// batch 4) on synthetic spectra/targets: legacy per-mask chain vs the
+// tensor-batched trainer.  Items processed counts optimizer steps, so the
+// two rates are directly comparable (and to bench_train's steps/s).
+TrainingSet synthetic_training_set(int samples, int kdim, int px) {
+  Rng rng(12);
+  TrainingSet set;
+  set.kernel_dim = kdim;
+  set.train_px = px;
+  for (int i = 0; i < samples; ++i) {
+    nn::Tensor spec({kdim, kdim, 2});
+    spec.randn(rng, 0.05f);
+    nn::Tensor tgt({px, px});
+    for (std::int64_t p = 0; p < tgt.numel(); ++p) {
+      tgt[p] = static_cast<float>(rng.uniform());
+    }
+    set.spectra.push_back(std::move(spec));
+    set.targets.push_back(std::move(tgt));
+  }
+  return set;
+}
+
+NithoConfig train_step_model_config() {
+  NithoConfig mc;
+  mc.kernel_dim = 29;
+  mc.rank = 24;
+  mc.encoding.features = 96;
+  mc.hidden = 48;
+  mc.blocks = 2;
+  return mc;
+}
+
+void BM_TrainStepLegacy(benchmark::State& state) {
+  const TrainingSet set = synthetic_training_set(4, 29, 64);
+  NithoModel model(train_step_model_config(), 1000, 193.0, 1.35);
+  NithoTrainConfig cfg;
+  cfg.epochs = 5;  // 5 one-batch steps per call
+  cfg.batch = 4;
+  cfg.train_px = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::legacy_train_nitho(model, set, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.epochs);
+  state.SetLabel("kdim=29 rank=24 px=64 batch=4");
+}
+BENCHMARK(BM_TrainStepLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_TrainStepBatched(benchmark::State& state) {
+  const TrainingSet set = synthetic_training_set(4, 29, 64);
+  NithoModel model(train_step_model_config(), 1000, 193.0, 1.35);
+  NithoTrainConfig cfg;
+  cfg.epochs = 5;  // 5 steps: the graph arena warms up after the first
+  cfg.batch = 4;
+  cfg.train_px = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(train_nitho(model, set, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.epochs);
+  state.SetLabel("kdim=29 rank=24 px=64 batch=4");
+}
+BENCHMARK(BM_TrainStepBatched)->Unit(benchmark::kMillisecond);
 
 void BM_Conv2d(benchmark::State& state) {
   Rng rng(7);

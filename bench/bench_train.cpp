@@ -1,0 +1,118 @@
+// Training throughput: the tensor-batched Algorithm-1 trainer (one graph
+// per step over the whole mask batch, arena-recycled storage, pruned
+// batched FFT passes — DESIGN.md §8) against the verbatim pre-batching
+// per-mask loop, in optimizer steps per second on identical data.
+//
+// The acceptance number is recorded in bench/baselines/train_throughput.csv
+// (`batched >= 1.3x legacy` on the 1-core CI box) and gated by
+// bench/check_baselines.py.  Both loops produce bit-identical loss
+// trajectories (pinned in tests/test_nitho.cpp), so the comparison is pure
+// overhead: graph/allocation amortization and fused batched FFT passes,
+// not arithmetic shortcuts and not threads.
+//
+// Flags: the shared set (--train N --nitho-epochs N --seed N) plus
+// --batch N (default 4) and --train-px N (default 64).
+
+#include <cstdio>
+#include <string>
+
+#include "common.hpp"
+#include "common/flags.hpp"
+#include "common/timer.hpp"
+#include "io/csv.hpp"
+#include "train_ref.hpp"
+
+namespace nitho::bench {
+namespace {
+
+struct Measurement {
+  double steps_per_s = 0.0;
+  TrainStats stats;
+};
+
+Measurement measure(const char* what, NithoModel& model,
+                    const TrainingSet& set, const NithoTrainConfig& cfg,
+                    bool batched) {
+  WallTimer t;
+  Measurement m;
+  m.stats = batched ? train_nitho(model, set, cfg)
+                    : legacy_train_nitho(model, set, cfg);
+  const double seconds = t.seconds();
+  m.steps_per_s = m.stats.steps / seconds;
+  std::printf(
+      "[train] %-16s %3d steps in %6.2fs  -> %6.2f steps/s  loss %.3e\n",
+      what, m.stats.steps, seconds, m.steps_per_s, m.stats.final_loss);
+  std::fflush(stdout);
+  return m;
+}
+
+int run(const Flags& flags) {
+  BenchConfig cfg = BenchConfig::from_flags(flags);
+  const int batch = flags.get_int("batch", 4);
+  const int train_px = flags.get_int("train-px", 64);
+  // Gated-bench defaults stay small: the ratio, not the absolute rate, is
+  // what the baseline tracks.
+  cfg.train_count = flags.get_int("train", 8);
+  const int epochs = flags.get_int("nitho-epochs", 6);
+
+  BenchEnv env(cfg);
+  const Dataset& train = env.train_set(DatasetKind::B2v);
+
+  NithoTrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch = batch;
+  tc.train_px = train_px;
+  tc.seed = cfg.seed;
+
+  NithoConfig mc = env.nitho_config();
+  NithoModel legacy_model(mc, env.litho().tile_nm,
+                          env.litho().optics.wavelength_nm,
+                          env.litho().optics.na);
+  NithoModel batched_model(mc, env.litho().tile_nm,
+                           env.litho().optics.wavelength_nm,
+                           env.litho().optics.na);
+  const TrainingSet set = prepare_training_set(
+      sample_ptrs(train), legacy_model.kernel_dim(), tc.train_px);
+  std::printf("[train] %d samples, batch %d, %d epochs, kdim %d, px %d\n",
+              set.size(), batch, epochs, set.kernel_dim, set.train_px);
+
+  // Warm the FFT plan caches and the page pool on a throwaway epoch each so
+  // neither loop pays first-touch costs inside its timed window.
+  {
+    NithoTrainConfig warm = tc;
+    warm.epochs = 1;
+    NithoModel wa(mc, env.litho().tile_nm, env.litho().optics.wavelength_nm,
+                  env.litho().optics.na);
+    NithoModel wb(mc, env.litho().tile_nm, env.litho().optics.wavelength_nm,
+                  env.litho().optics.na);
+    legacy_train_nitho(wa, set, warm);
+    train_nitho(wb, set, warm);
+  }
+
+  const Measurement lm =
+      measure("legacy_per_mask", legacy_model, set, tc, /*batched=*/false);
+  const Measurement bm =
+      measure("batched", batched_model, set, tc, /*batched=*/true);
+  std::printf("[train] batched phase split: fwd %.2fs bwd %.2fs step %.2fs\n",
+              bm.stats.forward_seconds, bm.stats.backward_seconds,
+              bm.stats.step_seconds);
+  std::printf("[train] batched = %.2fx legacy steps/s\n",
+              bm.steps_per_s / lm.steps_per_s);
+
+  CsvWriter csv(out_dir() + "/train_throughput.csv",
+                {"mode", "steps_per_s", "fwd_s", "bwd_s", "step_s",
+                 "vs_legacy"});
+  csv.row({"legacy_per_mask", fmt(lm.steps_per_s, 2), "", "", "", "1.00"});
+  csv.row({"batched", fmt(bm.steps_per_s, 2), fmt(bm.stats.forward_seconds, 2),
+           fmt(bm.stats.backward_seconds, 2), fmt(bm.stats.step_seconds, 2),
+           fmt(bm.steps_per_s / lm.steps_per_s, 2)});
+  return 0;
+}
+
+}  // namespace
+}  // namespace nitho::bench
+
+int main(int argc, char** argv) {
+  const nitho::Flags flags(argc, argv);
+  return nitho::bench::run(flags);
+}

@@ -41,6 +41,9 @@ GATES = {
     "serve_throughput.csv": [
         ("served_open_loop", "vs_naive", 1.3),
     ],
+    "train_throughput.csv": [
+        ("batched", "vs_legacy", 1.3),
+    ],
 }
 
 
@@ -225,6 +228,37 @@ def self_test():
             [
                 ["naive_thread_per_request", "900", "1.00"],
                 ["served_open_loop", "1500", "1.67"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 8. train gate: the 1.3x batched-vs-legacy acceptance floor binds,
+        #    and extra (ungated) timing columns are ignored.
+        train_header = ["mode", "steps_per_s", "fwd_s", "bwd_s", "step_s",
+                        "vs_legacy"]
+        write_csv(
+            os.path.join(basedir, "train_throughput.csv"),
+            train_header,
+            [
+                ["legacy_per_mask", "2.0", "", "", "", "1.00"],
+                ["batched", "3.0", "1.0", "1.2", "0.1", "1.50"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "train_throughput.csv"),
+            train_header,
+            [
+                ["legacy_per_mask", "2.1", "", "", "", "1.00"],
+                ["batched", "2.6", "1.1", "1.4", "0.1", "1.24"],
+            ],
+        )
+        assert run(basedir, outdir, 0.40, require=False) == 1
+        write_csv(
+            os.path.join(outdir, "train_throughput.csv"),
+            train_header,
+            [
+                ["legacy_per_mask", "2.1", "", "", "", "1.00"],
+                ["batched", "3.1", "1.1", "1.3", "0.1", "1.48"],
             ],
         )
         assert run(basedir, outdir, 0.25, require=False) == 0

@@ -110,9 +110,14 @@ std::unique_ptr<NithoModel> BenchEnv::trained_nitho(
   tc.epochs = ep;
   tc.batch = 4;
   WallTimer t;
-  const TrainStats st = train_nitho(*model, data, tc);
-  std::printf("[env] nitho '%s': trained %d epochs, loss %.2e (%.0fs)\n",
-              tag.c_str(), ep, st.final_loss, t.seconds());
+  const TrainingSet set =
+      prepare_training_set(data, model->kernel_dim(), tc.train_px);
+  const TrainStats st = train_nitho(*model, set, tc);
+  std::printf(
+      "[env] nitho '%s': trained %d epochs, loss %.2e (%.0fs; fwd %.0fs "
+      "bwd %.0fs)\n",
+      tag.c_str(), ep, st.final_loss, t.seconds(), st.forward_seconds,
+      st.backward_seconds);
   model->save(path);
   return model;
 }

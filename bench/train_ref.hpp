@@ -1,0 +1,69 @@
+#pragma once
+// Verbatim reimplementation of the pre-batching Algorithm-1 training loop:
+// one socs_field / abs2_sum0 / mse_loss autodiff chain per mask per step,
+// reduced through add().  Kept as the measurement baseline for
+// bench_train / bench_micro (the bit-identity pin lives in
+// tests/test_nitho.cpp).  Do not "fix" or modernize this loop — its point
+// is to preserve the historical arithmetic and allocation behavior.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "nitho/trainer.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+
+namespace nitho::bench {
+
+inline TrainStats legacy_train_nitho(NithoModel& model, const TrainingSet& set,
+                                     const NithoTrainConfig& cfg) {
+  const int n = set.size();
+  const int px = set.train_px;
+  nn::Adam opt(model.parameters(), cfg.lr);
+  Rng rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  WallTimer timer;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int b = 0; b < n; b += cfg.batch) {
+      const int count = std::min(cfg.batch, n - b);
+      opt.zero_grad();
+      // One field evaluation per step (the kernels do not depend on masks).
+      const nn::Var kernels = model.predict_kernels();
+      nn::Var loss;
+      for (int j = 0; j < count; ++j) {
+        const int i = order[static_cast<std::size_t>(b + j)];
+        nn::Var pred = nn::abs2_sum0(nn::socs_field(
+            kernels, set.spectra[static_cast<std::size_t>(i)], px));
+        nn::Var l =
+            nn::mse_loss(pred, set.targets[static_cast<std::size_t>(i)]);
+        loss = loss ? nn::add(loss, l) : l;
+      }
+      loss = nn::scale(loss, 1.0f / static_cast<float>(count));
+      nn::backward(loss);
+      opt.step();
+      epoch_loss += loss->value[0];
+      ++batches;
+      ++stats.steps;
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max(1, batches));
+    // Cosine decay to 10% of the base learning rate.
+    const double t = static_cast<double>(epoch + 1) / cfg.epochs;
+    opt.set_lr(
+        static_cast<float>(cfg.lr * (0.1 + 0.45 * (1.0 + std::cos(kPi * t)))));
+  }
+  stats.final_loss = stats.epoch_losses.back();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace nitho::bench

@@ -212,17 +212,22 @@ void fft2_dir(Grid<cd>& g, bool inverse, Fft2Workspace& ws) {
 const FftPlan<double>& fft_plan_d(int n) { return cached_plan<double>(n); }
 const FftPlan<float>& fft_plan_f(int n) { return cached_plan<float>(n); }
 
-cd* Fft2Workspace::col_buffer(int rows) {
+template <typename R>
+std::complex<R>* Fft2WorkspaceT<R>::col_buffer(int rows) {
   if (static_cast<int>(col_.size()) < rows) col_.resize(rows);
   return col_.data();
 }
 
-cd* Fft2Workspace::scratch_for(const FftPlan<double>& plan) {
+template <typename R>
+std::complex<R>* Fft2WorkspaceT<R>::scratch_for(const FftPlan<R>& plan) {
   const int need = plan.scratch_size();
   if (need == 0) return nullptr;
   if (static_cast<int>(scratch_.size()) < need) scratch_.resize(need);
   return scratch_.data();
 }
+
+template class Fft2WorkspaceT<double>;
+template class Fft2WorkspaceT<float>;
 
 void fft2_inplace(Grid<cd>& g) {
   Fft2Workspace ws;

@@ -63,17 +63,23 @@ const FftPlan<float>& fft_plan_f(int n);
 /// Reusable scratch for the workspace-taking 2-D transforms: one column
 /// gather buffer plus Bluestein scratch, both sized on demand and retained
 /// across calls.  Not thread-safe — use one workspace per thread.
-class Fft2Workspace {
+/// Templated on the scalar type so the double-precision litho substrate and
+/// the float autodiff ops (nn/ops_fft) share one implementation.
+template <typename R>
+class Fft2WorkspaceT {
  public:
   /// Column gather buffer holding `rows` elements (grown, never shrunk).
-  cd* col_buffer(int rows);
+  std::complex<R>* col_buffer(int rows);
   /// Scratch sized for `plan` (nullptr when the plan needs none).
-  cd* scratch_for(const FftPlan<double>& plan);
+  std::complex<R>* scratch_for(const FftPlan<R>& plan);
 
  private:
-  std::vector<cd> col_;
-  std::vector<cd> scratch_;
+  std::vector<std::complex<R>> col_;
+  std::vector<std::complex<R>> scratch_;
 };
+
+using Fft2Workspace = Fft2WorkspaceT<double>;
+using Fft2WorkspaceF = Fft2WorkspaceT<float>;
 
 /// 2-D transforms over Grid<complex>: rows then columns.
 void fft2_inplace(Grid<cd>& g);

@@ -27,14 +27,14 @@ NithoModel::NithoModel(NithoConfig cfg, int tile_nm, double wavelength_nm,
                 ? cfg.kernel_dim
                 : ::nitho::kernel_dim(tile_nm, wavelength_nm, na)),
       encoded_(encode_coordinates(kdim_, kdim_, cfg.encoding)),
+      encoded_leaf_(nn::make_leaf(encoded_, false)),
       mlp_(mlp_config(cfg)) {
   check(kdim_ % 2 == 1, "kernel dimension must be odd");
   check(cfg_.rank >= 1, "rank must be positive");
 }
 
 nn::Var NithoModel::predict_kernels() const {
-  nn::Var input = nn::make_leaf(encoded_, false);
-  nn::Var out = mlp_.forward(input);             // [P, r, 2]
+  nn::Var out = mlp_.forward(encoded_leaf_);     // [P, r, 2]
   out = nn::transpose01(out);                    // [r, P, 2]
   return nn::reshape(out, {cfg_.rank, kdim_, kdim_, 2});
 }

@@ -52,7 +52,11 @@ class NithoModel {
  private:
   NithoConfig cfg_;
   int kdim_;
-  nn::Tensor encoded_;  ///< constant [n*m, F, 2]
+  nn::Tensor encoded_;   ///< constant [n*m, F, 2]
+  nn::Var encoded_leaf_; ///< cached constant leaf over encoded_; built in the
+                         ///< constructor (outside any GraphArena scope) so
+                         ///< per-step training graphs neither copy the
+                         ///< encoding nor recycle this node
   Cmlp mlp_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 
 #include "common/check.hpp"
@@ -44,54 +45,117 @@ int auto_train_px(int kdim, int requested) {
   return px;
 }
 
+// Copies sample tensors for the step's batch window into the stacked
+// constants ([count, k, k, 2] spectra, [count, px, px] targets).
+void gather_batch(const TrainingSet& set, const std::vector<int>& order,
+                  int begin, int count, nn::Tensor& spectra,
+                  nn::Tensor& targets) {
+  const std::int64_t splane = set.spectra.front().numel();
+  const std::int64_t tplane = set.targets.front().numel();
+  if (spectra.ndim() == 0 || spectra.dim(0) != count) {
+    spectra = nn::Tensor({count, set.kernel_dim, set.kernel_dim, 2});
+    targets = nn::Tensor({count, set.train_px, set.train_px});
+  }
+  for (int j = 0; j < count; ++j) {
+    const int i = order[static_cast<std::size_t>(begin + j)];
+    std::memcpy(spectra.data() + j * splane,
+                set.spectra[static_cast<std::size_t>(i)].data(),
+                static_cast<std::size_t>(splane) * sizeof(float));
+    std::memcpy(targets.data() + j * tplane,
+                set.targets[static_cast<std::size_t>(i)].data(),
+                static_cast<std::size_t>(tplane) * sizeof(float));
+  }
+}
+
 }  // namespace
+
+TrainingSet prepare_training_set(const std::vector<const Sample*>& data,
+                                 int kernel_dim, int train_px) {
+  check(!data.empty(), "training needs at least one sample");
+  check(kernel_dim >= 1, "bad kernel dimension");
+  TrainingSet set;
+  set.kernel_dim = kernel_dim;
+  set.train_px = auto_train_px(kernel_dim, train_px);
+  set.spectra.reserve(data.size());
+  set.targets.reserve(data.size());
+  for (const Sample* s : data) {
+    check(s != nullptr, "null sample");
+    set.spectra.push_back(spectrum_tensor(s->spectrum, kernel_dim));
+    set.targets.push_back(aerial_tensor(s->aerial, set.train_px));
+  }
+  return set;
+}
 
 TrainStats train_nitho(NithoModel& model,
                        const std::vector<const Sample*>& data,
                        const NithoTrainConfig& cfg) {
-  check(!data.empty(), "training needs at least one sample");
+  return train_nitho(
+      model, prepare_training_set(data, model.kernel_dim(), cfg.train_px),
+      cfg);
+}
+
+TrainStats train_nitho(NithoModel& model, const TrainingSet& set,
+                       const NithoTrainConfig& cfg) {
+  const int n = set.size();
+  check(n >= 1, "training needs at least one sample");
   check(cfg.epochs >= 1 && cfg.batch >= 1 && cfg.lr > 0.0f,
         "bad training configuration");
-  const int kdim = model.kernel_dim();
-  const int px = auto_train_px(kdim, cfg.train_px);
-
-  const int n = static_cast<int>(data.size());
-  std::vector<nn::Tensor> specs, targets;
-  specs.reserve(static_cast<std::size_t>(n));
-  targets.reserve(static_cast<std::size_t>(n));
-  for (const Sample* s : data) {
-    check(s != nullptr, "null sample");
-    specs.push_back(spectrum_tensor(s->spectrum, kdim));
-    targets.push_back(aerial_tensor(s->aerial, px));
+  check(set.kernel_dim == model.kernel_dim(),
+        "training set prepared for a different kernel support");
+  check(cfg.train_px <= 0 || cfg.train_px == set.train_px,
+        "training set prepared for a different grid");
+  // TrainingSet is a plain struct callers may fill by hand; gather_batch
+  // memcpys by these shapes, so validate them before trusting them.
+  const std::vector<int> spec_shape{set.kernel_dim, set.kernel_dim, 2};
+  const std::vector<int> target_shape{set.train_px, set.train_px};
+  check(set.targets.size() == set.spectra.size(),
+        "training set spectra/targets size mismatch");
+  for (int i = 0; i < n; ++i) {
+    check(set.spectra[static_cast<std::size_t>(i)].shape() == spec_shape &&
+              set.targets[static_cast<std::size_t>(i)].shape() == target_shape,
+          "training set tensor shapes inconsistent with kernel_dim/train_px");
   }
+  const int px = set.train_px;
 
   nn::Adam opt(model.parameters(), cfg.lr);
   Rng rng(cfg.seed);
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
+  // One graph per step over the whole mask batch; node shells and tensor
+  // buffers are recycled across steps by the arena (DESIGN.md §8).
+  nn::GraphArena arena;
+  nn::Tensor batch_spectra, batch_targets;
+
   TrainStats stats;
   WallTimer timer;
+  WallTimer phase;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
     double epoch_loss = 0.0;
     int batches = 0;
     for (int b = 0; b < n; b += cfg.batch) {
       const int count = std::min(cfg.batch, n - b);
+      gather_batch(set, order, b, count, batch_spectra, batch_targets);
+      arena.reset();
+      nn::GraphArena::Scope scope(arena);
       opt.zero_grad();
-      // One field evaluation per step (the kernels do not depend on masks).
+      phase.reset();
+      // One field evaluation per step (the kernels do not depend on masks),
+      // then the batch images as a single chain of batched nodes.
       const nn::Var kernels = model.predict_kernels();
-      nn::Var loss;
-      for (int j = 0; j < count; ++j) {
-        const int i = order[static_cast<std::size_t>(b + j)];
-        nn::Var pred = nn::abs2_sum0(
-            nn::socs_field(kernels, specs[static_cast<std::size_t>(i)], px));
-        nn::Var l = nn::mse_loss(pred, targets[static_cast<std::size_t>(i)]);
-        loss = loss ? nn::add(loss, l) : l;
-      }
-      loss = nn::scale(loss, 1.0f / static_cast<float>(count));
+      nn::Var pred = nn::abs2_sum0_batch(
+          nn::socs_field_batch(kernels, batch_spectra, px));
+      nn::Var loss =
+          nn::scale(nn::mse_loss_batch_ordered(pred, batch_targets),
+                    1.0f / static_cast<float>(count));
+      stats.forward_seconds += phase.seconds();
+      phase.reset();
       nn::backward(loss);
+      stats.backward_seconds += phase.seconds();
+      phase.reset();
       opt.step();
+      stats.step_seconds += phase.seconds();
       epoch_loss += loss->value[0];
       ++batches;
       ++stats.steps;

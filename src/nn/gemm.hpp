@@ -2,6 +2,13 @@
 // Small dense float GEMM kernels shared by the matmul / conv / complex ops.
 // Loop orders are chosen so the innermost loop streams rows of the second
 // operand (auto-vectorizable); big row counts are split across the pool.
+//
+// The kSkipZeroLhs template parameter controls the `av == 0.0f` fast path
+// that skips a whole B-row when the left-hand entry is zero.  It pays off
+// when the left operand is ReLU-sparse (conv backward, image baselines) and
+// costs a branch per k otherwise; the CMLP's complex matmuls on the batched
+// training path call the dense variants (bench_micro BM_Gemm* measures
+// both).
 
 #include <cstdint>
 
@@ -9,7 +16,13 @@
 
 namespace nitho::nn {
 
+/// Work threshold (multiply-accumulates) above which a GEMM splits its rows
+/// across the shared pool; below it dispatch overhead dominates.  Shared by
+/// every kernel in this header.
+inline constexpr std::int64_t kGemmParallelMacs = std::int64_t{1} << 18;
+
 /// C[M,N] (+)= A[M,K] * B[K,N]
+template <bool kSkipZeroLhs = true>
 inline void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
                     const float* a, const float* b, float* c,
                     bool accumulate) {
@@ -21,19 +34,20 @@ inline void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k,
     const float* arow = a + i * k;
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
+      if (kSkipZeroLhs && av == 0.0f) continue;
       const float* brow = b + p * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   };
-  if (m * n * k > (1 << 18)) {
+  if (m * n * k > kGemmParallelMacs) {
     parallel_for(m, row_job);
   } else {
     for (std::int64_t i = 0; i < m; ++i) row_job(i);
   }
 }
 
-/// C[M,N] (+)= A[M,K] * B[N,K]^T
+/// C[M,N] (+)= A[M,K] * B[N,K]^T  (no zero-skip: the dot-product loop order
+/// cannot skip B work per left-hand zero.)
 inline void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
                     const float* a, const float* b, float* c,
                     bool accumulate) {
@@ -47,7 +61,7 @@ inline void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
       crow[j] = accumulate ? crow[j] + acc : acc;
     }
   };
-  if (m * n * k > (1 << 18)) {
+  if (m * n * k > kGemmParallelMacs) {
     parallel_for(m, row_job);
   } else {
     for (std::int64_t i = 0; i < m; ++i) row_job(i);
@@ -55,6 +69,7 @@ inline void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k,
 }
 
 /// C[M,N] (+)= A[K,M]^T * B[K,N]
+template <bool kSkipZeroLhs = true>
 inline void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
                     const float* a, const float* b, float* c,
                     bool accumulate) {
@@ -66,12 +81,12 @@ inline void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k,
     }
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = a[p * m + i];
-      if (av == 0.0f) continue;
+      if (kSkipZeroLhs && av == 0.0f) continue;
       const float* brow = b + p * n;
       for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
   };
-  if (m * n * k > (1 << 18)) {
+  if (m * n * k > kGemmParallelMacs) {
     parallel_for(m, row_job);
   } else {
     for (std::int64_t i = 0; i < m; ++i) row_job(i);

@@ -1,5 +1,6 @@
 #include "nn/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -16,7 +17,7 @@ void check_same_shape(const Var& a, const Var& b, const char* op) {
 template <typename Fwd, typename Bwd>
 Var elementwise2(const Var& a, const Var& b, Fwd fwd, Bwd bwd, const char* op) {
   check_same_shape(a, b, op);
-  Tensor out(a->value.shape());
+  Tensor out = arena_tensor(a->value.shape(), /*zeroed=*/false);
   const std::int64_t n = out.numel();
   for (std::int64_t i = 0; i < n; ++i) out[i] = fwd(a->value[i], b->value[i]);
   return make_node(std::move(out), {a, b},
@@ -41,7 +42,7 @@ Var elementwise2(const Var& a, const Var& b, Fwd fwd, Bwd bwd, const char* op) {
 // Elementwise unary op; bwd maps (x, y, gy) -> gx.
 template <typename Fwd, typename Bwd>
 Var elementwise1(const Var& a, Fwd fwd, Bwd bwd, const char* op) {
-  Tensor out(a->value.shape());
+  Tensor out = arena_tensor(a->value.shape(), /*zeroed=*/false);
   const std::int64_t n = out.numel();
   for (std::int64_t i = 0; i < n; ++i) out[i] = fwd(a->value[i]);
   return make_node(std::move(out), {a},
@@ -157,9 +158,9 @@ Var add_bias(const Var& x, const Var& b) {
   const std::int64_t bn = b->value.numel();
   check(bn > 0 && x->value.numel() % bn == 0,
         "add_bias: bias must tile the input");
-  Tensor out = x->value;
+  Tensor out = arena_tensor(x->value.shape(), /*zeroed=*/false);
   const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) out[i] += b->value[i % bn];
+  for (std::int64_t i = 0; i < n; ++i) out[i] = x->value[i] + b->value[i % bn];
   return make_node(std::move(out), {x, b},
                    [](Node& node) {
                      Node& ix = *node.inputs[0];
@@ -228,11 +229,55 @@ Var mse_loss(const Var& pred, const Tensor& target) {
                    "mse_loss");
 }
 
+Var mse_loss_batch_ordered(const Var& pred, const Tensor& targets) {
+  check(pred->value.same_shape(targets), "mse_loss_batch_ordered: shape mismatch");
+  check(pred->value.ndim() >= 2, "mse_loss_batch_ordered: needs a batch axis");
+  const int batch = pred->value.dim(0);
+  check(batch >= 1, "mse_loss_batch_ordered: empty batch");
+  const std::int64_t plane = pred->value.numel() / batch;
+  check(plane > 0, "mse_loss_batch_ordered: empty samples");
+  float total = 0.0f;
+  for (int b = 0; b < batch; ++b) {
+    const float* v = pred->value.data() + b * plane;
+    const float* t = targets.data() + b * plane;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < plane; ++i) {
+      // Float subtraction then widen, exactly like per-sample mse_loss.
+      const double d = v[i] - t[i];
+      acc += d * d;
+    }
+    const float lb = static_cast<float>(acc / static_cast<double>(plane));
+    total = (b == 0) ? lb : total + lb;
+  }
+  Tensor out({1});
+  out[0] = total;
+  Tensor tgt = targets;
+  return make_node(std::move(out), {pred},
+                   [tgt = std::move(tgt), batch, plane](Node& node) {
+                     Node& ip = *node.inputs[0];
+                     if (!ip.requires_grad) return;
+                     ip.ensure_grad();
+                     // Every per-sample loss sees the root gradient
+                     // unchanged (add() passes gradients through), so the
+                     // per-pixel weight matches per-sample mse_loss.
+                     const float w =
+                         2.0f * node.grad[0] / static_cast<float>(plane);
+                     for (int b = 0; b < batch; ++b) {
+                       const std::int64_t off = b * plane;
+                       for (std::int64_t i = 0; i < plane; ++i) {
+                         ip.grad[off + i] +=
+                             w * (ip.value[off + i] - tgt[off + i]);
+                       }
+                     }
+                   },
+                   "mse_loss_batch_ordered");
+}
+
 Var matmul(const Var& a, const Var& b) {
   check(a->value.ndim() == 2 && b->value.ndim() == 2, "matmul needs 2-D inputs");
   const int m = a->value.dim(0), k = a->value.dim(1), n = b->value.dim(1);
   check(b->value.dim(0) == k, "matmul inner dimension mismatch");
-  Tensor out({m, n});
+  Tensor out = arena_tensor({m, n}, /*zeroed=*/false);
   gemm_nn(m, n, k, a->value.data(), b->value.data(), out.data(), false);
   return make_node(std::move(out), {a, b},
                    [m, n, k](Node& node) {
@@ -263,14 +308,17 @@ Var cmatmul(const Var& a, const Var& b) {
   split_complex(b->value, br, bi);
   std::vector<float> cr(static_cast<std::size_t>(m) * n),
       ci(static_cast<std::size_t>(m) * n);
-  // C = (Ar + i Ai)(Br + i Bi):
-  gemm_nn(m, n, k, ar.data(), br.data(), cr.data(), false);
-  gemm_nn(m, n, k, ai.data(), bi.data(), ci.data(), false);
+  // C = (Ar + i Ai)(Br + i Bi).  Dense kernels (no zero-skip): complex
+  // operands are essentially never exactly zero, and bench_micro BM_Gemm*
+  // measured the skip branch as a wash-to-loss even on CReLU-sparse
+  // activations (random zeros defeat the branch predictor).
+  gemm_nn<false>(m, n, k, ar.data(), br.data(), cr.data(), false);
+  gemm_nn<false>(m, n, k, ai.data(), bi.data(), ci.data(), false);
   for (std::size_t i = 0; i < cr.size(); ++i) cr[i] -= ci[i];
-  gemm_nn(m, n, k, ar.data(), bi.data(), ci.data(), false);
-  gemm_nn(m, n, k, ai.data(), br.data(), ci.data(), true);
+  gemm_nn<false>(m, n, k, ar.data(), bi.data(), ci.data(), false);
+  gemm_nn<false>(m, n, k, ai.data(), br.data(), ci.data(), true);
 
-  Tensor out({m, n, 2});
+  Tensor out = arena_tensor({m, n, 2}, /*zeroed=*/false);
   merge_complex(cr, ci, out.data(), false);
   return make_node(
       std::move(out), {a, b},
@@ -299,12 +347,12 @@ Var cmatmul(const Var& a, const Var& b) {
           // dB = A^H dC: dBr = Ar^T Gr + Ai^T Gi ; dBi = Ar^T Gi - Ai^T Gr.
           std::vector<float> dbr(static_cast<std::size_t>(k) * n),
               dbi(static_cast<std::size_t>(k) * n);
-          gemm_tn(k, n, m, ar.data(), gr.data(), dbr.data(), false);
-          gemm_tn(k, n, m, ai.data(), gi.data(), dbi.data(), false);
+          gemm_tn<false>(k, n, m, ar.data(), gr.data(), dbr.data(), false);
+          gemm_tn<false>(k, n, m, ai.data(), gi.data(), dbi.data(), false);
           for (std::size_t i = 0; i < dbr.size(); ++i) dbr[i] += dbi[i];
-          gemm_tn(k, n, m, ar.data(), gi.data(), dbi.data(), false);
+          gemm_tn<false>(k, n, m, ar.data(), gi.data(), dbi.data(), false);
           std::vector<float> tmp(static_cast<std::size_t>(k) * n);
-          gemm_tn(k, n, m, ai.data(), gr.data(), tmp.data(), false);
+          gemm_tn<false>(k, n, m, ai.data(), gr.data(), tmp.data(), false);
           for (std::size_t i = 0; i < dbi.size(); ++i) dbi[i] -= tmp[i];
           ib.ensure_grad();
           merge_complex(dbr, dbi, ib.grad.data(), true);
@@ -351,7 +399,10 @@ Var cmul_const(const Var& x, const Tensor& c) {
 }
 
 Var reshape(const Var& a, std::vector<int> shape) {
-  Tensor out = a->value.reshaped(std::move(shape));
+  Tensor out = arena_tensor(std::move(shape), /*zeroed=*/false);
+  check(out.numel() == a->value.numel(), "reshape changes element count");
+  const float* src = a->value.data();
+  std::copy(src, src + a->value.numel(), out.data());
   return make_node(std::move(out), {a},
                    [](Node& node) {
                      Node& ia = *node.inputs[0];
@@ -370,7 +421,7 @@ Var transpose01(const Var& a) {
   const std::int64_t rest = a->value.numel() / (static_cast<std::int64_t>(d0) * d1);
   std::vector<int> shape = a->value.shape();
   std::swap(shape[0], shape[1]);
-  Tensor out(shape);
+  Tensor out = arena_tensor(shape, /*zeroed=*/false);
   for (int i = 0; i < d0; ++i)
     for (int j = 0; j < d1; ++j) {
       const float* src = a->value.data() + (static_cast<std::int64_t>(i) * d1 + j) * rest;

@@ -29,6 +29,15 @@ Var sum(const Var& a);                        ///< scalar
 Var mean(const Var& a);                       ///< scalar
 Var mse_loss(const Var& pred, const Tensor& target);  ///< Eq. (5) as a loss
 
+/// Batched per-sample MSE with an ordered reduction over the leading batch
+/// axis: pred/targets [B, ...] -> scalar sum_b MSE(pred[b], targets[b]),
+/// accumulated per sample in double over pixels and then left-folded over B
+/// in float — exactly the arithmetic of per-sample mse_loss nodes chained
+/// through add(), so the value (and gradient) is bit-identical to the
+/// legacy per-mask loss chain.  Callers divide by B themselves (the trainer
+/// scales by 1/batch, like the legacy loop).
+Var mse_loss_batch_ordered(const Var& pred, const Tensor& targets);
+
 // ---- dense algebra ---------------------------------------------------------
 Var matmul(const Var& a, const Var& b);       ///< [M,K] x [K,N]
 /// Complex matmul [M,K,2] x [K,N,2] -> [M,N,2] (the CLinear core).

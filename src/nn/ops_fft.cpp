@@ -1,6 +1,9 @@
 #include "nn/ops_fft.hpp"
 
+#include <algorithm>
 #include <complex>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/check.hpp"
@@ -47,6 +50,63 @@ void fft2_plane(float* plane, int h, int w, bool inverse) {
 inline int wrapped_index(int a, int n, int big) {
   const int signed_freq = a - n / 2;
   return (signed_freq + big) % big;
+}
+
+// Bounded pool of float FFT workspaces for the batched training ops, shaped
+// like the AerialEngine's (one per in-flight task, capped at workers + a few
+// external callers) so steady-state training steps hit the pool, not the
+// heap.
+class FftWsPool {
+ public:
+  std::unique_ptr<Fft2WorkspaceF> acquire() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!pool_.empty()) {
+        std::unique_ptr<Fft2WorkspaceF> ws = std::move(pool_.back());
+        pool_.pop_back();
+        return ws;
+      }
+    }
+    return std::make_unique<Fft2WorkspaceF>();
+  }
+
+  void release(std::unique_ptr<Fft2WorkspaceF> ws) {
+    const std::size_t cap = static_cast<std::size_t>(parallel_workers()) + 4;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (pool_.size() < cap) pool_.push_back(std::move(ws));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Fft2WorkspaceF>> pool_;
+};
+
+FftWsPool& train_ws_pool() {
+  static FftWsPool pool;
+  return pool;
+}
+
+// Unnormalized inverse 2-D DFT of an interleaved [s, s, 2] plane whose only
+// nonzero rows are `band_rows` — bit-identical to fft2_plane(inverse): a
+// structurally zero row inverse-transforms to (signed) zeros, which enter
+// the column pass only additively (the AerialEngine's pruned-band argument,
+// DESIGN.md §6.3 / §8.2).
+void ifft2_plane_pruned(float* plane, int s, const std::vector<int>& band_rows,
+                        const FftPlan<float>& plan, Fft2WorkspaceF& ws) {
+  auto* z = reinterpret_cast<cfl*>(plane);
+  cfl* scratch = ws.scratch_for(plan);
+  for (const int r : band_rows) {
+    plan.inverse(z + static_cast<std::ptrdiff_t>(r) * s, scratch);
+  }
+  cfl* col = ws.col_buffer(s);
+  for (int c = 0; c < s; ++c) {
+    for (int r = 0; r < s; ++r) col[r] = z[r * s + c];
+    plan.inverse(col, scratch);
+    for (int r = 0; r < s; ++r) z[r * s + c] = col[r];
+  }
+  const float scale = static_cast<float>(s) * static_cast<float>(s);
+  const std::int64_t total = static_cast<std::int64_t>(s) * s * 2;
+  for (std::int64_t i = 0; i < total; ++i) plane[i] *= scale;
 }
 
 }  // namespace
@@ -116,6 +176,144 @@ Var socs_field(const Var& kernels, const Tensor& spectrum, int out_px) {
         });
       },
       "socs_field");
+}
+
+Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px) {
+  check(kernels->value.ndim() == 4 && kernels->value.dim(3) == 2,
+        "socs_field_batch: kernels must be [r,n,m,2]");
+  const int r = kernels->value.dim(0);
+  const int n = kernels->value.dim(1);
+  const int m = kernels->value.dim(2);
+  check(spectra.ndim() == 4 && spectra.dim(1) == n && spectra.dim(2) == m &&
+            spectra.dim(3) == 2,
+        "socs_field_batch: spectra must be [B,n,m,2] on the kernel support");
+  const int batch = spectra.dim(0);
+  check(batch >= 1, "socs_field_batch: empty batch");
+  check(out_px >= n && out_px >= m, "socs_field_batch: output grid too small");
+
+  const int s = out_px;
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s * 2;
+  const std::int64_t kplane = static_cast<std::int64_t>(n) * m * 2;
+
+  // Embed positions of the centered crop on the S-grid, hoisted out of the
+  // plane loop; the sorted copy drives the pruned row pass.
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a) rows[static_cast<std::size_t>(a)] = wrapped_index(a, n, s);
+  std::vector<int> cols(static_cast<std::size_t>(m));
+  for (int b = 0; b < m; ++b) cols[static_cast<std::size_t>(b)] = wrapped_index(b, m, s);
+  std::vector<int> band_rows = rows;
+  std::sort(band_rows.begin(), band_rows.end());
+
+  const FftPlan<float>& plan = fft_plan_f(s);
+  Tensor out = arena_tensor({batch, r, s, s, 2});
+  Tensor spec = spectra;
+
+  parallel_for(static_cast<std::int64_t>(batch) * r, [&](std::int64_t t) {
+    const std::int64_t b = t / r;
+    const std::int64_t i = t % r;
+    float* dst = out.data() + t * plane;
+    const float* k = kernels->value.data() + i * kplane;
+    const float* sp = spec.data() + b * kplane;
+    for (int a = 0; a < n; ++a) {
+      const int rr = rows[static_cast<std::size_t>(a)];
+      for (int c = 0; c < m; ++c) {
+        const int cc = cols[static_cast<std::size_t>(c)];
+        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
+        const float kr = k[ki], kim = k[ki + 1];
+        const float cr = sp[ki], ci = sp[ki + 1];
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
+            kr * ci + kim * cr;
+      }
+    }
+    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+    ifft2_plane_pruned(dst, s, band_rows, plan, *ws);
+    train_ws_pool().release(std::move(ws));
+  });
+
+  return make_node(
+      std::move(out), {kernels},
+      [spec = std::move(spec), rows = std::move(rows), cols = std::move(cols),
+       batch, r, n, m, s, plane, kplane](Node& node) {
+        Node& ik = *node.inputs[0];
+        if (!ik.requires_grad) return;
+        ik.ensure_grad();
+        const FftPlan<float>& plan = fft_plan_f(s);
+        // vjp of the unnormalized inverse DFT is the unnormalized forward
+        // DFT; only the crop's columns are ever read back, so the column
+        // pass transforms just those.  node.grad is transformed in place
+        // (documented: the output gradient is consumed).  Kernel planes are
+        // disjoint across i; within one kernel the batch accumulates in
+        // descending order — exactly the reverse-topological order in which
+        // the per-mask graph's socs_field nodes run their backward.
+        parallel_for(r, [&](std::int64_t i) {
+          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+          cfl* scratch = ws->scratch_for(plan);
+          cfl* col = ws->col_buffer(s);
+          float* kg = ik.grad.data() + i * kplane;
+          for (std::int64_t b = batch; b-- > 0;) {
+            float* g = node.grad.data() + (b * r + i) * plane;
+            auto* z = reinterpret_cast<cfl*>(g);
+            for (int rr = 0; rr < s; ++rr) {
+              plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, scratch);
+            }
+            const float* sp = spec.data() + b * kplane;
+            for (int c = 0; c < m; ++c) {
+              const int cc = cols[static_cast<std::size_t>(c)];
+              for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
+              plan.forward(col, scratch);
+              for (int a = 0; a < n; ++a) {
+                const cfl gz = col[rows[static_cast<std::size_t>(a)]];
+                const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
+                const float cr = sp[ki], ci = sp[ki + 1];
+                kg[ki] += gz.real() * cr + gz.imag() * ci;
+                kg[ki + 1] += gz.imag() * cr - gz.real() * ci;
+              }
+            }
+          }
+          train_ws_pool().release(std::move(ws));
+        });
+      },
+      "socs_field_batch");
+}
+
+Var abs2_sum0_batch(const Var& fields) {
+  check(fields->value.ndim() == 5 && fields->value.dim(4) == 2,
+        "abs2_sum0_batch: fields must be [B,r,S,S,2]");
+  const int batch = fields->value.dim(0);
+  const int r = fields->value.dim(1);
+  const int h = fields->value.dim(2);
+  const int w = fields->value.dim(3);
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  Tensor out = arena_tensor({batch, h, w});
+  parallel_for(batch, [&](std::int64_t b) {
+    float* o = out.data() + b * plane;
+    for (int i = 0; i < r; ++i) {
+      const float* e = fields->value.data() + (b * r + i) * plane * 2;
+      for (std::int64_t p = 0; p < plane; ++p) {
+        o[p] += e[2 * p] * e[2 * p] + e[2 * p + 1] * e[2 * p + 1];
+      }
+    }
+  });
+  return make_node(std::move(out), {fields},
+                   [batch, r, plane](Node& node) {
+                     Node& ie = *node.inputs[0];
+                     if (!ie.requires_grad) return;
+                     ie.ensure_grad();
+                     parallel_for(batch, [&](std::int64_t b) {
+                       const float* gy = node.grad.data() + b * plane;
+                       for (int i = 0; i < r; ++i) {
+                         const std::int64_t off = (b * r + i) * plane * 2;
+                         const float* e = ie.value.data() + off;
+                         float* g = ie.grad.data() + off;
+                         for (std::int64_t p = 0; p < plane; ++p) {
+                           g[2 * p] += 2.0f * e[2 * p] * gy[p];
+                           g[2 * p + 1] += 2.0f * e[2 * p + 1] * gy[p];
+                         }
+                       }
+                     });
+                   },
+                   "abs2_sum0_batch");
 }
 
 Var abs2_sum0(const Var& fields) {

@@ -21,8 +21,25 @@ namespace nitho::nn {
 /// on the out_px training grid, scaled like litho::socs_aerial.
 Var socs_field(const Var& kernels, const Tensor& spectrum, int out_px);
 
+/// Batched socs_field over a whole mask batch in one graph node: kernels
+/// [r, n, m, 2], spectra [B, n, m, 2] -> fields [B, r, S, S, 2].  Per
+/// (mask, kernel) plane the arithmetic is bit-identical to socs_field;
+/// the inverse FFT prunes structurally zero rows and the adjoint prunes
+/// unread columns (DESIGN.md §8.2), FFT plans are hoisted out of the plane
+/// loop, and workspaces come from a bounded pool, so steady-state training
+/// steps allocate nothing here.  The kernel-gradient accumulation runs the
+/// batch in descending order, matching the reverse-topological order of the
+/// legacy per-mask graph.  The backward pass transforms node.grad in place
+/// (the output gradient is consumed — never read it after backward()).
+Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px);
+
 /// fields [r, S, S, 2] -> intensity [S, S]: sum over kernels of |E|^2.
 Var abs2_sum0(const Var& fields);
+
+/// Batched abs2_sum0: fields [B, r, S, S, 2] -> intensities [B, S, S],
+/// accumulated over kernels in index order per sample (same summation order
+/// as the per-mask op, so values are bit-identical).
+Var abs2_sum0_batch(const Var& fields);
 
 /// FNO spectral convolution: x [Cin, H, W] real, w [Cout, Cin, mh, mw, 2]
 /// complex mode weights (centered layout).  Returns [Cout, H, W] real.

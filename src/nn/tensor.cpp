@@ -31,6 +31,11 @@ Tensor Tensor::reshaped(std::vector<int> shape) const {
   return out;
 }
 
+void Tensor::reset_shape(std::vector<int> shape) {
+  check(shape_numel(shape) == numel(), "reshape changes element count");
+  shape_ = std::move(shape);
+}
+
 void Tensor::randn(Rng& rng, float stddev) {
   for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
 }

@@ -39,6 +39,10 @@ class Tensor {
   /// Reshape without copying; the element count must match.
   Tensor reshaped(std::vector<int> shape) const;
 
+  /// In-place reshape (no copy); the element count must match.  Used by the
+  /// GraphArena to re-issue reclaimed buffers under a new shape.
+  void reset_shape(std::vector<int> shape);
+
   /// Gaussian init (used by layer constructors).
   void randn(Rng& rng, float stddev);
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "litho/simulator.hpp"
 #include "nn/autodiff.hpp"
@@ -274,6 +275,143 @@ TEST(SocsField, MatchesPhysicsSubstrate) {
                 1e-3 * (1.0 + std::abs(expected[a])))
         << a;
   }
+}
+
+// The batched training ops must reproduce the per-mask graph chain bit for
+// bit: same forward values, same loss, and — because the batched backward
+// accumulates the batch in descending order, matching the reverse
+// topological order of the chained graph — the same kernel gradients.
+void expect_batched_matches_chain(int batch, int r, int n, int out_px) {
+  Rng rng(23);
+  Tensor kt = random_tensor({r, n, n, 2}, rng, 0.5f);
+  Tensor spectra = random_tensor({batch, n, n, 2}, rng, 0.3f);
+  Tensor targets = random_tensor({batch, out_px, out_px}, rng, 0.2f, 0.5f);
+
+  // Legacy: one socs_field/abs2_sum0/mse_loss chain per sample.
+  Var k_legacy = make_leaf(kt, true);
+  Var loss_legacy;
+  const std::int64_t splane = static_cast<std::int64_t>(n) * n * 2;
+  const std::int64_t tplane = static_cast<std::int64_t>(out_px) * out_px;
+  std::vector<Var> preds;
+  for (int b = 0; b < batch; ++b) {
+    Tensor spec({n, n, 2});
+    for (std::int64_t i = 0; i < splane; ++i) spec[i] = spectra[b * splane + i];
+    Tensor tgt({out_px, out_px});
+    for (std::int64_t i = 0; i < tplane; ++i) tgt[i] = targets[b * tplane + i];
+    Var pred = abs2_sum0(socs_field(k_legacy, spec, out_px));
+    preds.push_back(pred);
+    Var l = mse_loss(pred, tgt);
+    loss_legacy = loss_legacy ? add(loss_legacy, l) : l;
+  }
+  backward(loss_legacy);
+
+  // Batched: one graph over the stacked constants.
+  Var k_batched = make_leaf(kt, true);
+  Var fields = socs_field_batch(k_batched, spectra, out_px);
+  Var pred_b = abs2_sum0_batch(fields);
+  Var loss_batched = mse_loss_batch_ordered(pred_b, targets);
+  backward(loss_batched);
+
+  EXPECT_EQ(loss_legacy->value[0], loss_batched->value[0]);
+  for (int b = 0; b < batch; ++b) {
+    const Tensor& pv = preds[static_cast<std::size_t>(b)]->value;
+    for (std::int64_t i = 0; i < tplane; ++i) {
+      ASSERT_EQ(pv[i], pred_b->value[b * tplane + i])
+          << "intensity sample " << b << " elem " << i;
+    }
+  }
+  ASSERT_EQ(k_legacy->grad.numel(), k_batched->grad.numel());
+  for (std::int64_t i = 0; i < k_legacy->grad.numel(); ++i) {
+    ASSERT_EQ(k_legacy->grad[i], k_batched->grad[i]) << "kernel grad " << i;
+  }
+}
+
+TEST(BatchedSocs, BitIdenticalToPerMaskChainPow2) {
+  expect_batched_matches_chain(/*batch=*/3, /*r=*/2, /*n=*/5, /*out_px=*/16);
+}
+
+TEST(BatchedSocs, BitIdenticalToPerMaskChainBluestein) {
+  // out_px 12 and 15 are non-pow2: the float Bluestein plans and their
+  // workspace scratch are exercised.
+  expect_batched_matches_chain(3, 2, 5, 12);
+  expect_batched_matches_chain(2, 3, 5, 15);
+}
+
+TEST(BatchedSocs, SingleSampleBatchDegeneratesToChain) {
+  expect_batched_matches_chain(1, 2, 3, 8);
+}
+
+TEST(BatchedSocs, BitIdenticalUnderWorkerPool) {
+  // Force the shared pool on (this box is 1-core, where parallel_for runs
+  // inline): the batched backward's per-kernel tasks and the workspace
+  // pool must not change any bit.
+  set_parallel_workers(4);
+  expect_batched_matches_chain(3, 5, 5, 16);
+  set_parallel_workers(0);
+}
+
+TEST(GradCheck, BatchedSocsPipeline) {
+  Rng rng(29);
+  Tensor spectra = random_tensor({2, 3, 3, 2}, rng, 0.3f);
+  const std::vector<Tensor> init = {random_tensor({2, 3, 3, 2}, rng, 0.5f)};
+  Tensor targets = random_tensor({2, 8, 8}, rng, 0.2f, 0.5f);
+  expect_gradcheck(init, [spectra, targets](const std::vector<Var>& v) {
+    Var pred = abs2_sum0_batch(socs_field_batch(v[0], spectra, 8));
+    return scale(mse_loss_batch_ordered(pred, targets), 0.5f);
+  });
+}
+
+TEST(GraphArena, RecyclesNodesAndBuffersWithoutChangingResults) {
+  Rng rng(31);
+  const Tensor kt = random_tensor({2, 3, 3, 2}, rng, 0.5f);
+  const Tensor spectra = random_tensor({2, 3, 3, 2}, rng, 0.3f);
+  const Tensor targets = random_tensor({2, 8, 8}, rng, 0.2f, 0.5f);
+
+  auto run_step = [&](const Tensor& k) {
+    Var leaf = make_leaf(k, true);
+    Var loss = mse_loss_batch_ordered(
+        abs2_sum0_batch(socs_field_batch(leaf, spectra, 8)), targets);
+    backward(loss);
+    return std::pair<float, Tensor>(loss->value[0], leaf->grad);
+  };
+
+  const auto [plain_loss, plain_grad] = run_step(kt);
+
+  GraphArena arena;
+  std::size_t warm_capacity = 0;
+  for (int step = 0; step < 4; ++step) {
+    arena.reset();
+    GraphArena::Scope scope(arena);
+    const auto [loss, grad] = run_step(kt);
+    EXPECT_EQ(loss, plain_loss) << "step " << step;
+    ASSERT_EQ(grad.numel(), plain_grad.numel());
+    for (std::int64_t i = 0; i < grad.numel(); ++i) {
+      ASSERT_EQ(grad[i], plain_grad[i]) << "step " << step << " elem " << i;
+    }
+    if (step == 1) warm_capacity = arena.node_capacity();
+  }
+  // After warmup the pool stops growing and buffers actually recycle.
+  EXPECT_EQ(arena.node_capacity(), warm_capacity);
+  EXPECT_GT(arena.tensors_reused(), 0u);
+}
+
+TEST(GraphArena, EvictsExternallyHeldNodes) {
+  GraphArena arena;
+  Var kept;
+  {
+    GraphArena::Scope scope(arena);
+    kept = make_leaf(Tensor({3}, 2.0f), false);
+  }
+  arena.reset();  // kept is still referenced: evicted, not recycled
+  EXPECT_EQ(kept->value.numel(), 3);
+  EXPECT_EQ(kept->value[0], 2.0f);
+  {
+    GraphArena::Scope scope(arena);
+    Var fresh = make_leaf(Tensor({3}, 7.0f), false);
+    EXPECT_NE(fresh.get(), kept.get());
+  }
+  arena.reset();
+  EXPECT_EQ(kept->value[2], 2.0f);
 }
 
 TEST(GradCheck, Fft2cCrop) {
