@@ -22,8 +22,21 @@
 //
 // The acceptance number is recorded in bench/baselines/serve_throughput.csv
 // and gated by bench/check_baselines.py.
+//
+// A second scenario (DESIGN.md §9.5) measures *overload*: an open-loop
+// arrival schedule at ~2x the measured open-loop capacity, where requests
+// arrive on a fixed clock whether or not the server keeps up — the regime
+// the DOINN/TEMPO-style throughput tables never report.  Without admission
+// control the queue fills and every request pays the full queueing delay;
+// with a SloPolicy (+ autotune) the server sheds doomed requests at submit
+// or on dequeue, and the accepted requests' p99 stays under the SLO target
+// while goodput holds near capacity.  Recorded in
+// bench/baselines/serve_slo.csv (slo_headroom = target_p99 / measured p99
+// >= 1 and goodput_vs_capacity >= 0.9 are the gated acceptance numbers).
 
+#include <chrono>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -71,6 +84,8 @@ std::vector<Grid<double>> synth_masks(int count, int px, Rng& rng) {
   }
   return masks;
 }
+
+using serve::latency_str;
 
 }  // namespace
 
@@ -149,9 +164,11 @@ int main(int argc, char** argv) {
     const double tp = reqs / t.seconds();
     const serve::ShardStats st = server.stats();
     std::printf("  open loop:   %" PRIu64 " batches, %.1f avg occupancy, "
-                "p50 %.0f us, p99 %.0f us\n",
+                "p50 %s, p99 %s\n",
                 static_cast<std::uint64_t>(st.batches),
-                st.mean_batch_occupancy, st.p50_latency_us, st.p99_latency_us);
+                st.mean_batch_occupancy,
+                latency_str(st.p50_latency_us, st.latency_samples).c_str(),
+                latency_str(st.p99_latency_us, st.latency_samples).c_str());
     return tp;
   }();
 
@@ -203,5 +220,164 @@ int main(int argc, char** argv) {
       "\nServing acceptance: open-loop served throughput is %.2fx the naive "
       "one-thread-per-request loop (target >= 1.3x).\n",
       served_open_tp / naive_tp);
+
+  // --- overload: open-loop arrivals at ~over_factor x capacity ------------
+  // Heavier per-request compute than the coalescing scenario above
+  // (out_px 32 ≈ 4x out_px 16): overload shedding is about protecting the
+  // *compute*, and at tiny per-request cost the load generator itself —
+  // sharing this 1-core box with the shard worker — would distort goodput.
+  // The SLO is sized for this class of box: ~6 ms of queueing budget plus
+  // a worst-case tuned batch (~4 ms) plus normal scheduler noise lands
+  // accepted p99 well under 20 ms, while the blind overload run sits at
+  // several times that.  Longer phases (8k requests ≈ 1 s each) keep the
+  // p99 estimate out of reach of a single multi-ms host stall.
+  const int over_reqs = flags.get_int("over-reqs", 8192);
+  const int over_out_px = flags.get_int("over-out-px", 32);
+  const double over_factor = flags.get_double("over-factor", 2.0);
+  const int slo_p99_us = flags.get_int("slo-p99-us", 20000);
+  const int slo_queue_wait_us = flags.get_int("slo-queue-wait-us", 6000);
+
+  using Clock = std::chrono::steady_clock;
+  struct OverloadResult {
+    double offered_rps = 0.0;
+    double goodput_rps = 0.0;
+    double p99_us = 0.0;
+    std::uint64_t latency_samples = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    serve::ShardStats stats;
+  };
+  // rate == 0: unpaced — submit as fast as backpressure allows.  That run
+  // both measures capacity (its goodput) and shows the failure mode this
+  // scenario exists for: without admission control, overload means every
+  // request pays the full queue_capacity of queueing delay.
+  const auto run_overload = [&](bool admission, double rate) {
+    serve::ServeOptions opts = serve_options;
+    // Deep enough that, without admission control, queueing delay alone
+    // blows the SLO.
+    opts.queue_capacity = 256;
+    if (admission) {
+      serve::SloPolicy slo;
+      slo.target_p99 = std::chrono::microseconds(slo_p99_us);
+      slo.max_queue_wait = std::chrono::microseconds(slo_queue_wait_us);
+      slo.autotune = true;
+      // Past ~2x the default batch the sweep is fully amortized on this
+      // workload, so larger batches only add latency: keep the tuner's
+      // batch growth inside the SLO's interest.
+      slo.tuner.max_batch = 2 * max_batch;
+      opts.slo = slo;
+    }
+    serve::LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels)}, opts);
+    // Warm engines with an explicit far-future deadline: the SLO default
+    // (submit + max_queue_wait) could shed this very first request if the
+    // freshly spawned worker's first dequeue hits a scheduler stall, and
+    // an unhandled DeadlineExceeded would abort the bench.
+    (void)server
+        .submit(masks[0], over_out_px, serve::RequestKind::kAerial,
+                Clock::now() + std::chrono::hours(1))
+        .get();
+    std::vector<std::future<Grid<double>>> futs;
+    futs.reserve(static_cast<std::size_t>(over_reqs));
+    const auto start = Clock::now();
+    for (int i = 0; i < over_reqs; ++i) {
+      // Open loop: request i is due at a fixed offset from the start,
+      // regardless of how the server is doing.  Pacing is checked once per
+      // small burst — on this 1-core box a per-request sleep would charge
+      // two context switches per arrival to the same core the shard worker
+      // computes on.  Oversleeps are repaid by submitting the backlog
+      // immediately, so the average rate holds.
+      if (rate > 0.0 && i % 8 == 0) {
+        const auto due = start + std::chrono::microseconds(
+                                     static_cast<std::int64_t>(i * 1e6 / rate));
+        if (Clock::now() < due) std::this_thread::sleep_until(due);
+      }
+      futs.push_back(server.submit(
+          masks[static_cast<std::size_t>(i) % masks.size()], over_out_px));
+    }
+    const double inject_secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    // Goodput window ends when the server has resolved every accepted
+    // request (completed == submitted implies empty queue and batcher) —
+    // NOT when this thread has finished .get()ing 8k futures: rethrowing
+    // thousands of shed exceptions is client-side bookkeeping that must
+    // not count against the server.
+    // 1 ms poll: each stats() call copies and sorts the latency ring, and
+    // tighter polling would steal measurable CPU from the worker's drain
+    // on this 1-core box — inflating the goodput denominator.
+    while (true) {
+      const serve::ShardStats st = server.stats();
+      if (st.completed == st.submitted) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const double drain_secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    OverloadResult r;
+    for (auto& f : futs) {
+      try {
+        (void)f.get();
+        ++r.ok;
+      } catch (const serve::DeadlineExceeded&) {
+        ++r.shed;
+      }
+    }
+    r.offered_rps = over_reqs / inject_secs;
+    r.goodput_rps = static_cast<double>(r.ok) / drain_secs;
+    r.stats = server.stats();
+    r.p99_us = r.stats.p99_latency_us;
+    r.latency_samples = r.stats.latency_samples;
+    return r;
+  };
+
+  // Each phase runs twice and keeps the higher-goodput window: the phases
+  // are ~1 s apiece on a shared box, and a host stall landing in just one
+  // of them would otherwise put multi-percent noise into the gated ratio.
+  const auto best_of = [](OverloadResult a, OverloadResult b) {
+    return a.goodput_rps >= b.goodput_rps ? std::move(a) : std::move(b);
+  };
+  const OverloadResult cap =
+      best_of(run_overload(/*admission=*/false, /*rate=*/0.0),
+              run_overload(/*admission=*/false, /*rate=*/0.0));
+  const double capacity = cap.goodput_rps;
+  const double offered_target = over_factor * capacity;
+  std::printf("\n== Overload: open loop at %.1fx capacity (%.0f reqs/s "
+              "offered), SLO p99 <= %d us, out_px %d ==\n",
+              over_factor, offered_target, slo_p99_us, over_out_px);
+  const OverloadResult adm =
+      best_of(run_overload(/*admission=*/true, offered_target),
+              run_overload(/*admission=*/true, offered_target));
+
+  TablePrinter otp({"Mode", "offered r/s", "goodput r/s", "p99", "shed"}, 16);
+  otp.row({"capacity_open_loop", fmt(cap.offered_rps, 1),
+           fmt(cap.goodput_rps, 1), latency_str(cap.p99_us, cap.latency_samples),
+           fmt(static_cast<double>(cap.shed), 0)});
+  otp.row({"overload_admission", fmt(adm.offered_rps, 1),
+           fmt(adm.goodput_rps, 1), latency_str(adm.p99_us, adm.latency_samples),
+           fmt(static_cast<double>(adm.shed), 0)});
+  otp.rule();
+  std::printf("  capacity row = no admission control: at overload the full "
+              "queue alone puts p99 at %.0f us\n", cap.p99_us);
+  std::printf("  admission: %" PRIu64 " shed at submit, %" PRIu64
+              " shed in queue, %" PRIu64 " autotune updates, tuned policy "
+              "(max_batch %d, max_delay %.0f us)\n",
+              adm.stats.shed.shed_at_submit, adm.stats.shed.shed_in_queue,
+              adm.stats.autotune_updates, adm.stats.max_batch,
+              adm.stats.max_delay_us);
+
+  const double headroom = slo_p99_us / adm.p99_us;
+  const double goodput_vs_capacity = adm.goodput_rps / capacity;
+  CsvWriter slo_csv(out_dir() + "/serve_slo.csv",
+                    {"mode", "offered_rps", "goodput_rps", "p99_us",
+                     "slo_headroom", "goodput_vs_capacity"});
+  slo_csv.row({"capacity_open_loop", fmt(cap.offered_rps, 1),
+               fmt(cap.goodput_rps, 1), fmt(cap.p99_us, 0), "", ""});
+  slo_csv.row({"overload_admission", fmt(adm.offered_rps, 1),
+               fmt(adm.goodput_rps, 1), fmt(adm.p99_us, 0), fmt(headroom, 2),
+               fmt(goodput_vs_capacity, 2)});
+
+  std::printf(
+      "\nOverload acceptance: accepted-request p99 %.0f us vs SLO %d us "
+      "(headroom %.2fx, target >= 1x); goodput %.2fx measured capacity "
+      "(target >= 0.9x).\n",
+      adm.p99_us, slo_p99_us, headroom, goodput_vs_capacity);
   return 0;
 }

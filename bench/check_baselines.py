@@ -29,32 +29,54 @@ import os
 import sys
 import tempfile
 
-# file -> list of (row key, ratio column, absolute floor or None).
-# A floor is the acceptance threshold from the PR that introduced the
-# subsystem; the relative check (candidate >= (1 - tol) * baseline) guards
-# against creeping regressions from later PRs.
+# file -> list of (row key, ratio column, absolute floor or None,
+# relative-checked).  A floor is the acceptance threshold from the PR that
+# introduced the subsystem; the relative check
+# (candidate >= (1 - tol) * baseline) guards against creeping regressions
+# from later PRs and only applies to machine-independent ratios —
+# slo_headroom divides a fixed target by an *absolute* p99, so it is
+# floor-only (a slower box legitimately has less headroom).
 GATES = {
     "fig5_runtime.csv": [
-        ("Nitho_single", "vs_prerefactor", None),
-        ("Nitho_batch", "vs_prerefactor", 1.5),
+        ("Nitho_single", "vs_prerefactor", None, True),
+        ("Nitho_batch", "vs_prerefactor", 1.5, True),
     ],
     "serve_throughput.csv": [
-        ("served_open_loop", "vs_naive", 1.3),
+        ("served_open_loop", "vs_naive", 1.3, True),
+    ],
+    "serve_slo.csv": [
+        # Overload acceptance (ISSUE 5): at ~2x single-shard capacity with
+        # admission control + autotune on, accepted-request p99 must meet
+        # the SLO (headroom = target_p99 / p99 >= 1) and goodput must hold
+        # >= 0.9x the measured closed-loop capacity.
+        ("overload_admission", "slo_headroom", 1.0, False),
+        ("overload_admission", "goodput_vs_capacity", 0.9, True),
     ],
     "train_throughput.csv": [
-        ("batched", "vs_legacy", 1.3),
+        ("batched", "vs_legacy", 1.3, True),
     ],
 }
 
 
 def read_csv(path):
-    """Returns {first-column value: {column: value}}."""
+    """Returns {first-column value: {column: value}}.
+
+    Duplicate row keys are an error: the gate looks rows up by key, so a
+    bench that accidentally writes a key twice would otherwise have its
+    first row silently shadowed by the last one.
+    """
     with open(path, newline="") as f:
         rows = list(csv.DictReader(f))
     if not rows:
         raise ValueError(f"{path}: empty CSV")
     key_col = next(iter(rows[0]))
-    return {row[key_col]: row for row in rows}
+    table = {}
+    for row in rows:
+        key = row[key_col]
+        if key in table:
+            raise ValueError(f"{path}: duplicate row key {key!r}")
+        table[key] = row
+    return table
 
 
 def ratio(table, key, column, path):
@@ -77,11 +99,11 @@ def check_file(name, baseline_path, candidate_path, tol):
     failures = []
     baseline = read_csv(baseline_path)
     candidate = read_csv(candidate_path)
-    for key, column, floor in GATES[name]:
+    for key, column, floor, relative in GATES[name]:
         base = ratio(baseline, key, column, baseline_path)
         cand = ratio(candidate, key, column, candidate_path)
         min_rel = (1.0 - tol) * base
-        if cand < min_rel:
+        if relative and cand < min_rel:
             failures.append(
                 f"{name}: {key}.{column} = {cand:.3f} regressed below "
                 f"(1 - {tol}) * baseline {base:.3f} = {min_rel:.3f}"
@@ -259,6 +281,68 @@ def self_test():
             [
                 ["legacy_per_mask", "2.1", "", "", "", "1.00"],
                 ["batched", "3.1", "1.1", "1.3", "0.1", "1.48"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 9. duplicate row keys in a gated CSV are an error, not a silent
+        #    last-row-wins (either side of the comparison).
+        write_csv(
+            os.path.join(outdir, "train_throughput.csv"),
+            train_header,
+            [
+                ["legacy_per_mask", "2.1", "", "", "", "1.00"],
+                ["batched", "3.1", "1.1", "1.3", "0.1", "1.48"],
+                ["batched", "0.1", "9.9", "9.9", "9.9", "0.05"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1
+        os.remove(os.path.join(outdir, "train_throughput.csv"))
+
+        # 10. serve_slo gate: both overload floors bind (SLO headroom >= 1,
+        #     goodput >= 0.9x capacity).
+        slo_header = ["mode", "offered_rps", "goodput_rps", "p99_us",
+                      "slo_headroom", "goodput_vs_capacity"]
+        write_csv(
+            os.path.join(basedir, "serve_slo.csv"),
+            slo_header,
+            [
+                ["capacity_open_loop", "20000", "20000", "800", "", ""],
+                ["overload_admission", "40000", "19000", "6000", "1.67",
+                 "0.95"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "serve_slo.csv"),
+            slo_header,
+            [
+                ["capacity_open_loop", "21000", "21000", "780", "", ""],
+                ["overload_admission", "42000", "18500", "11000", "0.91",
+                 "0.88"],
+            ],
+        )
+        assert run(basedir, outdir, 0.50, require=False) == 1
+        write_csv(
+            os.path.join(outdir, "serve_slo.csv"),
+            slo_header,
+            [
+                ["capacity_open_loop", "21000", "21000", "780", "", ""],
+                ["overload_admission", "42000", "20000", "6400", "1.56",
+                 "0.95"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+        # slo_headroom is floor-only: 1.10 is far below 0.75 * the committed
+        # 1.67 but still meets the SLO (>= 1.0), so it must pass — headroom
+        # divides the fixed target by an absolute p99 and may legitimately
+        # shrink on a slower box.
+        write_csv(
+            os.path.join(outdir, "serve_slo.csv"),
+            slo_header,
+            [
+                ["capacity_open_loop", "9000", "9000", "1900", "", ""],
+                ["overload_admission", "18000", "8600", "18100", "1.10",
+                 "0.95"],
             ],
         )
         assert run(basedir, outdir, 0.25, require=False) == 0

@@ -7,11 +7,21 @@
 // micro-batching server; halfway through, the kernel set is hot-swapped
 // to a truncated rank — requests keep flowing, each served by the
 // snapshot that was current when it was submitted.  At the end the
-// per-shard stats (batches, occupancy, latency percentiles) and a
-// served-vs-direct spot check are printed.
+// per-shard stats (batches, occupancy, latency percentiles, shed
+// accounting) and a served-vs-direct spot check are printed.
+//
+// The server runs with a latency SLO installed (DESIGN.md §9): every
+// request carries a deadline and is shed with DeadlineExceeded rather
+// than served arbitrarily late, and the per-shard autotuner may move
+// (max_batch, max_delay) toward the target.  The deadlines are sized so
+// that only the burstiest moments shed a handful of requests — which the
+// clients count and carry on, demonstrating the error path without
+// making it the common case (overload proper is bench_serve's scenario).
 
+#include <cstdint>
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -62,6 +72,12 @@ int main() {
   // Two resolutions over two shards: spread by round robin so both shards
   // stay busy (out_px affinity would pin each resolution to one shard).
   opts.route = serve::RouteMode::kRoundRobin;
+  // Latency SLO: sized so only the burstiest moments shed (see header).
+  serve::SloPolicy slo;
+  slo.target_p99 = std::chrono::milliseconds(250);
+  slo.max_queue_wait = std::chrono::milliseconds(200);
+  slo.autotune = true;
+  opts.slo = slo;
   serve::LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels)}, opts);
 
   constexpr int kClients = 4;
@@ -84,20 +100,30 @@ int main() {
 
   WallTimer timer;
   std::vector<std::thread> clients;
+  std::vector<int> client_sheds(kClients, 0);
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
+      // A shed future resolves with DeadlineExceeded — an answer to
+      // handle (count, retry, degrade), never a hang.
+      const auto drain = [&](std::vector<std::future<Grid<double>>>& w) {
+        for (auto& f : w) {
+          try {
+            (void)f.get();
+          } catch (const serve::DeadlineExceeded&) {
+            ++client_sheds[c];
+          }
+        }
+        w.clear();
+      };
       std::vector<std::future<Grid<double>>> window;
       for (int i = 0; i < kPerClient; ++i) {
         const int out_px = out_pxs[(c + i) % 2];
         const auto kind = (i % 3 == 0) ? serve::RequestKind::kResist
                                        : serve::RequestKind::kAerial;
         window.push_back(server.submit(tiles[c][i], out_px, kind));
-        if (static_cast<int>(window.size()) >= kDepth) {
-          for (auto& f : window) (void)f.get();
-          window.clear();
-        }
+        if (static_cast<int>(window.size()) >= kDepth) drain(window);
       }
-      for (auto& f : window) (void)f.get();
+      drain(window);
     });
   }
 
@@ -116,15 +142,29 @@ int main() {
 
   std::printf("\nserved %d requests in %.2fs  (%.0f reqs/s)\n\n", total, secs,
               total / secs);
+  int total_sheds = 0;
+  for (int c = 0; c < kClients; ++c) total_sheds += client_sheds[c];
   for (int s = 0; s < server.shards(); ++s) {
     const serve::ShardStats st = server.shard_stats(s);
     std::printf(
         "shard %d: %llu reqs in %llu batches (%.1f avg), queue %zu, "
-        "p50 %.0f us, p99 %.0f us\n",
+        "p50 %s, p99 %s\n",
         s, static_cast<unsigned long long>(st.completed),
         static_cast<unsigned long long>(st.batches), st.mean_batch_occupancy,
-        st.queue_depth, st.p50_latency_us, st.p99_latency_us);
+        st.queue_depth,
+        serve::latency_str(st.p50_latency_us, st.latency_samples).c_str(),
+        serve::latency_str(st.p99_latency_us, st.latency_samples).c_str());
+    std::printf(
+        "         slo: %llu shed at submit, %llu shed in queue, "
+        "goodput %.0f reqs/s, tuned (max_batch %d, max_delay %.0f us, "
+        "%llu updates)\n",
+        static_cast<unsigned long long>(st.shed.shed_at_submit),
+        static_cast<unsigned long long>(st.shed.shed_in_queue),
+        st.shed.goodput_rps, st.max_batch, st.max_delay_us,
+        static_cast<unsigned long long>(st.autotune_updates));
   }
+  std::printf("clients saw %d shed request(s) resolve with DeadlineExceeded\n",
+              total_sheds);
 
   // Spot check: the server's answer equals the direct synchronous call on
   // the post-swap snapshot, bit for bit.

@@ -57,12 +57,23 @@ TrainStats train_image_model(ImageModel& model,
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
 
+  // One graph per step; node shells and tensor buffers are recycled across
+  // steps by the arena, as in the Algorithm-1 trainer (DESIGN.md §8).  The
+  // model's parameters predate the arena, so reset() never reclaims them;
+  // per-step nodes (input leaf, activations, loss) are dropped before each
+  // reset.  Arithmetic is untouched — the loss trajectory and trained
+  // weights stay bit-identical to per-step heap graphs
+  // (tests/test_baselines.cpp pins this).
+  nn::GraphArena arena;
+
   TrainStats stats;
   WallTimer timer;
   for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
     rng.shuffle(order);
     double epoch_loss = 0.0;
     for (int i : order) {
+      arena.reset();
+      nn::GraphArena::Scope scope(arena);
       opt.zero_grad();
       nn::Var pred = model.forward(
           nn::make_leaf(inputs[static_cast<std::size_t>(i)], false));

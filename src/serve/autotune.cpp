@@ -1,0 +1,103 @@
+#include "serve/autotune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace nitho::serve {
+
+namespace {
+
+/// Same index rule as the server's stats percentiles (server.cpp): the
+/// tuner and the dashboard must agree on what "p99" means.
+double p99_of(std::vector<double> latencies) {
+  std::sort(latencies.begin(), latencies.end());
+  return latencies[(99 * (latencies.size() - 1)) / 100];
+}
+
+}  // namespace
+
+void TuneWindow::record_batch(const std::vector<double>& batch_latencies_us) {
+  latencies_us.insert(latencies_us.end(), batch_latencies_us.begin(),
+                      batch_latencies_us.end());
+  completed += batch_latencies_us.size();
+  ++batches;
+}
+
+void TuneWindow::clear() {
+  latencies_us.clear();
+  completed = 0;
+  batches = 0;
+}
+
+SloAutotuner::SloAutotuner(std::chrono::microseconds target_p99,
+                           AutotuneConfig config, BatchPolicy initial)
+    : target_(target_p99), config_(config), policy_(initial) {
+  check(target_.count() > 0, "autotune target_p99 must be positive");
+  check(config_.delay_backoff > 0.0 && config_.delay_backoff < 1.0,
+        "delay_backoff must be in (0, 1)");
+  check(config_.low_watermark > 0.0 && config_.low_watermark <= 1.0,
+        "low_watermark must be in (0, 1]");
+  check(config_.min_delay <= config_.max_delay, "min_delay > max_delay");
+  check(config_.min_batch >= 1 && config_.min_batch <= config_.max_batch,
+        "min_batch must be in [1, max_batch]");
+  check(config_.occupancy_low < config_.occupancy_high,
+        "occupancy watermarks must be ordered");
+  check(config_.tune_every >= 1, "tune_every must be >= 1");
+  // Start inside the tuner's own bounds so the first decision is a step,
+  // not a jump.
+  policy_.max_delay =
+      std::clamp(policy_.max_delay, config_.min_delay, config_.max_delay);
+  policy_.max_batch =
+      std::clamp(policy_.max_batch, config_.min_batch, config_.max_batch);
+}
+
+bool SloAutotuner::update(TuneWindow& window) {
+  if (window.completed == 0 || window.latencies_us.empty()) {
+    window.clear();
+    return false;
+  }
+  const double p99 = p99_of(window.latencies_us);
+  const double occupancy = static_cast<double>(window.completed) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               window.batches, 1));
+  window.clear();
+
+  const double target = static_cast<double>(target_.count());
+  BatchPolicy next = policy_;
+
+  // AIMD on max_delay.
+  if (p99 > target) {
+    next.max_delay = std::max(
+        config_.min_delay,
+        std::chrono::microseconds(static_cast<std::int64_t>(
+            static_cast<double>(policy_.max_delay.count()) *
+            config_.delay_backoff)));
+  } else if (p99 < config_.low_watermark * target) {
+    next.max_delay =
+        std::min(config_.max_delay, policy_.max_delay + config_.delay_step);
+  }
+
+  // Occupancy-driven max_batch.  Growing is gated on SLO headroom: a
+  // bigger batch always adds latency, so only probe upward while p99 is
+  // comfortably under target.
+  const double cur_batch = static_cast<double>(policy_.max_batch);
+  if (occupancy >= config_.occupancy_high * cur_batch &&
+      p99 < config_.low_watermark * target) {
+    next.max_batch = std::min(config_.max_batch, policy_.max_batch * 2);
+  } else if (occupancy <= config_.occupancy_low * cur_batch) {
+    next.max_batch = std::clamp(static_cast<int>(std::ceil(occupancy)) + 1,
+                                config_.min_batch, config_.max_batch);
+  }
+
+  if (next.max_batch == policy_.max_batch &&
+      next.max_delay == policy_.max_delay) {
+    return false;
+  }
+  policy_ = next;
+  ++updates_;
+  return true;
+}
+
+}  // namespace nitho::serve

@@ -1,0 +1,100 @@
+#pragma once
+// Latency-SLO autotuner for the serving layer (DESIGN.md §9.3).
+//
+// The micro-batcher has two knobs, and their best values move with the
+// load: max_delay trades trickle-load latency for coalescing opportunity,
+// max_batch bounds how much latency a size flush may accumulate.  PR 3
+// fixed both at construction; this tuner adjusts them online, per shard,
+// from the shard's own observed latency window:
+//
+//   * AIMD on max_delay — multiplicative decrease when the window's p99
+//     overshoots the SLO target (back off hard: overload compounds),
+//     additive increase when p99 sits below the low watermark (probe
+//     gently for more coalescing).  The classic stable control rule.
+//   * Occupancy-driven max_batch — when batches routinely fill, grow
+//     max_batch (more amortization per sweep) but only while the SLO has
+//     headroom; when occupancy collapses, shrink max_batch toward the
+//     observed occupancy so size flushes fire before the delay deadline.
+//
+// The tuner itself is deliberately single-threaded decision logic: one
+// instance lives inside each shard worker, consumes the worker's local
+// TuneWindow, and its output is applied to the worker's own MicroBatcher
+// via set_policy (hot-swapped between batches, like kernel snapshots —
+// accepted requests are never touched, so results stay bit-identical).
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/batcher.hpp"
+
+namespace nitho::serve {
+
+/// Knobs of the AIMD / occupancy controller.  The defaults are sized for
+/// micro-batched aerial sweeps (tens of microseconds per request).
+struct AutotuneConfig {
+  /// p99 below low_watermark * target_p99 counts as SLO headroom: the
+  /// additive-increase side of AIMD, and the guard on growing max_batch.
+  double low_watermark = 0.6;
+  /// Additive increase applied to max_delay per decision with headroom.
+  std::chrono::microseconds delay_step{50};
+  /// Multiplicative decrease factor applied to max_delay on overshoot.
+  double delay_backoff = 0.5;
+  std::chrono::microseconds min_delay{20};
+  std::chrono::microseconds max_delay{5000};
+  int min_batch = 1;
+  int max_batch = 128;
+  /// Mean occupancy >= occupancy_high * max_batch: batches are filling,
+  /// double max_batch (if the SLO has headroom).
+  double occupancy_high = 0.85;
+  /// Mean occupancy <= occupancy_low * max_batch: size flushes never fire,
+  /// shrink max_batch to just above the observed occupancy.
+  double occupancy_low = 0.35;
+  /// Completed requests per tuning decision (the window length).
+  std::uint64_t tune_every = 64;
+};
+
+/// One shard worker's observation window since its last tuning decision.
+/// Worker-local (never locked): execute_batch records into it, the tuner
+/// consumes and clears it.
+struct TuneWindow {
+  std::vector<double> latencies_us;  ///< submit-to-resolve, accepted reqs
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+
+  void record_batch(const std::vector<double>& batch_latencies_us);
+  void clear();
+};
+
+class SloAutotuner {
+ public:
+  /// Starts from `initial` (the server's configured BatchPolicy), so an
+  /// autotuned shard behaves exactly like a static one until the first
+  /// decision.
+  SloAutotuner(std::chrono::microseconds target_p99, AutotuneConfig config,
+               BatchPolicy initial);
+
+  const BatchPolicy& policy() const { return policy_; }
+  const AutotuneConfig& config() const { return config_; }
+  std::chrono::microseconds target_p99() const { return target_; }
+  /// Decisions that changed the policy (exported via ShardStats).
+  std::uint64_t updates() const { return updates_; }
+
+  /// True when the window holds enough completions for a decision.
+  bool ready(const TuneWindow& window) const {
+    return window.completed >= config_.tune_every;
+  }
+
+  /// Consumes the window (always cleared) and returns true iff the policy
+  /// changed.  An empty window is a no-op.
+  bool update(TuneWindow& window);
+
+ private:
+  std::chrono::microseconds target_;
+  AutotuneConfig config_;
+  BatchPolicy policy_;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace nitho::serve

@@ -17,9 +17,26 @@ Batch MicroBatcher::take_bucket(std::size_t i) {
   return batch;
 }
 
+void MicroBatcher::set_policy(BatchPolicy policy) {
+  check(policy.max_batch >= 1, "max_batch must be >= 1");
+  check(policy.max_delay.count() >= 0, "max_delay must be >= 0");
+  policy_ = policy;
+}
+
+std::vector<ServeRequest> MicroBatcher::take_shed() {
+  return std::exchange(shed_, {});
+}
+
 std::optional<Batch> MicroBatcher::add(
     ServeRequest req, std::chrono::steady_clock::time_point now) {
   check(req.litho != nullptr, "request without a kernel snapshot");
+  if (req.deadline < now) {
+    // Expired while queued: set the request aside for the owner to
+    // account and fail (see the header contract) instead of spending a
+    // batch slot on a result the client has given up on.
+    shed_.push_back(std::move(req));
+    return std::nullopt;
+  }
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     Batch& b = buckets_[i].batch;
     if (b.litho.get() == req.litho.get() && b.out_px == req.out_px) {

@@ -47,8 +47,29 @@ class MicroBatcher {
 
   /// Files the request into its (kernel-set, out_px) bucket.  Returns the
   /// bucket as a ready batch iff this request filled it to max_batch.
+  ///
+  /// Admission control (DESIGN.md §9.1): a request whose deadline has
+  /// already passed at `now` is shed instead of filed — it is set aside
+  /// for the caller to collect via take_shed(), account, and resolve with
+  /// DeadlineExceeded (never silently).  The batcher does not touch the
+  /// promise itself so the owner can count a shed *before* the client can
+  /// observe its future resolve, the same account-then-resolve order the
+  /// server keeps for served batches.  Requests with the default
+  /// kNoDeadline are never shed.
   std::optional<Batch> add(ServeRequest req,
                            std::chrono::steady_clock::time_point now);
+
+  /// Replaces the flush policy (the autotuner's hot-swap point).  Applies
+  /// to future size checks and to deadlines of buckets opened from now on;
+  /// an existing bucket keeps the flush deadline its oldest request
+  /// established — tightening max_delay never extends a wait, and a bucket
+  /// larger than a lowered max_batch flushes on its next add or deadline.
+  void set_policy(BatchPolicy policy);
+  const BatchPolicy& policy() const { return policy_; }
+
+  /// Requests shed by add() since the last call, pending resolution (the
+  /// shard worker accounts them, then fails their futures).
+  std::vector<ServeRequest> take_shed();
 
   /// Earliest deadline across pending buckets; nullopt when empty.
   std::optional<std::chrono::steady_clock::time_point> next_deadline() const;
@@ -77,6 +98,7 @@ class MicroBatcher {
   /// times at most two kernel snapshots mid-swap), so a flat vector beats
   /// a hash map here.
   std::vector<Bucket> buckets_;
+  std::vector<ServeRequest> shed_;  ///< expired on add, awaiting take_shed()
 };
 
 }  // namespace nitho::serve

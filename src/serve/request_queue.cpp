@@ -25,10 +25,13 @@ bool RequestQueue::push(ServeRequest& req) {
   return push_locked(lk, req);
 }
 
-bool RequestQueue::try_push(ServeRequest& req) {
+RequestQueue::PushResult RequestQueue::try_push(ServeRequest& req) {
   std::unique_lock<std::mutex> lk(mu_);
-  if (items_.size() >= capacity_) return false;
-  return push_locked(lk, req);
+  // Closed wins over full: both can hold at once, and the caller must see
+  // the terminal condition rather than retrying against a stopped server.
+  if (closed_) return PushResult::kClosed;
+  if (items_.size() >= capacity_) return PushResult::kFull;
+  return push_locked(lk, req) ? PushResult::kOk : PushResult::kClosed;
 }
 
 RequestQueue::PopResult RequestQueue::pop(ServeRequest& out) {

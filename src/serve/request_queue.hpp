@@ -23,6 +23,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 
 #include "math/grid.hpp"
 #include "nitho/fast_litho.hpp"
@@ -32,6 +33,21 @@ namespace nitho::serve {
 /// What the client asked for: raw aerial intensity or the thresholded
 /// resist pattern (binarize(aerial, snapshot->resist_threshold())).
 enum class RequestKind { kAerial, kResist };
+
+/// The error a shed request's future resolves with (DESIGN.md §9.1): the
+/// server decided the request could not meet its deadline — at submit
+/// (estimated wait already past the deadline) or on dequeue (the deadline
+/// expired while the request sat in the queue).  A shed future always
+/// resolves with this exception; sheds are never silent.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sentinel deadline: the request is never shed (PR 3 behavior, and the
+/// default whenever no SloPolicy is installed).
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
 
 /// One in-flight simulation request.  The kernel snapshot is captured at
 /// submit time, so a request is always served by the kernels that were
@@ -44,11 +60,18 @@ struct ServeRequest {
   std::shared_ptr<const FastLitho> litho;
   std::promise<Grid<double>> result;
   std::chrono::steady_clock::time_point enqueued_at{};
+  /// Latest time at which the request may still be dequeued into a batch;
+  /// kNoDeadline disables shedding for this request (DESIGN.md §9.1).
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
 };
 
 class RequestQueue {
  public:
   enum class PopResult { kItem, kTimeout, kClosed };
+  /// try_push outcome: a full queue is retryable backpressure, a closed
+  /// queue is terminal — callers must not treat them alike (a shed-and-
+  /// retry loop against a stopped server would spin forever).
+  enum class PushResult { kOk, kFull, kClosed };
 
   explicit RequestQueue(std::size_t capacity);
 
@@ -56,8 +79,8 @@ class RequestQueue {
   /// req left intact — iff the queue was closed before the push succeeded.
   bool push(ServeRequest& req);
 
-  /// Non-blocking push; false (req intact) when full or closed.
-  bool try_push(ServeRequest& req);
+  /// Non-blocking push; kFull / kClosed leave req intact.
+  PushResult try_push(ServeRequest& req);
 
   /// Blocks until an item arrives or the queue is closed *and* drained.
   PopResult pop(ServeRequest& out);

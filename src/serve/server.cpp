@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.hpp"
@@ -10,6 +12,13 @@
 namespace nitho::serve {
 
 using Clock = std::chrono::steady_clock;
+
+std::string latency_str(double us, std::uint64_t samples) {
+  if (samples == 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f us", us);
+  return buf;
+}
 
 /// One pinned worker: queue in front, batcher inside, private FastLitho.
 struct LithoServer::Shard {
@@ -22,6 +31,13 @@ struct LithoServer::Shard {
   mutable std::mutex snap_mu;
   std::shared_ptr<const FastLitho> snapshot;
 
+  /// Current SLO policy (null = admission control off); replaced wholesale
+  /// by swap_slo, exactly like the kernel snapshot.  The submit path reads
+  /// it per request; the worker re-reads it per dequeue and rebuilds its
+  /// autotuner when the pointer changes.
+  mutable std::mutex slo_mu;
+  std::shared_ptr<const SloPolicy> slo;
+
   /// Counters + a sliding latency window (ring buffer, so a long-lived
   /// server keeps O(1) stats memory).  submitted is atomic — it sits on
   /// the client-facing submit path, which must not contend on stats_mu
@@ -30,13 +46,34 @@ struct LithoServer::Shard {
   std::atomic<std::uint64_t> submitted{0};
   mutable std::mutex stats_mu;
   std::uint64_t completed = 0;
+  std::uint64_t completed_ok = 0;  ///< resolved with a value (goodput)
   std::uint64_t batches = 0;
   std::vector<double> latencies_us;
   std::size_t latency_next = 0;
 
+  /// Admission-control accounting.  shed_at_submit sits on client threads,
+  /// shed_in_queue on the worker; both are read by stats readers.
+  std::atomic<std::uint64_t> shed_at_submit{0};
+  std::atomic<std::uint64_t> shed_in_queue{0};
+  /// EWMA of per-request service time (µs), written by the worker after
+  /// each batch, read by the submit path's wait estimate.  0 until the
+  /// first batch completes (the estimate then admits everything and the
+  /// dequeue-time check backstops it).
+  std::atomic<double> est_service_us{0.0};
+  /// The worker's current flush policy + tuning decisions, published for
+  /// stats readers.
+  std::atomic<int> cur_max_batch{0};
+  std::atomic<std::int64_t> cur_max_delay_us{0};
+  std::atomic<std::uint64_t> tune_updates{0};
+  Clock::time_point started_at{};
+
   std::shared_ptr<const FastLitho> current_snapshot() const {
     std::lock_guard<std::mutex> lk(snap_mu);
     return snapshot;
+  }
+  std::shared_ptr<const SloPolicy> current_slo() const {
+    std::lock_guard<std::mutex> lk(slo_mu);
+    return slo;
   }
 };
 
@@ -45,6 +82,9 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
   check(options_.shards >= 1, "LithoServer needs at least one shard");
   const auto kernels = litho.kernels_shared();
   const double threshold = litho.resist_threshold();
+  const std::shared_ptr<const SloPolicy> slo =
+      options_.slo ? std::make_shared<const SloPolicy>(*options_.slo)
+                   : nullptr;
   for (int s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity);
     // Shard 0 adopts the caller's instance (keeping any engines it has
@@ -53,6 +93,12 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
         s == 0 ? std::make_shared<const FastLitho>(std::move(litho))
                : std::make_shared<const FastLitho>(
                      FastLitho(kernels, threshold));
+    shard->slo = slo;
+    shard->cur_max_batch.store(options_.batch.max_batch,
+                               std::memory_order_relaxed);
+    shard->cur_max_delay_us.store(options_.batch.max_delay.count(),
+                                  std::memory_order_relaxed);
+    shard->started_at = Clock::now();
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -81,8 +127,9 @@ LithoServer::Shard& LithoServer::route(int out_px) {
   return *shards_[static_cast<std::size_t>(s)];
 }
 
-ServeRequest LithoServer::make_request(Shard& shard, Grid<double>& mask,
-                                       int out_px, RequestKind kind) const {
+ServeRequest LithoServer::make_request(
+    Shard& shard, Grid<double>& mask, int out_px, RequestKind kind,
+    std::chrono::steady_clock::time_point deadline) const {
   // Validate before touching the caller's mask, so a rejected submission
   // (empty mask, out_px under the current snapshot's kernel support —
   // reachable when a hot-swap races a submit) leaves it intact.
@@ -96,14 +143,48 @@ ServeRequest LithoServer::make_request(Shard& shard, Grid<double>& mask,
   req.out_px = out_px;
   req.litho = std::move(snapshot);
   req.enqueued_at = Clock::now();
+  req.deadline = deadline;
+  if (req.deadline == kNoDeadline) {
+    // No explicit deadline: the shard's SLO policy supplies the default
+    // (and without a policy the request keeps kNoDeadline — PR 3 behavior).
+    if (const auto slo = shard.current_slo()) {
+      req.deadline = req.enqueued_at + slo->max_queue_wait;
+    }
+  }
   return req;
 }
 
-std::future<Grid<double>> LithoServer::submit(Grid<double> mask, int out_px,
-                                              RequestKind kind) {
+bool LithoServer::shed_at_submit(Shard& shard, ServeRequest& req) {
+  if (req.deadline == kNoDeadline) return false;
+  // Estimated wait: everything already queued, served at the worker's
+  // recent per-request pace.  Deliberately rough — it only has to reject
+  // requests that are clearly doomed; the dequeue-time check in
+  // MicroBatcher::add catches the rest.
+  const double est_us = shard.est_service_us.load(std::memory_order_relaxed) *
+                        static_cast<double>(shard.queue.depth());
+  const auto eta =
+      req.enqueued_at + std::chrono::microseconds(std::llround(est_us));
+  if (eta <= req.deadline) return false;
+  // Built once: overload means this fires per rejected request, and an
+  // exception_ptr construction costs a throw/catch on this toolchain.
+  static const std::exception_ptr kShedAtSubmit =
+      std::make_exception_ptr(DeadlineExceeded(
+          "litho request shed at submit: estimated queue wait exceeds "
+          "deadline"));
+  req.result.set_exception(kShedAtSubmit);
+  shard.shed_at_submit.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::future<Grid<double>> LithoServer::submit(
+    Grid<double> mask, int out_px, RequestKind kind,
+    std::chrono::steady_clock::time_point deadline) {
   Shard& shard = route(out_px);
-  ServeRequest req = make_request(shard, mask, out_px, kind);
+  ServeRequest req = make_request(shard, mask, out_px, kind, deadline);
   std::future<Grid<double>> fut = req.result.get_future();
+  // A shed is an answer (DeadlineExceeded), not backpressure: the future
+  // is already resolved and the request never occupies a queue slot.
+  if (shed_at_submit(shard, req)) return fut;
   // Count before push so a stats reader can never observe a completed
   // request that is not yet in submitted; roll back if the queue refuses.
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -115,20 +196,28 @@ std::future<Grid<double>> LithoServer::submit(Grid<double> mask, int out_px,
 }
 
 std::optional<std::future<Grid<double>>> LithoServer::try_submit(
-    Grid<double>& mask, int out_px, RequestKind kind) {
+    Grid<double>& mask, int out_px, RequestKind kind,
+    std::chrono::steady_clock::time_point deadline) {
   Shard& shard = route(out_px);
-  ServeRequest req = make_request(shard, mask, out_px, kind);
+  ServeRequest req = make_request(shard, mask, out_px, kind, deadline);
   std::future<Grid<double>> fut = req.result.get_future();
+  if (shed_at_submit(shard, req)) return fut;
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
-  if (!shard.queue.try_push(req)) {
-    shard.submitted.fetch_sub(1, std::memory_order_relaxed);
-    mask = std::move(req.mask);  // hand the mask back on rejection
-    // A full queue is the caller's load-shedding signal; a stopped server
-    // is not retryable and must not masquerade as backpressure.
-    check(!shard.queue.closed(), "submit on a stopped server");
-    return std::nullopt;
+  switch (shard.queue.try_push(req)) {
+    case RequestQueue::PushResult::kOk:
+      return fut;
+    case RequestQueue::PushResult::kFull:
+      shard.submitted.fetch_sub(1, std::memory_order_relaxed);
+      mask = std::move(req.mask);  // hand the mask back on rejection
+      return std::nullopt;
+    case RequestQueue::PushResult::kClosed:
+      break;
   }
-  return fut;
+  shard.submitted.fetch_sub(1, std::memory_order_relaxed);
+  mask = std::move(req.mask);
+  // A full queue is the caller's load-shedding signal; a stopped server
+  // is not retryable and must not masquerade as backpressure.
+  check_fail("submit on a stopped server", std::source_location::current());
 }
 
 void LithoServer::swap_kernels(FastLitho fresh) {
@@ -141,9 +230,23 @@ void LithoServer::swap_kernels(FastLitho fresh) {
   }
 }
 
+void LithoServer::swap_slo(std::optional<SloPolicy> slo) {
+  const std::shared_ptr<const SloPolicy> snap =
+      slo ? std::make_shared<const SloPolicy>(*slo) : nullptr;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->slo_mu);
+    shard->slo = snap;
+  }
+}
+
 std::shared_ptr<const FastLitho> LithoServer::snapshot(int shard) const {
   check(shard >= 0 && shard < shards(), "snapshot: shard out of range");
   return shards_[static_cast<std::size_t>(shard)]->current_snapshot();
+}
+
+std::shared_ptr<const SloPolicy> LithoServer::slo(int shard) const {
+  check(shard >= 0 && shard < shards(), "slo: shard out of range");
+  return shards_[static_cast<std::size_t>(shard)]->current_slo();
 }
 
 void LithoServer::stop() {
@@ -158,32 +261,97 @@ void LithoServer::stop() {
 
 void LithoServer::shard_loop(Shard& shard) {
   MicroBatcher batcher(options_.batch);
+  std::optional<SloAutotuner> tuner;
+  TuneWindow window;
+  std::shared_ptr<const SloPolicy> active;
+
+  const auto publish_policy = [&] {
+    shard.cur_max_batch.store(batcher.policy().max_batch,
+                              std::memory_order_relaxed);
+    shard.cur_max_delay_us.store(batcher.policy().max_delay.count(),
+                                 std::memory_order_relaxed);
+  };
+  // (Re)build the tuning state for a freshly observed SLO policy.  The
+  // batcher always restarts from the configured BatchPolicy so swapping a
+  // policy in or out is deterministic, not a function of tuning history.
+  const auto rebuild_slo = [&](std::shared_ptr<const SloPolicy> latest) {
+    active = std::move(latest);
+    tuner.reset();
+    window.clear();
+    batcher.set_policy(options_.batch);
+    if (active && active->autotune) {
+      tuner.emplace(active->target_p99, active->tuner, options_.batch);
+      batcher.set_policy(tuner->policy());  // clamped into tuner bounds
+    }
+    publish_policy();
+  };
+  const auto maybe_tune = [&] {
+    if (!tuner || !tuner->ready(window)) return;
+    if (tuner->update(window)) {
+      batcher.set_policy(tuner->policy());
+      shard.tune_updates.fetch_add(1, std::memory_order_relaxed);
+      publish_policy();
+    }
+  };
+  // Queue sheds count as completed (a resolved future must be visible in
+  // the stats), but never as goodput.  Account-then-resolve, like served
+  // batches: completed (mutex) before shed_in_queue (atomic) before the
+  // futures fail, so a client that has seen DeadlineExceeded also sees it
+  // counted, and readers never see shed_in_queue > completed (their
+  // occupancy subtraction must not underflow).
+  const auto account_queue_sheds = [&] {
+    std::vector<ServeRequest> shed = batcher.take_shed();
+    if (shed.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(shard.stats_mu);
+      shard.completed += shed.size();
+    }
+    shard.shed_in_queue.fetch_add(shed.size(), std::memory_order_release);
+    // Built once: under overload this fires per expired request, and an
+    // exception_ptr construction costs a throw/catch on this toolchain.
+    static const std::exception_ptr kShedInQueue =
+        std::make_exception_ptr(DeadlineExceeded(
+            "litho request shed: deadline expired while queued"));
+    for (ServeRequest& r : shed) r.result.set_exception(kShedInQueue);
+  };
+
+  rebuild_slo(shard.current_slo());
   for (;;) {
+    if (auto latest = shard.current_slo(); latest != active) {
+      rebuild_slo(std::move(latest));
+    }
     ServeRequest req;
     const auto deadline = batcher.next_deadline();
     const RequestQueue::PopResult popped =
         deadline ? shard.queue.pop_until(req, *deadline)
                  : shard.queue.pop(req);
+    TuneWindow* const w = tuner ? &window : nullptr;
     if (popped == RequestQueue::PopResult::kItem) {
       if (auto full = batcher.add(std::move(req), Clock::now())) {
-        execute_batch(shard, std::move(*full));
+        execute_batch(shard, std::move(*full), w);
       }
+      account_queue_sheds();
     }
     // Deadline-triggered partial batches (also sweeps buckets that expired
     // while a size-triggered flush was executing).
     while (auto expired = batcher.poll(Clock::now())) {
-      execute_batch(shard, std::move(*expired));
+      execute_batch(shard, std::move(*expired), w);
     }
+    maybe_tune();
     if (popped == RequestQueue::PopResult::kClosed) {
       // Queue drained and closed: flush what the batcher still holds so
       // every accepted future resolves, then retire the worker.
-      for (Batch& b : batcher.drain()) execute_batch(shard, std::move(b));
+      for (Batch& b : batcher.drain()) {
+        execute_batch(shard, std::move(b), nullptr);
+      }
       return;
     }
   }
 }
 
-void LithoServer::execute_batch(Shard& shard, Batch batch) {
+void LithoServer::execute_batch(Shard& shard, Batch batch,
+                                TuneWindow* window) {
+  const auto t0 = Clock::now();
   std::vector<const Grid<double>*> masks;
   masks.reserve(batch.requests.size());
   for (const ServeRequest& r : batch.requests) masks.push_back(&r.mask);
@@ -207,9 +375,23 @@ void LithoServer::execute_batch(Shard& shard, Batch batch) {
         std::chrono::duration<double, std::micro>(now - r.enqueued_at)
             .count());
   }
+  // Feed the submit-path wait estimate: per-request share of this batch's
+  // wall time, EWMA-smoothed (worker-written, client-read).
+  {
+    const double per_req_us =
+        std::chrono::duration<double, std::micro>(now - t0).count() /
+        static_cast<double>(batch.requests.size());
+    const double prev =
+        shard.est_service_us.load(std::memory_order_relaxed);
+    shard.est_service_us.store(
+        prev == 0.0 ? per_req_us : 0.8 * prev + 0.2 * per_req_us,
+        std::memory_order_relaxed);
+  }
+  if (window != nullptr) window->record_batch(batch_latencies_us);
   {
     std::lock_guard<std::mutex> lk(shard.stats_mu);
     shard.completed += batch.requests.size();
+    if (!err) shard.completed_ok += batch.requests.size();
     ++shard.batches;
     for (const double us : batch_latencies_us) {
       if (shard.latencies_us.size() < Shard::kLatencyWindow) {
@@ -235,11 +417,16 @@ void LithoServer::execute_batch(Shard& shard, Batch batch) {
 namespace {
 
 void fill_percentiles(std::vector<double> latencies, ShardStats& st) {
-  if (latencies.empty()) return;
+  st.latency_samples = latencies.size();
+  if (latencies.empty()) return;  // keep the NaN sentinels: no data != 0 µs
   std::sort(latencies.begin(), latencies.end());
   const std::size_t n = latencies.size();
   st.p50_latency_us = latencies[(n - 1) / 2];
   st.p99_latency_us = latencies[(99 * (n - 1)) / 100];
+}
+
+double uptime_seconds(Clock::time_point started_at) {
+  return std::chrono::duration<double>(Clock::now() - started_at).count();
 }
 
 }  // namespace
@@ -249,9 +436,16 @@ ShardStats LithoServer::shard_stats(int shard) const {
   const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   ShardStats st;
   std::vector<double> latencies;
+  std::uint64_t completed_ok = 0;
+  // Read shed_in_queue before completed: the worker bumps completed first,
+  // so this order keeps shed_in_queue <= completed for readers (the
+  // occupancy subtraction below must not underflow).
+  st.shed.shed_in_queue = sh.shed_in_queue.load(std::memory_order_acquire);
+  st.shed.shed_at_submit = sh.shed_at_submit.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lk(sh.stats_mu);
     st.completed = sh.completed;
+    completed_ok = sh.completed_ok;
     st.batches = sh.batches;
     latencies = sh.latencies_us;
   }
@@ -260,10 +454,21 @@ ShardStats LithoServer::shard_stats(int shard) const {
   // readers.
   st.submitted = sh.submitted.load(std::memory_order_acquire);
   st.queue_depth = sh.queue.depth();
+  st.shed.accepted = st.submitted;
+  // Occupancy counts only batch-served requests: queue sheds resolve
+  // without a batch.
+  const std::uint64_t batch_served = st.completed - st.shed.shed_in_queue;
   st.mean_batch_occupancy =
-      st.batches == 0
-          ? 0.0
-          : static_cast<double>(st.completed) / static_cast<double>(st.batches);
+      st.batches == 0 ? 0.0
+                      : static_cast<double>(batch_served) /
+                            static_cast<double>(st.batches);
+  const double up = uptime_seconds(sh.started_at);
+  st.shed.goodput_rps = up > 0.0 ? static_cast<double>(completed_ok) / up : 0.0;
+  st.max_batch = sh.cur_max_batch.load(std::memory_order_relaxed);
+  st.max_delay_us = static_cast<double>(
+      sh.cur_max_delay_us.load(std::memory_order_relaxed));
+  st.autotune_updates = sh.tune_updates.load(std::memory_order_relaxed);
+  st.est_service_us = sh.est_service_us.load(std::memory_order_relaxed);
   fill_percentiles(std::move(latencies), st);
   return st;
 }
@@ -271,25 +476,55 @@ ShardStats LithoServer::shard_stats(int shard) const {
 ShardStats LithoServer::stats() const {
   ShardStats total;
   std::vector<double> latencies;
+  std::uint64_t completed_ok = 0;
+  double earliest_start = 0.0;
   for (int s = 0; s < shards(); ++s) {
     const Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    // Shed before completed, as in shard_stats: keeps the per-shard
+    // shed_in_queue <= completed ordering for the occupancy subtraction.
+    total.shed.shed_in_queue +=
+        sh.shed_in_queue.load(std::memory_order_acquire);
+    total.shed.shed_at_submit +=
+        sh.shed_at_submit.load(std::memory_order_acquire);
     {
       std::lock_guard<std::mutex> lk(sh.stats_mu);
       total.completed += sh.completed;
+      completed_ok += sh.completed_ok;
       total.batches += sh.batches;
       latencies.insert(latencies.end(), sh.latencies_us.begin(),
                        sh.latencies_us.end());
     }
     // After completed, as in shard_stats: keeps completed <= submitted.
     total.submitted += sh.submitted.load(std::memory_order_acquire);
+    earliest_start = std::max(earliest_start, uptime_seconds(sh.started_at));
+    // Policy/estimate fields have no single aggregate value; report the
+    // widest currently in force so dashboards see how far tuning has
+    // reached.
+    total.est_service_us =
+        std::max(total.est_service_us,
+                 sh.est_service_us.load(std::memory_order_relaxed));
+    total.max_batch = std::max(
+        total.max_batch, sh.cur_max_batch.load(std::memory_order_relaxed));
+    total.max_delay_us =
+        std::max(total.max_delay_us,
+                 static_cast<double>(
+                     sh.cur_max_delay_us.load(std::memory_order_relaxed)));
+    total.autotune_updates +=
+        sh.tune_updates.load(std::memory_order_relaxed);
   }
   for (int s = 0; s < shards(); ++s) {
     total.queue_depth += shards_[static_cast<std::size_t>(s)]->queue.depth();
   }
+  const std::uint64_t batch_served =
+      total.completed - total.shed.shed_in_queue;
   total.mean_batch_occupancy =
       total.batches == 0 ? 0.0
-                         : static_cast<double>(total.completed) /
+                         : static_cast<double>(batch_served) /
                                static_cast<double>(total.batches);
+  total.shed.accepted = total.submitted;
+  total.shed.goodput_rps =
+      earliest_start > 0.0 ? static_cast<double>(completed_ok) / earliest_start
+                           : 0.0;
   fill_percentiles(std::move(latencies), total);
   return total;
 }

@@ -28,19 +28,32 @@
 //   * stop() closes the queues, drains every accepted request and joins
 //     the workers: all futures resolve (shutdown never breaks a promise).
 //     The destructor calls stop().
+//   * Admission control + latency SLO (DESIGN.md §9, off by default):
+//     with a SloPolicy installed, every request carries a deadline and the
+//     server sheds — at submit, when the shard's estimated wait already
+//     exceeds it, or on dequeue, when it expired in the queue — resolving
+//     shed futures with DeadlineExceeded instead of letting p99 collapse
+//     under overload.  An optional per-shard autotuner (serve/autotune.hpp)
+//     steers (max_batch, max_delay) toward the SLO target online.  The
+//     policy hot-swaps like kernel snapshots (swap_slo).
 //
 // Per-shard stats (queue depth, batch count/occupancy, p50/p99 latency
-// over a sliding window) are exported for load shedding and dashboards.
+// over a sliding window, shed/goodput accounting) are exported for load
+// shedding and dashboards.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "serve/autotune.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request_queue.hpp"
 
@@ -55,25 +68,79 @@ enum class RouteMode {
   kRoundRobin,
 };
 
+/// Latency SLO for admission control (DESIGN.md §9).  Installing one (via
+/// ServeOptions::slo or swap_slo) turns deadline shedding on; without it
+/// the server behaves exactly as before (accepted work queues unboundedly
+/// long rather than shedding, and results are bit-preserved either way).
+struct SloPolicy {
+  /// The latency objective the autotuner steers toward (submit→resolve).
+  std::chrono::microseconds target_p99{10000};
+  /// Default per-request deadline: a submit without an explicit deadline
+  /// gets submit_time + max_queue_wait.  Bounds how long a request may sit
+  /// in the shard queue before it is shed instead of served late.
+  std::chrono::microseconds max_queue_wait{5000};
+  /// Enables the per-shard (max_batch, max_delay) autotuner.
+  bool autotune = false;
+  AutotuneConfig tuner;
+};
+
 struct ServeOptions {
   int shards = 1;
   /// Per-shard queue bound — the backpressure knob.
   std::size_t queue_capacity = 64;
   BatchPolicy batch;
   RouteMode route = RouteMode::kOutPxAffinity;
+  /// Admission control + SLO autotune; nullopt (default) = PR 3 behavior.
+  std::optional<SloPolicy> slo;
+};
+
+/// Admission-control accounting (all zero while no SloPolicy is active).
+struct ShedStats {
+  /// Admitted into a shard queue — mirrors ShardStats::submitted so the
+  /// admission picture (accepted vs shed) reads from one struct.
+  std::uint64_t accepted = 0;
+  std::uint64_t shed_at_submit = 0;  ///< rejected by the wait estimate
+  std::uint64_t shed_in_queue = 0;   ///< expired while queued (on dequeue)
+  /// Value-resolved completions per second of server uptime — the rate the
+  /// SLO gate compares against measured capacity (bench_serve overload).
+  double goodput_rps = 0.0;
 };
 
 struct ShardStats {
   std::uint64_t submitted = 0;   ///< requests accepted into the queue
-  std::uint64_t completed = 0;   ///< futures resolved (value or error)
+  /// Accepted requests whose futures resolved (value, engine error, or
+  /// queue shed).  Submit-shed futures also resolve, but those requests
+  /// were never accepted and appear only in ShedStats::shed_at_submit.
+  std::uint64_t completed = 0;
   std::uint64_t batches = 0;     ///< engine sweeps executed
-  double mean_batch_occupancy = 0.0;  ///< completed / batches
+  /// (completed - shed.shed_in_queue) / batches: queue sheds resolve
+  /// without ever occupying a batch slot.
+  double mean_batch_occupancy = 0.0;
   std::size_t queue_depth = 0;   ///< instantaneous
   /// Submit-to-resolve latency percentiles over the last
-  /// kLatencyWindow completed requests, in microseconds.
-  double p50_latency_us = 0.0;
-  double p99_latency_us = 0.0;
+  /// kLatencyWindow completed requests, in microseconds.  NaN until the
+  /// first request completes — a fresh server has no latency, not a ~0 µs
+  /// one; printers should show "n/a" while latency_samples == 0.
+  double p50_latency_us = std::numeric_limits<double>::quiet_NaN();
+  double p99_latency_us = std::numeric_limits<double>::quiet_NaN();
+  /// Number of samples currently in the percentile window.
+  std::uint64_t latency_samples = 0;
+  /// EWMA of per-request service time (µs), the basis of the submit-path
+  /// wait estimate; 0 until the first batch completes.
+  double est_service_us = 0.0;
+  ShedStats shed;
+  /// The shard's current flush policy (moves under autotune) and how many
+  /// tuning decisions have changed it.
+  int max_batch = 0;
+  double max_delay_us = 0.0;
+  std::uint64_t autotune_updates = 0;
 };
+
+/// Renders a ShardStats latency percentile for humans: "123 us", or "n/a"
+/// while the window is empty (the NaN sentinel must not print as 0 µs).
+/// Shared by bench_serve and serve_demo so the sentinel handling cannot
+/// drift between printers.
+std::string latency_str(double us, std::uint64_t samples);
 
 class LithoServer {
  public:
@@ -86,20 +153,43 @@ class LithoServer {
   /// while the target shard's queue is full (backpressure); throws
   /// check_error if the server is stopped or the request is invalid
   /// against the current kernel snapshot (out_px < kernel_dim).
-  std::future<Grid<double>> submit(Grid<double> mask, int out_px,
-                                   RequestKind kind = RequestKind::kAerial);
+  ///
+  /// `deadline` bounds how long the request may wait in the shard queue.
+  /// kNoDeadline means: the shard's SloPolicy default (submit time +
+  /// max_queue_wait) when one is installed, otherwise no deadline at all.
+  /// A request the server decides cannot meet its deadline is shed — its
+  /// future resolves with DeadlineExceeded (the mask is consumed either
+  /// way; shedding is an answer, not backpressure).
+  std::future<Grid<double>> submit(
+      Grid<double> mask, int out_px, RequestKind kind = RequestKind::kAerial,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Non-blocking submit: nullopt (mask intact) when the shard queue is
   /// full — the caller's load-shedding signal.  A stopped server is not
   /// retryable, so it throws check_error like submit() instead of
-  /// masquerading as backpressure.
+  /// masquerading as backpressure.  Deadline semantics as in submit(): an
+  /// admission shed returns a DeadlineExceeded future, not nullopt.
   std::optional<std::future<Grid<double>>> try_submit(
-      Grid<double>& mask, int out_px, RequestKind kind = RequestKind::kAerial);
+      Grid<double>& mask, int out_px, RequestKind kind = RequestKind::kAerial,
+      std::chrono::steady_clock::time_point deadline = kNoDeadline);
 
   /// Publishes a new kernel snapshot (shape may differ from the old one).
   /// Requests submitted before the swap are still served by the old
   /// kernels; requests submitted after see the new ones.
   void swap_kernels(FastLitho fresh);
+
+  /// Publishes a new SLO policy (or removes it with nullopt) without
+  /// draining the server — the admission-control analogue of
+  /// swap_kernels.  Requests submitted after the swap get deadlines (and
+  /// shedding) under the new policy; queued requests keep the deadlines
+  /// they were admitted with.  Each shard worker picks the change up on
+  /// its next dequeue and rebuilds (or drops) its autotuner, starting
+  /// again from the configured BatchPolicy.
+  void swap_slo(std::optional<SloPolicy> slo);
+
+  /// The SLO policy a submit routed to `shard` would see now (null when
+  /// admission control is off).
+  std::shared_ptr<const SloPolicy> slo(int shard = 0) const;
 
   /// The kernel snapshot a submit routed to `shard` would capture now.
   std::shared_ptr<const FastLitho> snapshot(int shard = 0) const;
@@ -123,10 +213,16 @@ class LithoServer {
   Shard& route(int out_px);
   /// Validates against the shard's current snapshot and only then moves
   /// the mask into the returned request (a throw leaves `mask` intact).
+  /// Also stamps the request's deadline (explicit, or the SLO default).
   ServeRequest make_request(Shard& shard, Grid<double>& mask, int out_px,
-                            RequestKind kind) const;
+                            RequestKind kind,
+                            std::chrono::steady_clock::time_point deadline)
+      const;
+  /// Admission check (DESIGN.md §9.2): true when the request was shed at
+  /// submit — its future is already resolved with DeadlineExceeded.
+  bool shed_at_submit(Shard& shard, ServeRequest& req);
   void shard_loop(Shard& shard);
-  void execute_batch(Shard& shard, Batch batch);
+  void execute_batch(Shard& shard, Batch batch, TuneWindow* window);
 
   ServeOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

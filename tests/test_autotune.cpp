@@ -1,0 +1,203 @@
+// Tests for serve/autotune: the AIMD max_delay rule, the occupancy-driven
+// max_batch rule, clamping, window consumption and the deadband where the
+// policy holds still.  The tuner is pure single-threaded decision logic;
+// its wiring into the shard worker (hot-swap via MicroBatcher::set_policy,
+// stats export) is covered by tests/test_serve.cpp.  This suite also runs
+// under the `tsan` preset alongside the serving tests.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/autotune.hpp"
+
+namespace nitho {
+namespace {
+
+using serve::AutotuneConfig;
+using serve::BatchPolicy;
+using serve::SloAutotuner;
+using serve::TuneWindow;
+using std::chrono::microseconds;
+
+constexpr microseconds kTarget{10000};
+
+AutotuneConfig config() {
+  AutotuneConfig cfg;
+  cfg.low_watermark = 0.6;
+  cfg.delay_step = microseconds(50);
+  cfg.delay_backoff = 0.5;
+  cfg.min_delay = microseconds(20);
+  cfg.max_delay = microseconds(5000);
+  cfg.min_batch = 1;
+  cfg.max_batch = 64;
+  cfg.occupancy_high = 0.85;
+  cfg.occupancy_low = 0.35;
+  cfg.tune_every = 16;
+  return cfg;
+}
+
+BatchPolicy initial() {
+  return {.max_batch = 8, .max_delay = microseconds(300)};
+}
+
+/// A window whose p99 is `p99_us` (constant latencies) with the given
+/// completions spread over `batches` flushes.
+TuneWindow window_of(double p99_us, std::uint64_t completed,
+                     std::uint64_t batches) {
+  TuneWindow w;
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    w.record_batch(std::vector<double>(
+        static_cast<std::size_t>(completed / batches), p99_us));
+  }
+  return w;
+}
+
+TEST(SloAutotuner, BacksOffDelayMultiplicativelyOnOvershoot) {
+  SloAutotuner tuner(kTarget, config(), initial());
+  // p99 over target, occupancy in the neutral band (4 of 8): only the
+  // delay moves, halved.
+  TuneWindow w = window_of(15000.0, 32, 8);
+  EXPECT_TRUE(tuner.update(w));
+  EXPECT_EQ(tuner.policy().max_delay, microseconds(150));
+  EXPECT_EQ(tuner.policy().max_batch, 8);
+  EXPECT_EQ(tuner.updates(), 1u);
+  // Repeated overshoot clamps at min_delay, then stops reporting change.
+  for (int i = 0; i < 8; ++i) {
+    TuneWindow again = window_of(15000.0, 32, 8);
+    tuner.update(again);
+  }
+  EXPECT_EQ(tuner.policy().max_delay, config().min_delay);
+  TuneWindow floor = window_of(15000.0, 32, 8);
+  EXPECT_FALSE(tuner.update(floor));
+}
+
+TEST(SloAutotuner, ProbesDelayAdditivelyUnderTheWatermark) {
+  SloAutotuner tuner(kTarget, config(), initial());
+  // p99 well under the watermark (0.6 * 10 ms): +step per decision.
+  TuneWindow w = window_of(1000.0, 32, 8);
+  EXPECT_TRUE(tuner.update(w));
+  EXPECT_EQ(tuner.policy().max_delay, microseconds(350));
+  TuneWindow w2 = window_of(1000.0, 32, 8);
+  EXPECT_TRUE(tuner.update(w2));
+  EXPECT_EQ(tuner.policy().max_delay, microseconds(400));
+}
+
+TEST(SloAutotuner, DelayClampsAtConfiguredMax) {
+  AutotuneConfig cfg = config();
+  cfg.max_delay = microseconds(420);
+  SloAutotuner tuner(kTarget, cfg, initial());
+  for (int i = 0; i < 8; ++i) {
+    TuneWindow w = window_of(1000.0, 32, 8);
+    tuner.update(w);
+  }
+  EXPECT_EQ(tuner.policy().max_delay, microseconds(420));
+}
+
+TEST(SloAutotuner, HoldsStillInsideTheDeadband) {
+  // p99 between the watermark and the target, occupancy in the neutral
+  // band: a healthy steady state must not oscillate.
+  SloAutotuner tuner(kTarget, config(), initial());
+  TuneWindow w = window_of(8000.0, 32, 8);
+  EXPECT_FALSE(tuner.update(w));
+  EXPECT_EQ(tuner.policy().max_batch, initial().max_batch);
+  EXPECT_EQ(tuner.policy().max_delay, initial().max_delay);
+  EXPECT_EQ(tuner.updates(), 0u);
+}
+
+TEST(SloAutotuner, GrowsBatchOnFullOccupancyOnlyWithSloHeadroom) {
+  // Batches routinely full AND p99 under the watermark: double max_batch.
+  SloAutotuner tuner(kTarget, config(), initial());
+  TuneWindow w = window_of(1000.0, 32, 4);  // occupancy 8 of 8
+  EXPECT_TRUE(tuner.update(w));
+  EXPECT_EQ(tuner.policy().max_batch, 16);
+  // Full occupancy without headroom (p99 between watermark and target)
+  // must NOT grow the batch — growing always adds latency.
+  SloAutotuner cautious(kTarget, config(), initial());
+  TuneWindow w2 = window_of(8000.0, 32, 4);
+  EXPECT_FALSE(cautious.update(w2));
+  EXPECT_EQ(cautious.policy().max_batch, 8);
+  // Growth clamps at the configured max_batch.
+  AutotuneConfig cfg = config();
+  cfg.max_batch = 12;
+  SloAutotuner clamped(kTarget, cfg, initial());
+  TuneWindow w3 = window_of(1000.0, 32, 4);
+  EXPECT_TRUE(clamped.update(w3));
+  EXPECT_EQ(clamped.policy().max_batch, 12);
+}
+
+TEST(SloAutotuner, ShrinksBatchTowardObservedOccupancyWhenSizeFlushesStarve) {
+  // Occupancy far under max_batch: size flushes never fire, so requests
+  // always wait out max_delay.  Shrink max_batch to just above occupancy
+  // so size flushes can fire again.
+  AutotuneConfig cfg = config();
+  SloAutotuner tuner(kTarget, cfg,
+                     {.max_batch = 64, .max_delay = microseconds(300)});
+  TuneWindow w = window_of(8000.0, 8, 4);  // occupancy 2 of 64
+  EXPECT_TRUE(tuner.update(w));
+  EXPECT_EQ(tuner.policy().max_batch, 3);  // ceil(2) + 1
+  // Shrink respects min_batch.
+  cfg.min_batch = 6;
+  SloAutotuner floored(kTarget, cfg,
+                       {.max_batch = 64, .max_delay = microseconds(300)});
+  TuneWindow w2 = window_of(8000.0, 8, 4);
+  EXPECT_TRUE(floored.update(w2));
+  EXPECT_EQ(floored.policy().max_batch, 6);
+}
+
+TEST(SloAutotuner, UpdateConsumesTheWindow) {
+  SloAutotuner tuner(kTarget, config(), initial());
+  TuneWindow w = window_of(15000.0, 32, 8);
+  EXPECT_TRUE(tuner.ready(w));  // 32 completions >= tune_every (16)
+  tuner.update(w);
+  EXPECT_EQ(w.completed, 0u);
+  EXPECT_EQ(w.batches, 0u);
+  EXPECT_TRUE(w.latencies_us.empty());
+  EXPECT_FALSE(tuner.ready(w));
+  // An empty window is a no-op, not a crash or a spurious change.
+  EXPECT_FALSE(tuner.update(w));
+}
+
+TEST(SloAutotuner, ClampsInitialPolicyIntoItsBounds) {
+  AutotuneConfig cfg = config();
+  cfg.max_batch = 16;
+  cfg.max_delay = microseconds(1000);
+  SloAutotuner tuner(kTarget, cfg,
+                     {.max_batch = 128, .max_delay = microseconds(9000)});
+  EXPECT_EQ(tuner.policy().max_batch, 16);
+  EXPECT_EQ(tuner.policy().max_delay, microseconds(1000));
+}
+
+TEST(SloAutotuner, RejectsNonsenseConfiguration) {
+  EXPECT_THROW(SloAutotuner(microseconds(0), config(), initial()),
+               check_error);
+  AutotuneConfig bad = config();
+  bad.delay_backoff = 1.5;
+  EXPECT_THROW(SloAutotuner(kTarget, bad, initial()), check_error);
+  bad = config();
+  bad.min_delay = microseconds(9000);  // > max_delay
+  EXPECT_THROW(SloAutotuner(kTarget, bad, initial()), check_error);
+  bad = config();
+  bad.occupancy_low = 0.9;  // >= occupancy_high
+  EXPECT_THROW(SloAutotuner(kTarget, bad, initial()), check_error);
+}
+
+TEST(TuneWindow, RecordBatchAccumulates) {
+  TuneWindow w;
+  w.record_batch({100.0, 200.0});
+  w.record_batch({300.0});
+  EXPECT_EQ(w.completed, 3u);
+  EXPECT_EQ(w.batches, 2u);
+  ASSERT_EQ(w.latencies_us.size(), 3u);
+  EXPECT_EQ(w.latencies_us[2], 300.0);
+  w.clear();
+  EXPECT_EQ(w.completed, 0u);
+  EXPECT_EQ(w.batches, 0u);
+  EXPECT_TRUE(w.latencies_us.empty());
+}
+
+}  // namespace
+}  // namespace nitho

@@ -1,13 +1,23 @@
 // Tests for the image-to-image baselines: architecture sanity, parameter
-// ordering (TEMPO > DOINN > Nitho, Table I), and trainability.
+// ordering (TEMPO > DOINN > Nitho, Table I), trainability, and the
+// bit-identity pin of the GraphArena-backed trainer against per-step heap
+// graphs.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <numeric>
+
 #include "baselines/doinn.hpp"
 #include "baselines/tempo.hpp"
+#include "common/rng.hpp"
+#include "fft/spectral.hpp"
 #include "litho/golden.hpp"
+#include "math/cplx.hpp"
 #include "metrics/metrics.hpp"
 #include "nitho/model.hpp"
+#include "nn/ops.hpp"
+#include "nn/optimizer.hpp"
 
 namespace nitho {
 namespace {
@@ -71,6 +81,85 @@ TEST(Baselines, TrainingReducesLoss) {
   ASSERT_EQ(stats.epoch_losses.size(), 8u);
   EXPECT_LT(stats.final_loss, stats.epoch_losses.front());
   EXPECT_LT(stats.final_loss, 0.05);  // aerials live in [0, ~1.4]
+}
+
+TEST(Baselines, ArenaTrainerBitIdenticalToPerStepHeapGraphs) {
+  // train_image_model now recycles its per-step graphs through an
+  // nn::GraphArena (as the Algorithm-1 trainer does, DESIGN.md §8).  The
+  // arena is a storage optimization only: against a verbatim
+  // reimplementation of the pre-arena loop — fresh heap graph per step,
+  // identical data prep, shuffle and LR schedule — the per-epoch losses
+  // and every trained weight must match bit for bit.
+  const Dataset ds = engine().make_dataset(DatasetKind::B2v, 3, 51);
+  std::vector<const Sample*> train;
+  for (const Sample& s : ds.samples) train.push_back(&s);
+  ImageTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.px = 32;
+  cfg.lr = 2e-3f;
+
+  DoinnModel arena_model;     // identical init: DoinnConfig seeds the RNG
+  DoinnModel legacy_model;
+  const TrainStats stats = train_image_model(arena_model, train, cfg);
+
+  // --- verbatim legacy loop (no arena) -----------------------------------
+  const auto sized_to = [](const Grid<double>& img, int px) {
+    if (img.rows() == px) return img;
+    if (img.rows() % px == 0) return downsample_area(img, img.rows() / px);
+    return spectral_resample(img, px, px);
+  };
+  const auto grid_tensor = [](const Grid<double>& g, std::vector<int> shape) {
+    nn::Tensor t(std::move(shape));
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      t[static_cast<std::int64_t>(i)] = static_cast<float>(g[i]);
+    }
+    return t;
+  };
+  const int n = static_cast<int>(train.size());
+  std::vector<nn::Tensor> inputs, targets;
+  for (const Sample* s : train) {
+    inputs.push_back(mask_input(*s, cfg.px));
+    targets.push_back(
+        grid_tensor(sized_to(s->aerial, cfg.px), {1, cfg.px, cfg.px}));
+  }
+  nn::Adam opt(legacy_model.parameters(), cfg.lr);
+  Rng rng(cfg.seed);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> legacy_epoch_losses;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (int i : order) {
+      opt.zero_grad();
+      nn::Var pred = legacy_model.forward(
+          nn::make_leaf(inputs[static_cast<std::size_t>(i)], false));
+      nn::Var loss = nn::mse_loss(pred, targets[static_cast<std::size_t>(i)]);
+      nn::backward(loss);
+      opt.step();
+      epoch_loss += loss->value[0];
+    }
+    legacy_epoch_losses.push_back(epoch_loss / n);
+    const double t = static_cast<double>(epoch + 1) / cfg.epochs;
+    opt.set_lr(
+        static_cast<float>(cfg.lr * (0.1 + 0.45 * (1.0 + std::cos(kPi * t)))));
+  }
+
+  ASSERT_EQ(stats.epoch_losses.size(), legacy_epoch_losses.size());
+  for (std::size_t e = 0; e < legacy_epoch_losses.size(); ++e) {
+    EXPECT_EQ(stats.epoch_losses[e], legacy_epoch_losses[e]) << "epoch " << e;
+  }
+  const auto arena_params = arena_model.parameters();
+  const auto legacy_params = legacy_model.parameters();
+  ASSERT_EQ(arena_params.size(), legacy_params.size());
+  for (std::size_t p = 0; p < arena_params.size(); ++p) {
+    const nn::Tensor& a = arena_params[p]->value;
+    const nn::Tensor& b = legacy_params[p]->value;
+    ASSERT_EQ(a.numel(), b.numel()) << "param " << p;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "param " << p << " elem " << i;
+    }
+  }
 }
 
 TEST(Baselines, PredictAerialUpsamples) {

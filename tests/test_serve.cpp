@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <latch>
 #include <memory>
@@ -43,11 +44,13 @@ using test::random_mask;
 using Clock = std::chrono::steady_clock;
 
 ServeRequest make_req(int tag, std::shared_ptr<const FastLitho> litho,
-                      int out_px = 16) {
+                      int out_px = 16,
+                      Clock::time_point deadline = serve::kNoDeadline) {
   ServeRequest req;
   req.mask = Grid<double>(1, 1, static_cast<double>(tag));
   req.out_px = out_px;
   req.litho = std::move(litho);
+  req.deadline = deadline;
   return req;
 }
 
@@ -81,10 +84,11 @@ TEST(RequestQueue, TryPushFailsWhenFullAndKeepsRequest) {
   RequestQueue q(2);
   const auto litho = dummy_litho(2);
   ServeRequest a = make_req(0, litho), b = make_req(1, litho);
-  ASSERT_TRUE(q.try_push(a));
-  ASSERT_TRUE(q.try_push(b));
+  ASSERT_EQ(q.try_push(a), RequestQueue::PushResult::kOk);
+  ASSERT_EQ(q.try_push(b), RequestQueue::PushResult::kOk);
   ServeRequest c = make_req(42, litho);
-  EXPECT_FALSE(q.try_push(c));
+  // Full is retryable backpressure, distinct from kClosed (terminal).
+  EXPECT_EQ(q.try_push(c), RequestQueue::PushResult::kFull);
   // The rejected request is intact: the caller can retry or fail it.
   EXPECT_EQ(c.mask(0, 0), 42.0);
   EXPECT_TRUE(c.litho != nullptr);
@@ -119,7 +123,7 @@ TEST(RequestQueue, CloseDrainsAcceptedItemsThenReportsClosed) {
   q.close();
   ServeRequest b = make_req(8, litho);
   EXPECT_FALSE(q.push(b));      // refused, request intact
-  EXPECT_FALSE(q.try_push(b));
+  EXPECT_EQ(q.try_push(b), RequestQueue::PushResult::kClosed);
   EXPECT_EQ(b.mask(0, 0), 8.0);
   ServeRequest out;
   ASSERT_EQ(q.pop(out), RequestQueue::PopResult::kItem);  // drains
@@ -230,6 +234,86 @@ TEST(MicroBatcher, DrainFlushesEverythingRegardlessOfDeadline) {
   const std::vector<Batch> all = batcher.drain();
   EXPECT_EQ(all.size(), 2u);
   EXPECT_EQ(batcher.pending_requests(), 0u);
+}
+
+TEST(MicroBatcher, TrickleLoadCannotStarveTheFlushDeadline) {
+  // A bucket's flush deadline is set by its *oldest* request and must not
+  // slide as later requests coalesce into it: under trickle load arriving
+  // just under max_delay apart, a sliding deadline would starve the bucket
+  // forever.
+  const auto delay = std::chrono::milliseconds(10);
+  MicroBatcher batcher({.max_batch = 64, .max_delay = delay});
+  const auto litho = dummy_litho(18);
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(batcher.add(make_req(0, litho), t0).has_value());
+  ASSERT_TRUE(batcher.next_deadline().has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + delay);
+  // Keep trickling into the same bucket right up to (and past) the flush
+  // point; the deadline must stay anchored at t0 + delay throughout.
+  EXPECT_FALSE(batcher.add(make_req(1, litho), t0 + delay / 2).has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + delay);
+  EXPECT_FALSE(
+      batcher.add(make_req(2, litho), t0 + 9 * delay / 10).has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + delay);
+  // At the anchored deadline the bucket flushes with everything coalesced.
+  auto flushed = batcher.poll(t0 + delay);
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->requests.size(), 3u);
+  EXPECT_EQ(batcher.pending_requests(), 0u);
+}
+
+TEST(MicroBatcher, ShedsExpiredRequestOnDequeueForCallerResolution) {
+  MicroBatcher batcher({.max_batch = 8, .max_delay = std::chrono::hours(1)});
+  const auto litho = dummy_litho(19);
+  const auto t0 = Clock::now();
+  // Expired while queued: never filed, set aside intact via take_shed().
+  // The batcher leaves the promise pending so its owner can account the
+  // shed before the client can observe the future resolve.
+  ServeRequest expired = make_req(7, litho, 16, t0);
+  std::future<Grid<double>> fut = expired.result.get_future();
+  EXPECT_FALSE(
+      batcher.add(std::move(expired), t0 + std::chrono::milliseconds(1))
+          .has_value());
+  EXPECT_EQ(batcher.pending_requests(), 0u);
+  std::vector<ServeRequest> shed = batcher.take_shed();
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].mask(0, 0), 7.0);  // request intact, promise pending
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout);
+  shed[0].result.set_exception(std::make_exception_ptr(
+      serve::DeadlineExceeded("shed")));
+  EXPECT_THROW(fut.get(), serve::DeadlineExceeded);
+  EXPECT_TRUE(batcher.take_shed().empty());  // drained
+  // A live deadline and the kNoDeadline default are both filed normally.
+  EXPECT_FALSE(batcher
+                   .add(make_req(1, litho, 16,
+                                 t0 + std::chrono::hours(2)),
+                        t0)
+                   .has_value());
+  EXPECT_FALSE(batcher.add(make_req(2, litho), t0).has_value());
+  EXPECT_EQ(batcher.pending_requests(), 2u);
+  EXPECT_TRUE(batcher.take_shed().empty());
+}
+
+TEST(MicroBatcher, SetPolicyHotSwapsTheFlushThresholds) {
+  MicroBatcher batcher({.max_batch = 8, .max_delay = std::chrono::hours(1)});
+  const auto litho = dummy_litho(20);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(batcher.add(make_req(i, litho), t0).has_value());
+  }
+  // The autotuner's hot-swap point: lowering max_batch makes the existing
+  // bucket flush on its next add.
+  batcher.set_policy({.max_batch = 2, .max_delay = std::chrono::hours(1)});
+  EXPECT_EQ(batcher.policy().max_batch, 2);
+  auto full = batcher.add(make_req(3, litho), t0);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->requests.size(), 4u);
+  // New buckets use the new max_delay for their flush deadline.
+  batcher.set_policy({.max_batch = 8, .max_delay = std::chrono::milliseconds(3)});
+  EXPECT_FALSE(batcher.add(make_req(4, litho), t0).has_value());
+  ASSERT_TRUE(batcher.next_deadline().has_value());
+  EXPECT_EQ(*batcher.next_deadline(), t0 + std::chrono::milliseconds(3));
 }
 
 // ---------------------------------------------------------------------------
@@ -531,6 +615,280 @@ TEST(LithoServer, ExecuteTimeFailureResolvesFutureWithException) {
   Grid<double> good_mask = random_mask(32, 32, h.rng);
   auto good = server.submit(good_mask, 16);
   EXPECT_EQ(good.get(), h.expected(good_mask, 16, RequestKind::kAerial));
+}
+
+TEST(LithoServer, FreshServerReportsNoLatencySamples) {
+  // Regression pin: an empty latency window used to report p50/p99 as
+  // 0.0 µs, indistinguishable from a genuinely instant server.
+  ServerHarness h(115);
+  LithoServer server(h.make_litho());
+  ShardStats st = server.stats();
+  EXPECT_EQ(st.latency_samples, 0u);
+  EXPECT_TRUE(std::isnan(st.p50_latency_us));
+  EXPECT_TRUE(std::isnan(st.p99_latency_us));
+  EXPECT_EQ(st.shed.goodput_rps, 0.0);
+  st = server.shard_stats(0);
+  EXPECT_EQ(st.latency_samples, 0u);
+  EXPECT_TRUE(std::isnan(st.p99_latency_us));
+  Grid<double> mask = random_mask(32, 32, h.rng);
+  (void)server.submit(mask, 16).get();
+  st = server.stats();
+  EXPECT_EQ(st.latency_samples, 1u);
+  EXPECT_FALSE(std::isnan(st.p50_latency_us));
+  EXPECT_FALSE(std::isnan(st.p99_latency_us));
+  EXPECT_GT(st.shed.goodput_rps, 0.0);
+  EXPECT_GT(st.est_service_us, 0.0);
+}
+
+TEST(LithoServer, ShedsAtSubmitWhenDeadlineIsHopeless) {
+  // Per-request deadlines work without any SloPolicy installed: a
+  // deadline already in the past is hopeless no matter the queue state.
+  ServerHarness h(116);
+  LithoServer server(h.make_litho());
+  auto doomed =
+      server.submit(random_mask(32, 32, h.rng), 16, RequestKind::kAerial,
+                    Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_THROW(doomed.get(), serve::DeadlineExceeded);
+  ShardStats st = server.stats();
+  EXPECT_EQ(st.shed.shed_at_submit, 1u);
+  EXPECT_EQ(st.submitted, 0u);  // shed requests never enter the queue
+  // try_submit sheds the same way: an answered future, not nullopt (which
+  // would read as retryable backpressure).
+  Grid<double> m = random_mask(32, 32, h.rng);
+  auto tfut = server.try_submit(m, 16, RequestKind::kAerial,
+                                Clock::now() - std::chrono::milliseconds(1));
+  ASSERT_TRUE(tfut.has_value());
+  EXPECT_THROW(tfut->get(), serve::DeadlineExceeded);
+  EXPECT_EQ(server.stats().shed.shed_at_submit, 2u);
+  // A live deadline serves normally, bit-identically.
+  Grid<double> mask = random_mask(32, 32, h.rng);
+  auto ok = server.submit(mask, 16, RequestKind::kAerial,
+                          Clock::now() + std::chrono::seconds(10));
+  EXPECT_EQ(ok.get(), h.expected(mask, 16, RequestKind::kAerial));
+}
+
+TEST(LithoServer, EstimatedWaitShedsAtSubmitUnderBacklog) {
+  // The estimate-driven admission point: with a backlog of N requests and
+  // a measured per-request pace, a deadline shorter than the estimated
+  // wait is rejected at submit.  The worker is wedged on the shared pool
+  // so the backlog (and the estimate) are frozen while we probe.
+  set_parallel_workers(2);
+  ServerHarness h(117, /*rank=*/17, /*kdim=*/9);
+  ServeOptions opts;
+  opts.queue_capacity = 8;
+  opts.batch.max_batch = 1;
+  LithoServer server(h.make_litho(), opts);
+
+  // Complete one request so the service-time EWMA is primed.
+  {
+    Grid<double> warm = random_mask(32, 32, h.rng);
+    EXPECT_EQ(server.submit(warm, 16).get(),
+              h.expected(warm, 16, RequestKind::kAerial));
+  }
+  const double est = server.shard_stats(0).est_service_us;
+  ASSERT_GT(est, 0.0);
+
+  std::latch pool_entered(2);
+  std::latch release_pool(1);
+  std::thread pool_hog([&] {
+    parallel_for(2, [&](std::int64_t) {
+      pool_entered.count_down();
+      release_pool.wait();
+    });
+  });
+  pool_entered.wait();
+
+  struct Pending {
+    Grid<double> mask;
+    std::future<Grid<double>> fut;
+  };
+  std::vector<Pending> accepted;
+  // Probe request: once popped (depth back to 0) the worker is committed
+  // to an execute that cannot finish while the pool is held.
+  {
+    Grid<double> mask = random_mask(32, 32, h.rng);
+    accepted.push_back({mask, server.submit(std::move(mask), 16)});
+    while (server.shard_stats(0).queue_depth != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Backlog of 8 no-deadline requests (no SloPolicy: they can never shed).
+  for (int i = 0; i < 8; ++i) {
+    Grid<double> mask = random_mask(32, 32, h.rng);
+    accepted.push_back({mask, server.submit(std::move(mask), 16)});
+  }
+  ASSERT_EQ(server.shard_stats(0).queue_depth, 8u);
+  // Estimated wait is est * 8; a deadline of est * 4 from now is hopeless
+  // (and would stay hopeless even for an estimate half as large).
+  auto doomed = server.submit(
+      random_mask(32, 32, h.rng), 16, RequestKind::kAerial,
+      Clock::now() + std::chrono::microseconds(std::lround(est * 4)));
+  EXPECT_THROW(doomed.get(), serve::DeadlineExceeded);
+  EXPECT_EQ(server.shard_stats(0).shed.shed_at_submit, 1u);
+
+  release_pool.count_down();
+  pool_hog.join();
+  // Every accepted (deadline-free) request still resolves bit-identically.
+  for (auto& p : accepted) {
+    EXPECT_EQ(p.fut.get(), h.expected(p.mask, 16, RequestKind::kAerial));
+  }
+  server.stop();
+  const ShardStats st = server.stats();
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.shed.shed_in_queue, 0u);
+  set_parallel_workers(0);
+}
+
+TEST(LithoServer, OverloadShedsExpireInQueueAndEveryFutureResolves) {
+  // Overload shed test: requests that expire while queued resolve with
+  // DeadlineExceeded — never silently, never dropped.
+  set_parallel_workers(2);
+  ServerHarness h(118, /*rank=*/17, /*kdim=*/9);
+  ServeOptions opts;
+  opts.queue_capacity = 8;
+  opts.batch.max_batch = 1;
+  serve::SloPolicy slo;
+  slo.target_p99 = std::chrono::milliseconds(50);
+  slo.max_queue_wait = std::chrono::milliseconds(25);
+  opts.slo = slo;
+  LithoServer server(h.make_litho(), opts);
+
+  std::latch pool_entered(2);
+  std::latch release_pool(1);
+  std::thread pool_hog([&] {
+    parallel_for(2, [&](std::int64_t) {
+      pool_entered.count_down();
+      release_pool.wait();
+    });
+  });
+  pool_entered.wait();
+
+  // Probe commits the worker to a pool-wedged execute; the EWMA is still 0
+  // (no batch has completed), so the queue fills without submit sheds.
+  Grid<double> probe_mask = random_mask(32, 32, h.rng);
+  Grid<double> probe_copy = probe_mask;
+  auto probe = server.submit(std::move(probe_mask), 16);
+  while (server.shard_stats(0).queue_depth != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::vector<std::future<Grid<double>>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(server.submit(random_mask(32, 32, h.rng), 16));
+  }
+  // Let every queued deadline (submit + 25 ms) expire, then unwedge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release_pool.count_down();
+  pool_hog.join();
+
+  EXPECT_EQ(probe.get(), h.expected(probe_copy, 16, RequestKind::kAerial));
+  for (auto& f : queued) {
+    EXPECT_THROW(f.get(), serve::DeadlineExceeded);
+  }
+  server.stop();
+  const ShardStats st = server.stats();
+  EXPECT_EQ(st.shed.shed_in_queue, 4u);
+  EXPECT_EQ(st.completed, st.submitted);  // sheds are completions too
+  EXPECT_EQ(st.latency_samples, 1u);      // only the probe was served
+  set_parallel_workers(0);
+}
+
+TEST(LithoServer, SloWithAutotuneServesBitIdenticalAcceptedResults) {
+  // The acceptance-criterion pin: with admission control and the
+  // autotuner on, every accepted result equals the direct synchronous
+  // call bit for bit, even as the tuner hot-swaps (max_batch, max_delay)
+  // mid-stream.
+  ServerHarness h(119);
+  ServeOptions opts;
+  opts.shards = 2;
+  opts.queue_capacity = 32;
+  opts.batch.max_batch = 4;
+  opts.batch.max_delay = std::chrono::microseconds(200);
+  serve::SloPolicy slo;
+  slo.target_p99 = std::chrono::milliseconds(5);
+  slo.max_queue_wait = std::chrono::seconds(10);  // nothing sheds
+  slo.autotune = true;
+  slo.tuner.tune_every = 8;  // force frequent decisions
+  opts.slo = slo;
+  LithoServer server(h.make_litho(), opts);
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+  const int out_pxs[] = {16, 20, 33};
+  struct Expect {
+    Grid<double> mask;
+    int out_px;
+    RequestKind kind;
+    std::future<Grid<double>> fut;
+  };
+  std::vector<std::vector<Expect>> per_client(kClients);
+  std::vector<std::vector<Grid<double>>> masks(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      masks[static_cast<std::size_t>(c)].push_back(random_mask(32, 32, h.rng));
+    }
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& mine = per_client[static_cast<std::size_t>(c)];
+      for (int i = 0; i < kPerClient; ++i) {
+        Expect e;
+        e.mask = masks[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)];
+        e.out_px = out_pxs[(c + i) % 3];
+        e.kind = ((c + i) % 4 == 0) ? RequestKind::kResist
+                                    : RequestKind::kAerial;
+        e.fut = server.submit(e.mask, e.out_px, e.kind);
+        mine.push_back(std::move(e));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (auto& e : per_client[static_cast<std::size_t>(c)]) {
+      EXPECT_EQ(e.fut.get(), h.expected(e.mask, e.out_px, e.kind))
+          << "client " << c << " out_px " << e.out_px;
+    }
+  }
+  const ShardStats total = server.stats();
+  EXPECT_EQ(total.submitted,
+            static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(total.completed, total.submitted);
+  EXPECT_EQ(total.shed.shed_at_submit, 0u);
+  EXPECT_EQ(total.shed.shed_in_queue, 0u);
+  EXPECT_GE(total.max_batch, 1);
+  EXPECT_GT(total.max_delay_us, 0.0);
+  server.stop();
+}
+
+TEST(LithoServer, SwapSloHotSwapsAdmissionControl) {
+  ServerHarness h(120);
+  ServeOptions opts;
+  opts.batch.max_batch = 1;
+  LithoServer server(h.make_litho(), opts);
+  EXPECT_EQ(server.slo(), nullptr);
+  // No policy: no default deadline, requests serve no matter how long the
+  // queue wait was.
+  Grid<double> before = random_mask(32, 32, h.rng);
+  EXPECT_EQ(server.submit(before, 16).get(),
+            h.expected(before, 16, RequestKind::kAerial));
+
+  // Swap a zero-wait policy in: the default deadline is the submit
+  // instant, so dequeue (strictly later) sheds.
+  serve::SloPolicy strict;
+  strict.max_queue_wait = std::chrono::microseconds(0);
+  server.swap_slo(strict);
+  ASSERT_NE(server.slo(), nullptr);
+  EXPECT_EQ(server.slo()->max_queue_wait.count(), 0);
+  auto shed = server.submit(random_mask(32, 32, h.rng), 16);
+  EXPECT_THROW(shed.get(), serve::DeadlineExceeded);
+  EXPECT_GE(server.stats().shed.shed_in_queue, 1u);
+
+  // Swap back out: requests are deadline-free again.
+  server.swap_slo(std::nullopt);
+  EXPECT_EQ(server.slo(), nullptr);
+  Grid<double> after = random_mask(32, 32, h.rng);
+  EXPECT_EQ(server.submit(after, 16).get(),
+            h.expected(after, 16, RequestKind::kAerial));
 }
 
 TEST(LithoServer, OutPxAffinityRoutesStably) {
