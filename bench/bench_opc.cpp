@@ -1,0 +1,189 @@
+// OPC optimizer throughput: the batched OpcEngine vs the legacy per-mask
+// ILT loop (DESIGN.md §10.4).
+//
+// Both sides run the identical optimization — sigmoid(theta) -> cropped
+// spectrum -> SOCS aerial -> imaging MSE + binarization penalty, Adam —
+// and produce bit-identical thetas (pinned by test_opc), so the comparison
+// is pure engine overhead at exactly equal quality:
+//
+//   per_mask   one autodiff graph per (mask, iteration), the structure of
+//              examples/inverse_litho.cpp before the engine existed: fresh
+//              node/tensor allocations per step, one FFT column pass over
+//              the full plane per op, no batching.
+//   batched    one OpcEngine step per iteration for the whole batch: one
+//              graph through the batched FFT ops (pruned column passes,
+//              arena-recycled storage), the task grid parallelized across
+//              masks x kernels.
+//
+// The throughput unit is mask-iterations per second (masks/s at one
+// iteration each).  mean_epe_px is reported for both from the same
+// evaluator at the final thetas — equal by construction, recorded so a
+// future change that breaks the equivalence is visible in the CSV.  The
+// acceptance ratio (batched >= 1.3x per_mask) is recorded in
+// bench/baselines/opc_throughput.csv and gated by check_baselines.py.
+
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "common/flags.hpp"
+#include "fft/spectral.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "io/csv.hpp"
+#include "math/cplx.hpp"
+#include "math/grid.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+#include "opc/engine.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+namespace {
+
+std::vector<Grid<cd>> synth_kernels(int rank, int kdim, Rng& rng) {
+  std::vector<Grid<cd>> kernels;
+  kernels.reserve(static_cast<std::size_t>(rank));
+  for (int k = 0; k < rank; ++k) {
+    Grid<cd> g(kdim, kdim);
+    for (auto& z : g) z = cd(rng.normal(), rng.normal());
+    kernels.push_back(std::move(g));
+  }
+  return kernels;
+}
+
+std::vector<Grid<double>> synth_intents(int count, int px, Rng& rng) {
+  std::vector<Grid<double>> intents;
+  intents.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Grid<double> m(px, px, 0.0);
+    for (int r = 0; r < 6; ++r) {
+      const int h = rng.randint(2, px / 4), w = rng.randint(2, px / 4);
+      const int r0 = rng.randint(0, px - h), c0 = rng.randint(0, px - w);
+      for (int y = r0; y < r0 + h; ++y)
+        for (int x = c0; x < c0 + w; ++x) m(y, x) = 1.0;
+    }
+    intents.push_back(std::move(m));
+  }
+  return intents;
+}
+
+/// The legacy loop: per-mask graphs, no arena, no batching (the structure
+/// test_opc pins the engine against).  Returns the final thetas flattened
+/// in batch order.
+std::vector<float> run_per_mask(const std::vector<Grid<cd>>& kernels,
+                                const std::vector<Grid<double>>& intents,
+                                const opc::OpcConfig& cfg, int iters) {
+  const int kdim = kernels[0].rows();
+  const int s = cfg.mask_px;
+  nn::Tensor kt({static_cast<int>(kernels.size()), kdim, kdim, 2});
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    for (std::size_t p = 0; p < kernels[i].size(); ++p) {
+      const std::int64_t base =
+          static_cast<std::int64_t>((i * kernels[i].size() + p) * 2);
+      kt[base] = static_cast<float>(kernels[i][p].real());
+      kt[base + 1] = static_cast<float>(kernels[i][p].imag());
+    }
+  }
+  std::vector<float> thetas;
+  thetas.reserve(intents.size() * static_cast<std::size_t>(s) * s);
+  for (const Grid<double>& intended : intents) {
+    nn::Tensor target({cfg.sim_px, cfg.sim_px});
+    const Grid<double> down = downsample_area(intended, s / cfg.sim_px);
+    for (std::size_t i = 0; i < down.size(); ++i) {
+      target[static_cast<std::int64_t>(i)] =
+          down[i] > 0.5 ? cfg.target_bright : cfg.target_dark;
+    }
+    nn::Tensor theta({s, s});
+    for (std::size_t i = 0; i < intended.size(); ++i) {
+      theta[static_cast<std::int64_t>(i)] =
+          intended[i] > 0.5 ? cfg.theta_init : -cfg.theta_init;
+    }
+    nn::Var vtheta = nn::make_leaf(theta, true);
+    nn::Adam opt({vtheta}, cfg.lr);
+    for (int it = 0; it < iters; ++it) {
+      opt.zero_grad();
+      nn::Var mask = nn::sigmoid(vtheta);
+      nn::Var spectrum = nn::fft2c_crop(mask, kdim);
+      nn::Var aerial = nn::abs2_sum0(
+          nn::socs_field_from_spectrum(spectrum, kt, cfg.sim_px));
+      nn::Var fit = nn::mse_loss(aerial, target);
+      nn::Var bin = nn::sub(nn::mean(mask), nn::mean(nn::square(mask)));
+      nn::Var loss = nn::add(fit, nn::scale(bin, cfg.bin_weight));
+      nn::backward(loss);
+      opt.step();
+    }
+    const float* p = vtheta->value.data();
+    thetas.insert(thetas.end(), p, p + vtheta->value.numel());
+  }
+  return thetas;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int batch = flags.get_int("batch", 8);
+  const int iters = flags.get_int("iters", 30);
+  const int mask_px = flags.get_int("mask-px", 64);
+  const int sim_px = flags.get_int("sim-px", 32);
+  const int rank = flags.get_int("rank", 8);
+  const int kdim = flags.get_int("kdim", 9);
+
+  std::printf("== OPC throughput: batched OpcEngine vs per-mask ILT ==\n");
+  std::printf("batch=%d iters=%d mask=%dpx sim=%dpx rank=%d kdim=%d\n\n",
+              batch, iters, mask_px, sim_px, rank, kdim);
+
+  Rng rng(20260807);
+  const auto kernels = std::make_shared<const std::vector<Grid<cd>>>(
+      synth_kernels(rank, kdim, rng));
+  const std::vector<Grid<double>> intents =
+      synth_intents(batch, mask_px, rng);
+
+  opc::OpcConfig cfg;
+  cfg.mask_px = mask_px;
+  cfg.sim_px = sim_px;
+
+  // Warm the shared FFT plan / workspace caches so neither side pays
+  // first-touch setup inside its timed region.
+  (void)run_per_mask(*kernels, {intents[0]}, cfg, 1);
+  {
+    opc::OpcEngine warm(kernels, cfg);
+    warm.start(intents);
+    (void)warm.step();
+  }
+
+  const double total = static_cast<double>(batch) * iters;
+
+  WallTimer t_per;
+  const std::vector<float> theta_per =
+      run_per_mask(*kernels, intents, cfg, iters);
+  const double per_mask_tp = total / t_per.seconds();
+
+  opc::OpcEngine engine(kernels, cfg);
+  engine.start(intents);
+  WallTimer t_batched;
+  for (int it = 0; it < iters; ++it) (void)engine.step();
+  const double batched_tp = total / t_batched.seconds();
+  const double epe_batched = engine.mean_epe_px();
+
+  // Score the per-mask thetas through the identical evaluator.
+  engine.load_theta(theta_per);
+  const double epe_per_mask = engine.mean_epe_px();
+
+  const double ratio = batched_tp / per_mask_tp;
+  TablePrinter tp({"Mode", "mask-iters/s", "mean EPE px", "vs per_mask"}, 14);
+  tp.row({"per_mask", fmt(per_mask_tp, 1), fmt(epe_per_mask, 3), "1.00x"});
+  tp.row({"batched", fmt(batched_tp, 1), fmt(epe_batched, 3),
+          fmt(ratio, 2) + "x"});
+
+  CsvWriter csv(out_dir() + "/opc_throughput.csv",
+                {"mode", "masks_per_s", "mean_epe_px", "vs_permask"});
+  csv.row({"per_mask", fmt(per_mask_tp, 1), fmt(epe_per_mask, 3), "1.00"});
+  csv.row({"batched", fmt(batched_tp, 1), fmt(epe_batched, 3),
+           fmt(ratio, 2)});
+  std::printf("\nwrote %s/opc_throughput.csv\n", out_dir().c_str());
+  return 0;
+}

@@ -55,6 +55,9 @@ GATES = {
     "train_throughput.csv": [
         ("batched", "vs_legacy", 1.3, True),
     ],
+    "opc_throughput.csv": [
+        ("batched", "vs_permask", 1.3, True),
+    ],
 }
 
 
@@ -343,6 +346,36 @@ def self_test():
                 ["capacity_open_loop", "9000", "9000", "1900", "", ""],
                 ["overload_admission", "18000", "8600", "18100", "1.10",
                  "0.95"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 11. opc gate: the 1.3x batched-vs-per-mask acceptance floor binds;
+        #     the (ungated) EPE column is informational only.
+        opc_header = ["mode", "masks_per_s", "mean_epe_px", "vs_permask"]
+        write_csv(
+            os.path.join(basedir, "opc_throughput.csv"),
+            opc_header,
+            [
+                ["per_mask", "800.0", "16.5", "1.00"],
+                ["batched", "3000.0", "16.5", "3.75"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "opc_throughput.csv"),
+            opc_header,
+            [
+                ["per_mask", "790.0", "16.5", "1.00"],
+                ["batched", "950.0", "16.5", "1.20"],
+            ],
+        )
+        assert run(basedir, outdir, 0.75, require=False) == 1
+        write_csv(
+            os.path.join(outdir, "opc_throughput.csv"),
+            opc_header,
+            [
+                ["per_mask", "790.0", "17.1", "1.00"],
+                ["batched", "2700.0", "17.1", "3.42"],
             ],
         )
         assert run(basedir, outdir, 0.25, require=False) == 0

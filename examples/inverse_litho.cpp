@@ -7,22 +7,26 @@
 //
 //   theta  --sigmoid-->  mask  --FFT crop-->  spectrum  --SOCS-->  aerial
 //
-// and we descend || aerial - target ||^2 plus a binarization penalty.
-// The optimized mask prints the intended pattern with visibly higher
-// fidelity than the unoptimized design.
+// descending || aerial - target ||^2 plus a binarization penalty.  That
+// loop now lives in OpcEngine (src/opc, DESIGN.md §10) — batched,
+// arena-recycled, checkpointable — so this example drives the engine
+// instead of hand-rolling the graph, and additionally demonstrates the
+// resumability the serving layer depends on: the job is stopped halfway,
+// the checkpoint is round-tripped through disk, and a fresh engine
+// finishes it bit-identically.
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "fft/spectral.hpp"
 #include "io/pgm.hpp"
+#include "layout/datasets.hpp"
 #include "layout/raster.hpp"
 #include "litho/golden.hpp"
 #include "metrics/metrics.hpp"
-#include "nitho/fast_litho.hpp"
 #include "nitho/trainer.hpp"
-#include "nn/ops.hpp"
-#include "nn/ops_fft.hpp"
-#include "nn/optimizer.hpp"
+#include "opc/engine.hpp"
 
 using namespace nitho;
 
@@ -37,7 +41,6 @@ int main() {
   litho.sim_px = 32;
   litho.spectrum_crop = 31;
   GoldenEngine engine(litho);
-  const int kdim = engine.kernel_dim();
 
   // 1. Learn the optical kernels from imaging data (as a fab without TCC
   //    access would).
@@ -54,18 +57,6 @@ int main() {
   tc.train_px = 32;
   train_nitho(model, sample_ptrs(train), tc);
 
-  // Kernels as a constant tensor [r, kdim, kdim, 2].
-  const std::vector<Grid<cd>> ks = model.export_kernels();
-  nn::Tensor kt({static_cast<int>(ks.size()), kdim, kdim, 2});
-  for (std::size_t i = 0; i < ks.size(); ++i) {
-    for (std::size_t p = 0; p < ks[i].size(); ++p) {
-      kt[static_cast<std::int64_t>((i * ks[i].size() + p) * 2)] =
-          static_cast<float>(ks[i][p].real());
-      kt[static_cast<std::int64_t>((i * ks[i].size() + p) * 2 + 1)] =
-          static_cast<float>(ks[i][p].imag());
-    }
-  }
-
   // 2. Target: the *intended* design of a fresh tile (what should print).
   Rng rng(77);
   const Layout design = make_b1_layout(512, rng);
@@ -73,41 +64,37 @@ int main() {
   const int s = 64;  // optimization grid
   const Grid<double> intended64 = downsample_area(design_raster, 512 / s);
   const Grid<double> intended_bin = binarize(intended64, 0.5);
-  // Desired aerial: bright where the design prints, dark elsewhere, pushed
-  // past the resist threshold with margin.
-  nn::Tensor target({32, 32});
-  const Grid<double> intended32 = downsample_area(intended64, 2);
-  for (std::size_t i = 0; i < intended32.size(); ++i) {
-    target[static_cast<std::int64_t>(i)] =
-        intended32[i] > 0.5 ? 0.6f : 0.05f;
-  }
 
-  // 3. Optimize mask pixels through the differentiable SOCS forward.
-  nn::Tensor theta({s, s});
-  for (std::size_t i = 0; i < intended64.size(); ++i) {
-    theta[static_cast<std::int64_t>(i)] = intended64[i] > 0.5 ? 1.5f : -1.5f;
-  }
-  nn::Var vtheta = nn::make_leaf(theta, true);
-  nn::Adam opt({vtheta}, 0.05f);
-  double first_loss = 0.0, last_loss = 0.0;
+  // 3. Optimize mask pixels through the differentiable SOCS forward.  The
+  //    engine owns theta, the targets and the Adam state; defaults match
+  //    the original hand-rolled loop (lr 0.05, binarization weight 0.02).
+  opc::OpcConfig cfg;
+  cfg.mask_px = s;
+  cfg.sim_px = litho.sim_px;
+  cfg.resist_threshold = litho.resist.threshold;
+  const auto kernels = std::make_shared<const std::vector<Grid<cd>>>(
+      model.export_kernels());
+  opc::OpcEngine opt(kernels, cfg);
+  opt.start({intended64});
+
   const int iters = 150;
-  for (int it = 0; it < iters; ++it) {
-    opt.zero_grad();
-    nn::Var mask = nn::sigmoid(vtheta);
-    nn::Var spectrum = nn::fft2c_crop(mask, kdim);
-    nn::Var aerial =
-        nn::abs2_sum0(nn::socs_field_from_spectrum(spectrum, kt, 32));
-    nn::Var fit = nn::mse_loss(aerial, target);
-    // Binarization penalty mean(mask * (1 - mask)) = mean(mask) - mean(mask^2).
-    nn::Var bin = nn::sub(nn::mean(mask), nn::mean(nn::square(mask)));
-    nn::Var loss = nn::add(fit, nn::scale(bin, 0.02f));
-    nn::backward(loss);
-    opt.step();
-    if (it == 0) first_loss = fit->value[0];
-    last_loss = fit->value[0];
-  }
-  std::printf("ILT: %d iterations, imaging loss %.3e -> %.3e\n", iters,
-              first_loss, last_loss);
+  for (int it = 0; it < iters / 2; ++it) (void)opt.step();
+
+  // Stop/resume: serialize the half-done job, reload it into a *fresh*
+  // engine, finish there.  Bit-identical continuation is the contract
+  // LithoServer leans on to park long OPC jobs (pinned by test_opc).
+  const std::string ck_path = "inverse_litho.ckpt";
+  opt.checkpoint().save(ck_path);
+  opc::OpcEngine resumed(kernels);
+  resumed.restore(opc::OpcCheckpoint::load(ck_path));
+  std::printf("checkpointed at iteration %ld, resumed from %s\n",
+              resumed.iteration(), ck_path.c_str());
+  for (int it = iters / 2; it < iters; ++it) (void)opt.step();
+  while (resumed.iteration() < iters) (void)resumed.step();
+  std::printf("ILT: %d iterations, imaging loss %.3e -> %.3e "
+              "(resumed run: %.3e), mean EPE %.2f sim px\n",
+              iters, opt.losses().front(), opt.losses().back(),
+              resumed.losses().back(), resumed.mean_epe_px());
 
   // 4. Verify with the *golden* engine (not the learned kernels): print
   //    fidelity of the unoptimized vs optimized mask.
@@ -117,12 +104,7 @@ int main() {
     return sm.resist;
   };
   const Grid<double> printed_plain = print_with_golden(intended_bin);
-  Grid<double> optimized(s, s);
-  for (int i = 0; i < s * s; ++i) {
-    optimized[static_cast<std::size_t>(i)] =
-        1.0 / (1.0 + std::exp(-vtheta->value[i]));
-  }
-  const Grid<double> optimized_bin = binarize(optimized, 0.5);
+  const Grid<double> optimized_bin = resumed.binary_masks()[0];
   const Grid<double> printed_opt = print_with_golden(optimized_bin);
 
   const double fidelity_plain = miou(intended_bin, printed_plain);

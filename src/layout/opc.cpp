@@ -7,10 +7,10 @@
 namespace nitho {
 namespace {
 
-bool clear_of_main(const Rect& candidate, const std::vector<Rect>& main,
-                   int clearance) {
+bool clear_of(const Rect& candidate, const std::vector<Rect>& placed,
+              int clearance) {
   const Rect grown = candidate.expanded(clearance);
-  return std::none_of(main.begin(), main.end(),
+  return std::none_of(placed.begin(), placed.end(),
                       [&](const Rect& m) { return grown.intersects(m); });
 }
 
@@ -44,7 +44,20 @@ Layout apply_rule_based_opc(const Layout& layout, const OpcRules& rules) {
   }
 
   // 3. SRAFs: thin bars parallel to long edges, offset into free space.
+  // Candidates must be valid before any clearance test: an inverted rect
+  // (possible when the edge is barely above sraf_min_edge_nm but shorter
+  // than twice the bar width) never intersects anything, so it would pass
+  // the checks and then poison later candidate tests, which intersect
+  // against the *expanded* candidate.  They must also clear SRAFs placed
+  // earlier, not just main features — adjacent features otherwise emit
+  // overlapping assist bars, which print.
   if (rules.sraf_width_nm > 0) {
+    const auto place = [&](const Rect& bar, int clearance) {
+      if (!bar.valid()) return;
+      if (!clear_of(bar, out.main, clearance)) return;
+      if (!clear_of(bar, out.sraf, clearance)) return;
+      out.sraf.push_back(bar);
+    };
     for (const Rect& r : layout.main) {  // offsets from *original* edges
       const Rect b = r.expanded(rules.edge_bias_nm);
       const int w = rules.sraf_width_nm;
@@ -52,17 +65,13 @@ Layout apply_rule_based_opc(const Layout& layout, const OpcRules& rules) {
       if (b.width() >= rules.sraf_min_edge_nm) {
         // horizontal bars above and below
         const int x0 = b.x0 + w, x1 = b.x1 - w;
-        const Rect top{x0, b.y0 - off - w, x1, b.y0 - off};
-        const Rect bot{x0, b.y1 + off, x1, b.y1 + off + w};
-        if (clear_of_main(top, out.main, off / 2)) out.sraf.push_back(top);
-        if (clear_of_main(bot, out.main, off / 2)) out.sraf.push_back(bot);
+        place(Rect{x0, b.y0 - off - w, x1, b.y0 - off}, off / 2);
+        place(Rect{x0, b.y1 + off, x1, b.y1 + off + w}, off / 2);
       }
       if (b.height() >= rules.sraf_min_edge_nm) {
         const int y0 = b.y0 + w, y1 = b.y1 - w;
-        const Rect left{b.x0 - off - w, y0, b.x0 - off, y1};
-        const Rect right{b.x1 + off, y0, b.x1 + off + w, y1};
-        if (clear_of_main(left, out.main, off / 2)) out.sraf.push_back(left);
-        if (clear_of_main(right, out.main, off / 2)) out.sraf.push_back(right);
+        place(Rect{b.x0 - off - w, y0, b.x0 - off, y1}, off / 2);
+        place(Rect{b.x1 + off, y0, b.x1 + off + w, y1}, off / 2);
       }
     }
   }

@@ -465,6 +465,218 @@ Var socs_field_from_spectrum(const Var& spectrum, const Tensor& kernels,
       "socs_field_from_spectrum");
 }
 
+Var fft2c_crop_batch(const Var& masks, int crop) {
+  check(masks->value.ndim() == 3, "fft2c_crop_batch: masks must be [B,S,S]");
+  const int batch = masks->value.dim(0);
+  const int s = masks->value.dim(1);
+  check(batch >= 1, "fft2c_crop_batch: empty batch");
+  check(masks->value.dim(2) == s, "fft2c_crop_batch: masks must be square");
+  check(crop >= 1 && crop <= s && crop % 2 == 1,
+        "fft2c_crop_batch: crop must be odd and fit the mask");
+
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s;
+  const std::int64_t cplane = static_cast<std::int64_t>(crop) * crop * 2;
+  const float inv_n2 = 1.0f / static_cast<float>(plane);
+  std::vector<int> rows(static_cast<std::size_t>(crop));
+  for (int a = 0; a < crop; ++a)
+    rows[static_cast<std::size_t>(a)] = wrapped_index(a, crop, s);
+  std::vector<int> cols = rows;  // square crop on a square grid
+  std::vector<int> band_rows = rows;
+  std::sort(band_rows.begin(), band_rows.end());
+
+  const FftPlan<float>& plan = fft_plan_f(s);
+  // Full-plane DFT scratch, one plane per sample.  Arena-allocated so a
+  // steady-state OPC step recycles it along with the graph's own tensors.
+  Tensor scratch = arena_tensor({batch, s, s, 2}, /*zeroed=*/false);
+  Tensor out = arena_tensor({batch, crop, crop, 2}, /*zeroed=*/false);
+
+  parallel_for(batch, [&](std::int64_t b) {
+    float* buf = scratch.data() + b * plane * 2;
+    const float* src = masks->value.data() + b * plane;
+    for (std::int64_t p = 0; p < plane; ++p) {
+      buf[2 * p] = src[p];
+      buf[2 * p + 1] = 0.0f;
+    }
+    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+    auto* z = reinterpret_cast<cfl*>(buf);
+    cfl* fscratch = ws->scratch_for(plan);
+    for (int rr = 0; rr < s; ++rr) {
+      plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, fscratch);
+    }
+    // Only the crop's wrapped columns are ever read, and each column
+    // transforms independently — transforming just those is bit-identical
+    // on the read positions.
+    cfl* col = ws->col_buffer(s);
+    for (int c = 0; c < crop; ++c) {
+      const int cc = cols[static_cast<std::size_t>(c)];
+      for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
+      plan.forward(col, fscratch);
+      for (int rr = 0; rr < s; ++rr) z[rr * s + cc] = col[rr];
+    }
+    train_ws_pool().release(std::move(ws));
+    float* dst = out.data() + b * cplane;
+    for (int a = 0; a < crop; ++a) {
+      const int rr = rows[static_cast<std::size_t>(a)];
+      for (int c = 0; c < crop; ++c) {
+        const int cc = cols[static_cast<std::size_t>(c)];
+        const std::int64_t si = (static_cast<std::int64_t>(rr) * s + cc) * 2;
+        const std::int64_t di = (static_cast<std::int64_t>(a) * crop + c) * 2;
+        dst[di] = buf[si] * inv_n2;
+        dst[di + 1] = buf[si + 1] * inv_n2;
+      }
+    }
+  });
+
+  return make_node(
+      std::move(out), {masks},
+      [rows = std::move(rows), cols = std::move(cols),
+       band_rows = std::move(band_rows), batch, s, crop, plane, cplane,
+       inv_n2](Node& node) {
+        Node& im = *node.inputs[0];
+        if (!im.requires_grad) return;
+        im.ensure_grad();
+        const FftPlan<float>& plan = fft_plan_f(s);
+        // vjp per sample: scatter the crop back, unnormalized inverse DFT
+        // (rows pruned to the crop's — zero rows transform to signed zeros,
+        // which enter the column pass additively), real part.
+        Tensor scatter = arena_tensor({batch, s, s, 2});
+        parallel_for(batch, [&](std::int64_t b) {
+          float* buf = scatter.data() + b * plane * 2;
+          const float* g = node.grad.data() + b * cplane;
+          for (int a = 0; a < crop; ++a) {
+            const int rr = rows[static_cast<std::size_t>(a)];
+            for (int c = 0; c < crop; ++c) {
+              const int cc = cols[static_cast<std::size_t>(c)];
+              const std::int64_t di =
+                  (static_cast<std::int64_t>(rr) * s + cc) * 2;
+              const std::int64_t si =
+                  (static_cast<std::int64_t>(a) * crop + c) * 2;
+              buf[di] = g[si] * inv_n2;
+              buf[di + 1] = g[si + 1] * inv_n2;
+            }
+          }
+          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+          ifft2_plane_pruned(buf, s, band_rows, plan, *ws);
+          train_ws_pool().release(std::move(ws));
+          float* mg = im.grad.data() + b * plane;
+          for (std::int64_t p = 0; p < plane; ++p) mg[p] += buf[2 * p];
+        });
+      },
+      "fft2c_crop_batch");
+}
+
+Var socs_field_from_spectrum_batch(const Var& spectra, const Tensor& kernels,
+                                   int out_px) {
+  check(spectra->value.ndim() == 4 && spectra->value.dim(3) == 2,
+        "socs_field_from_spectrum_batch: spectra must be [B,n,m,2]");
+  check(kernels.ndim() == 4 && kernels.dim(3) == 2,
+        "socs_field_from_spectrum_batch: kernels must be [r,n,m,2]");
+  const int r = kernels.dim(0);
+  const int n = kernels.dim(1);
+  const int m = kernels.dim(2);
+  const int batch = spectra->value.dim(0);
+  check(batch >= 1, "socs_field_from_spectrum_batch: empty batch");
+  check(spectra->value.dim(1) == n && spectra->value.dim(2) == m,
+        "socs_field_from_spectrum_batch: shape mismatch");
+  check(out_px >= n && out_px >= m,
+        "socs_field_from_spectrum_batch: output grid too small");
+
+  const int s = out_px;
+  const std::int64_t plane = static_cast<std::int64_t>(s) * s * 2;
+  const std::int64_t kplane = static_cast<std::int64_t>(n) * m * 2;
+
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  for (int a = 0; a < n; ++a)
+    rows[static_cast<std::size_t>(a)] = wrapped_index(a, n, s);
+  std::vector<int> cols(static_cast<std::size_t>(m));
+  for (int b = 0; b < m; ++b)
+    cols[static_cast<std::size_t>(b)] = wrapped_index(b, m, s);
+  std::vector<int> band_rows = rows;
+  std::sort(band_rows.begin(), band_rows.end());
+
+  const FftPlan<float>& plan = fft_plan_f(s);
+  Tensor out = arena_tensor({batch, r, s, s, 2});
+  Tensor ks = kernels;
+
+  parallel_for(static_cast<std::int64_t>(batch) * r, [&](std::int64_t t) {
+    const std::int64_t b = t / r;
+    const std::int64_t i = t % r;
+    float* dst = out.data() + t * plane;
+    const float* k = ks.data() + i * kplane;
+    const float* sp = spectra->value.data() + b * kplane;
+    for (int a = 0; a < n; ++a) {
+      const int rr = rows[static_cast<std::size_t>(a)];
+      for (int c = 0; c < m; ++c) {
+        const int cc = cols[static_cast<std::size_t>(c)];
+        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
+        const float kr = k[ki], kim = k[ki + 1];
+        const float cr = sp[ki], ci = sp[ki + 1];
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
+        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
+            kr * ci + kim * cr;
+      }
+    }
+    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+    ifft2_plane_pruned(dst, s, band_rows, plan, *ws);
+    train_ws_pool().release(std::move(ws));
+  });
+
+  return make_node(
+      std::move(out), {spectra},
+      [ks = std::move(ks), rows = std::move(rows), cols = std::move(cols),
+       batch, r, n, m, s, plane, kplane](Node& node) {
+        Node& is = *node.inputs[0];
+        if (!is.requires_grad) return;
+        is.ensure_grad();
+        const FftPlan<float>& plan = fft_plan_f(s);
+        // vjp of the unnormalized inverse DFT is the unnormalized forward
+        // DFT; only the crop's columns are ever read back, so the column
+        // pass transforms just those.  node.grad is transformed in place
+        // (documented: the output gradient is consumed).  Spectrum planes
+        // are disjoint across b; within one sample the kernels accumulate
+        // in ascending order — the same order as the per-mask op's serial
+        // kernel loop.
+        parallel_for(batch, [&](std::int64_t b) {
+          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+          cfl* scratch = ws->scratch_for(plan);
+          cfl* col = ws->col_buffer(s);
+          float* sg = is.grad.data() + b * kplane;
+          for (std::int64_t i = 0; i < r; ++i) {
+            float* g = node.grad.data() + (b * r + i) * plane;
+            auto* z = reinterpret_cast<cfl*>(g);
+            for (int rr = 0; rr < s; ++rr) {
+              plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, scratch);
+            }
+            for (int c = 0; c < m; ++c) {
+              const int cc = cols[static_cast<std::size_t>(c)];
+              for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
+              plan.forward(col, scratch);
+              for (int rr = 0; rr < s; ++rr) z[rr * s + cc] = col[rr];
+            }
+            const float* k = ks.data() + i * kplane;
+            for (int a = 0; a < n; ++a) {
+              const int rr = rows[static_cast<std::size_t>(a)];
+              for (int c = 0; c < m; ++c) {
+                const int cc = cols[static_cast<std::size_t>(c)];
+                const std::int64_t gi =
+                    (static_cast<std::int64_t>(rr) * s + cc) * 2;
+                const float gr = g[gi];
+                const float gim = g[gi + 1];
+                const std::int64_t ki =
+                    (static_cast<std::int64_t>(a) * m + c) * 2;
+                const float kr = k[ki], kim = k[ki + 1];
+                // dC += conj(K) . dE
+                sg[ki] += gr * kr + gim * kim;
+                sg[ki + 1] += gim * kr - gr * kim;
+              }
+            }
+          }
+          train_ws_pool().release(std::move(ws));
+        });
+      },
+      "socs_field_from_spectrum_batch");
+}
+
 Var spectral_conv2d(const Var& x, const Var& w) {
   check(x->value.ndim() == 3, "spectral_conv2d: x must be [Cin,H,W]");
   check(w->value.ndim() == 5 && w->value.dim(4) == 2,

@@ -56,4 +56,22 @@ Var fft2c_crop(const Var& mask, int crop);
 Var socs_field_from_spectrum(const Var& spectrum, const Tensor& kernels,
                              int out_px);
 
+/// Batched fft2c_crop over a whole mask batch in one graph node: masks
+/// [B, S, S] -> spectra [B, n, n, 2].  Per sample the arithmetic is
+/// bit-identical to fft2c_crop; the forward column pass transforms only the
+/// crop's wrapped columns (unread columns never affect read values) and the
+/// adjoint's inverse prunes structurally zero rows (DESIGN.md §8.2), FFT
+/// plans are hoisted, and scratch planes come from the graph arena, so
+/// steady-state OPC steps allocate nothing here.
+Var fft2c_crop_batch(const Var& masks, int crop);
+
+/// Batched socs_field_from_spectrum: differentiable spectra [B, n, n, 2],
+/// constant kernels [r, n, n, 2] -> fields [B, r, S, S, 2].  Per
+/// (mask, kernel) plane bit-identical to the per-mask op; spectrum-gradient
+/// accumulation runs kernels in ascending order per sample, matching the
+/// per-mask loop.  The backward pass transforms node.grad in place (the
+/// output gradient is consumed — never read it after backward()).
+Var socs_field_from_spectrum_batch(const Var& spectra, const Tensor& kernels,
+                                   int out_px);
+
 }  // namespace nitho::nn

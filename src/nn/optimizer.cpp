@@ -1,6 +1,8 @@
 #include "nn/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.hpp"
 
@@ -36,6 +38,38 @@ void Adam::step() {
       p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+std::vector<float> Adam::dump_state() const {
+  std::vector<float> flat;
+  for (const Tensor& m : m_) {
+    flat.insert(flat.end(), m.data(), m.data() + m.numel());
+  }
+  for (const Tensor& v : v_) {
+    flat.insert(flat.end(), v.data(), v.data() + v.numel());
+  }
+  return flat;
+}
+
+void Adam::load_state(const std::vector<float>& flat) {
+  std::int64_t total = 0;
+  for (const Tensor& m : m_) total += m.numel();
+  check(static_cast<std::int64_t>(flat.size()) == 2 * total,
+        "Adam::load_state: size mismatch");
+  const float* src = flat.data();
+  for (Tensor& m : m_) {
+    std::copy(src, src + m.numel(), m.data());
+    src += m.numel();
+  }
+  for (Tensor& v : v_) {
+    std::copy(src, src + v.numel(), v.data());
+    src += v.numel();
+  }
+}
+
+void Adam::set_step_count(long t) {
+  check(t >= 0, "Adam::set_step_count: negative step count");
+  t_ = t;
 }
 
 void Adam::zero_grad() { nn::zero_grad(params_); }

@@ -20,6 +20,15 @@ class Adam {
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
 
+  /// Moment state for checkpointing: all first moments concatenated in
+  /// parameter order, then all second moments.  Together with the step
+  /// count and the parameter values this is the optimizer's entire state —
+  /// restoring it resumes training bit-identically.
+  std::vector<float> dump_state() const;
+  void load_state(const std::vector<float>& flat);
+  long step_count() const { return t_; }
+  void set_step_count(long t);
+
  private:
   std::vector<Var> params_;
   std::vector<Tensor> m_, v_;

@@ -13,6 +13,16 @@ namespace nitho::serve {
 
 using Clock = std::chrono::steady_clock;
 
+std::size_t percentile_index(std::size_t n, int percent) {
+  check(n >= 1, "percentile_index: empty sample");
+  check(percent >= 1 && percent <= 100, "percentile_index: percent range");
+  // ceil((percent/100) * n) - 1 without touching floating point: a double
+  // product like 0.99 * 100 rounds up to 99.000...014, whose ceil would
+  // skip one rank.
+  const std::size_t p = static_cast<std::size_t>(percent);
+  return (p * n + 99) / 100 - 1;
+}
+
 std::string latency_str(double us, std::uint64_t samples) {
   if (samples == 0) return "n/a";
   char buf[32];
@@ -105,6 +115,15 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
     Shard* sh = shard.get();
     sh->worker = std::thread([this, sh] { shard_loop(*sh); });
   }
+  // OPC jobs yield whenever any shard has latency traffic queued.  The
+  // probe reads queue depths only — shards_ is immutable after this
+  // constructor and outlives opc_ (stop() tears the service down first).
+  opc_ = std::make_unique<OpcService>([this] {
+    for (const auto& shard : shards_) {
+      if (shard->queue.depth() > 0) return true;
+    }
+    return false;
+  });
 }
 
 LithoServer::~LithoServer() { stop(); }
@@ -220,6 +239,21 @@ std::optional<std::future<Grid<double>>> LithoServer::try_submit(
   check_fail("submit on a stopped server", std::source_location::current());
 }
 
+OpcJobHandle LithoServer::submit_opc(std::vector<Grid<double>> intended,
+                                     OpcJobOptions opts) {
+  const std::shared_ptr<const FastLitho> snap = snapshot(0);
+  // The job evaluates EPE against the same print threshold the server's
+  // resist requests use.
+  opts.config.resist_threshold = snap->resist_threshold();
+  return opc_->submit(snap->kernels_shared(), std::move(intended), opts);
+}
+
+OpcJobHandle LithoServer::resume_opc(opc::OpcCheckpoint checkpoint,
+                                     OpcJobOptions opts) {
+  return opc_->resume(snapshot(0)->kernels_shared(), std::move(checkpoint),
+                      opts);
+}
+
 void LithoServer::swap_kernels(FastLitho fresh) {
   const auto kernels = fresh.kernels_shared();
   const double threshold = fresh.resist_threshold();
@@ -253,6 +287,10 @@ void LithoServer::stop() {
   std::lock_guard<std::mutex> lk(stop_mu_);
   if (stopped_) return;
   stopped_ = true;
+  // OPC first: its worker probes shard queue depths between steps, and its
+  // futures must resolve (with resumable checkpoints) before the shards
+  // are torn down.
+  if (opc_) opc_->stop();
   for (auto& shard : shards_) shard->queue.close();
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
@@ -421,8 +459,8 @@ void fill_percentiles(std::vector<double> latencies, ShardStats& st) {
   if (latencies.empty()) return;  // keep the NaN sentinels: no data != 0 µs
   std::sort(latencies.begin(), latencies.end());
   const std::size_t n = latencies.size();
-  st.p50_latency_us = latencies[(n - 1) / 2];
-  st.p99_latency_us = latencies[(99 * (n - 1)) / 100];
+  st.p50_latency_us = latencies[percentile_index(n, 50)];
+  st.p99_latency_us = latencies[percentile_index(n, 99)];
 }
 
 double uptime_seconds(Clock::time_point started_at) {

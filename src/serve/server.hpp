@@ -55,6 +55,7 @@
 
 #include "serve/autotune.hpp"
 #include "serve/batcher.hpp"
+#include "serve/opc_service.hpp"
 #include "serve/request_queue.hpp"
 
 namespace nitho::serve {
@@ -142,6 +143,13 @@ struct ShardStats {
 /// drift between printers.
 std::string latency_str(double us, std::uint64_t samples);
 
+/// Nearest-rank percentile index into a sorted sample of size n (>= 1):
+/// ceil(percent/100 * n) - 1, computed in integer arithmetic.  The ceil is
+/// what makes small windows honest — the floor-style (99*(n-1))/100 the
+/// stats used before returns the *minimum* for n <= 2 and biases the tail
+/// low until the window fills.
+std::size_t percentile_index(std::size_t n, int percent);
+
 class LithoServer {
  public:
   explicit LithoServer(FastLitho litho, ServeOptions options = {});
@@ -172,6 +180,24 @@ class LithoServer {
   std::optional<std::future<Grid<double>>> try_submit(
       Grid<double>& mask, int out_px, RequestKind kind = RequestKind::kAerial,
       std::chrono::steady_clock::time_point deadline = kNoDeadline);
+
+  /// Second request class: a long-running OPC job over the batched
+  /// opc::OpcEngine (DESIGN.md §10).  Captures the kernel snapshot and the
+  /// resist threshold a submit routed to shard 0 would see now — later
+  /// swap_kernels calls do not retarget a running job, exactly like
+  /// in-flight aerial requests.  The job runs on the OpcService's own
+  /// worker and yields to queued latency traffic between steps, so it
+  /// never starves the SLO'd aerial path; progress (iteration, loss, EPE)
+  /// polls through the returned handle and the result future resolves on
+  /// completion, cancel or stop() — always with a resumable checkpoint
+  /// once the job has started.
+  OpcJobHandle submit_opc(std::vector<Grid<double>> intended,
+                          OpcJobOptions opts = {});
+  /// Continues a checkpointed job (possibly from another server) toward
+  /// opts.iterations, bit-identically to an uninterrupted run when the
+  /// kernel snapshot is the same.
+  OpcJobHandle resume_opc(opc::OpcCheckpoint checkpoint,
+                          OpcJobOptions opts = {});
 
   /// Publishes a new kernel snapshot (shape may differ from the old one).
   /// Requests submitted before the swap are still served by the old
@@ -227,6 +253,9 @@ class LithoServer {
   ServeOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> round_robin_{0};
+  /// OPC job runner; stopped (and its futures resolved) before the shard
+  /// queues close, so a draining job stops probing shard state.
+  std::unique_ptr<OpcService> opc_;
   std::mutex stop_mu_;
   bool stopped_ = false;
 };

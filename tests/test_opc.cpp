@@ -1,0 +1,479 @@
+// Tests for the OPC stack: the rule-based decoration fixes (SRAF/SRAF
+// clearance, inverted-bar guard, tile clipping), the EPE metric, and the
+// batched OpcEngine contract — per-mask bit-identity, checkpoint/restore
+// bit-identity, and serving OPC jobs next to aerial traffic through
+// LithoServer.  This suite also runs under the `tsan` preset.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fft/spectral.hpp"
+#include "layout/datasets.hpp"
+#include "layout/opc.hpp"
+#include "layout/raster.hpp"
+#include "litho/golden.hpp"
+#include "metrics/metrics.hpp"
+#include "nitho/fast_litho.hpp"
+#include "nn/ops.hpp"
+#include "nn/ops_fft.hpp"
+#include "nn/optimizer.hpp"
+#include "opc/engine.hpp"
+#include "serve/server.hpp"
+#include "support/test_support.hpp"
+
+namespace nitho {
+namespace {
+
+using opc::OpcCheckpoint;
+using opc::OpcConfig;
+using opc::OpcEngine;
+using serve::LithoServer;
+using serve::OpcJobHandle;
+using serve::OpcJobOptions;
+using serve::OpcJobResult;
+using serve::ServeOptions;
+using test::make_rng;
+using test::random_kernels;
+using test::random_mask;
+
+// ---------------------------------------------------------------------------
+// Rule-based OPC (layout/opc.cpp).
+// ---------------------------------------------------------------------------
+
+TEST(RuleOpc, SerifsAddedAtEveryCorner) {
+  Layout in;
+  in.tile_nm = 1024;
+  in.main.push_back(Rect{200, 200, 400, 400});
+  OpcRules rules;
+  rules.sraf_width_nm = 0;  // isolate the serif stage
+  const Layout out = apply_rule_based_opc(in, rules);
+  // Biased body + one serif per corner of the biased rect.
+  ASSERT_EQ(out.main.size(), 5u);
+  EXPECT_EQ(out.main[0], (Rect{194, 194, 406, 406}));
+  const int h = rules.serif_size_nm / 2;
+  for (int cx : {194, 406}) {
+    for (int cy : {194, 406}) {
+      const Rect serif{cx - h, cy - h, cx - h + rules.serif_size_nm,
+                       cy - h + rules.serif_size_nm};
+      EXPECT_NE(std::find(out.main.begin(), out.main.end(), serif),
+                out.main.end())
+          << "missing serif at (" << cx << ", " << cy << ")";
+    }
+  }
+}
+
+TEST(RuleOpc, SrafsClearEachOtherNotJustMains) {
+  // Two stacked features whose facing assist bars pass every main-feature
+  // clearance test but overlap *each other*: A's bottom bar spans
+  // y [258, 276), B's top bar y [254, 272).  Before SRAFs were checked
+  // against already placed SRAFs both survived; now the later one drops.
+  Layout in;
+  in.tile_nm = 1024;
+  in.main.push_back(Rect{100, 100, 400, 200});  // A
+  in.main.push_back(Rect{100, 330, 400, 430});  // B
+  const Layout out = apply_rule_based_opc(in);
+
+  ASSERT_EQ(out.sraf.size(), 3u);
+  EXPECT_EQ(out.sraf[0], (Rect{112, 24, 388, 42}));    // above A
+  EXPECT_EQ(out.sraf[1], (Rect{112, 258, 388, 276}));  // below A (kept)
+  EXPECT_EQ(out.sraf[2], (Rect{112, 488, 388, 506}));  // below B
+  for (std::size_t i = 0; i < out.sraf.size(); ++i) {
+    for (std::size_t j = i + 1; j < out.sraf.size(); ++j) {
+      EXPECT_FALSE(out.sraf[i].intersects(out.sraf[j]))
+          << "SRAFs " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(RuleOpc, InvertedBarsNeverPlacedOrBlocking) {
+  // A feature barely above sraf_min_edge but narrower than twice the bar
+  // width emits *inverted* horizontal bars (x0 > x1).  An inverted rect
+  // never intersects anything, so before the valid() guard it sailed
+  // through the clearance checks into out.sraf — invisible in the output
+  // (clip_to_tile drops it) but poisoning later candidates, whose
+  // *expanded* rect does intersect the phantom.
+  OpcRules rules;
+  rules.sraf_min_edge_nm = 16;
+  Layout in;
+  in.tile_nm = 1024;
+  in.main.push_back(Rect{500, 100, 520, 400});  // narrow: phantom emitter
+  in.main.push_back(Rect{300, 520, 700, 560});  // its top bar meets the phantom
+  const Layout out = apply_rule_based_opc(in, rules);
+
+  for (const Rect& r : out.sraf) {
+    EXPECT_TRUE(r.valid()) << "invalid SRAF in output";
+  }
+  // Narrow feature: vertical bars only; wide feature: all four.
+  ASSERT_EQ(out.sraf.size(), 6u);
+  const Rect wide_top{312, 444, 688, 462};
+  EXPECT_NE(std::find(out.sraf.begin(), out.sraf.end(), wide_top),
+            out.sraf.end())
+      << "bar blocked by a phantom inverted SRAF";
+}
+
+TEST(RuleOpc, ClipToTileClampsAndDropsDegenerates) {
+  Layout l;
+  l.tile_nm = 100;
+  l.main.push_back(Rect{-10, -10, 50, 50});   // overhangs the corner
+  l.main.push_back(Rect{100, 10, 120, 30});   // starts exactly at the edge
+  l.sraf.push_back(Rect{90, 20, 130, 40});    // clipped to the edge
+  l.sraf.push_back(Rect{-30, -30, -5, -5});   // fully outside
+  l.sraf.push_back(Rect{40, 60, 30, 70});     // inverted
+  l.clip_to_tile();
+  ASSERT_EQ(l.main.size(), 1u);
+  EXPECT_EQ(l.main[0], (Rect{0, 0, 50, 50}));
+  ASSERT_EQ(l.sraf.size(), 1u);
+  EXPECT_EQ(l.sraf[0], (Rect{90, 20, 100, 40}));
+}
+
+TEST(RuleOpc, GoldenPrintFidelitySmoke) {
+  // End to end: decorate a B1 tile, rasterize, print through the golden
+  // simulator, and check the decoration did not wreck fidelity.
+  LithoConfig cfg;
+  cfg.tile_nm = 512;
+  cfg.raster_px = 512;
+  cfg.analysis_px = 64;
+  cfg.sim_px = 32;
+  cfg.spectrum_crop = 31;
+  cfg.optics.source_oversample = 2;
+  cfg.max_rank = 64;
+  const GoldenEngine engine(cfg);
+
+  Rng rng = make_rng(42);
+  const Layout design = make_b1_layout(cfg.tile_nm, rng);
+  const Layout decorated = apply_rule_based_opc(design);
+  for (const Rect& r : decorated.all()) {
+    EXPECT_TRUE(r.valid());
+    EXPECT_TRUE(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= cfg.tile_nm &&
+                r.y1 <= cfg.tile_nm);
+  }
+
+  const Grid<double> intent =
+      binarize(downsample_area(rasterize(design, 1), 512 / 64), 0.5);
+  const Sample plain = engine.make_sample(rasterize(design, 1));
+  const Sample opcd = engine.make_sample(rasterize(decorated, 1));
+  const double fidelity_plain = miou(intent, plain.resist);
+  const double fidelity_opc = miou(intent, opcd.resist);
+  EXPECT_GT(grid_sum(opcd.resist), 0.0) << "decorated mask printed nothing";
+  // Untuned rules trade fidelity for process-window robustness, so this
+  // is an integrity smoke, not an improvement claim: both masks must
+  // still print the intent recognizably.
+  EXPECT_GE(fidelity_plain, 0.5);
+  EXPECT_GE(fidelity_opc, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// EPE metric.
+// ---------------------------------------------------------------------------
+
+Grid<double> block(int n, int r0, int c0, int r1, int c1) {
+  Grid<double> g(n, n, 0.0);
+  for (int r = r0; r < r1; ++r) {
+    for (int c = c0; c < c1; ++c) g(r, c) = 1.0;
+  }
+  return g;
+}
+
+TEST(Epe, ZeroForPerfectPrintAndForEmptyIntent) {
+  const Grid<double> intended = block(8, 2, 2, 6, 6);
+  EXPECT_DOUBLE_EQ(opc::mean_edge_placement_error(intended, intended), 0.0);
+  const Grid<double> empty(8, 8, 0.0);
+  EXPECT_DOUBLE_EQ(opc::mean_edge_placement_error(empty, empty), 0.0);
+}
+
+TEST(Epe, MissingPrintScoresLineLength) {
+  const Grid<double> intended = block(8, 2, 2, 6, 6);
+  const Grid<double> printed(8, 8, 0.0);
+  // Every intended edge (8 row-scan + 8 column-scan) misses -> length 8.
+  EXPECT_DOUBLE_EQ(opc::mean_edge_placement_error(printed, intended), 8.0);
+}
+
+TEST(Epe, OnePixelShiftAveragesExactly) {
+  const Grid<double> intended = block(8, 2, 2, 6, 6);
+  const Grid<double> printed = block(8, 2, 3, 6, 7);  // shifted right by 1
+  // Row scans: 4 lines x 2 edges, each 1 px off -> 8 edges, total 8.
+  // Column scans: intended col 2 has 2 edges with no printed edge in that
+  // column (-> 8 each); cols 3..5 match exactly -> 8 edges, total 16.
+  EXPECT_DOUBLE_EQ(opc::mean_edge_placement_error(printed, intended),
+                   24.0 / 16.0);
+}
+
+// ---------------------------------------------------------------------------
+// OpcEngine.
+// ---------------------------------------------------------------------------
+
+OpcConfig small_opc_config() {
+  OpcConfig cfg;
+  cfg.mask_px = 32;
+  cfg.sim_px = 16;
+  return cfg;
+}
+
+std::shared_ptr<const std::vector<Grid<cd>>> shared_kernels(int rank, int kdim,
+                                                            std::uint64_t salt) {
+  Rng rng = make_rng(salt);
+  return std::make_shared<const std::vector<Grid<cd>>>(
+      random_kernels(rank, kdim, rng));
+}
+
+std::vector<Grid<double>> random_intents(int count, int px, std::uint64_t salt) {
+  Rng rng = make_rng(salt);
+  std::vector<Grid<double>> out;
+  for (int i = 0; i < count; ++i) out.push_back(random_mask(px, px, rng, 0.4));
+  return out;
+}
+
+/// The legacy per-mask ILT loop (examples/inverse_litho.cpp structure),
+/// run to `iters` for one intent — the bit-identity reference.
+std::vector<float> per_mask_reference(const std::vector<Grid<cd>>& kernels,
+                                      const Grid<double>& intended,
+                                      const OpcConfig& cfg, int iters) {
+  const int kdim = kernels[0].rows();
+  const int s = cfg.mask_px;
+  nn::Tensor kt({static_cast<int>(kernels.size()), kdim, kdim, 2});
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    for (std::size_t p = 0; p < kernels[i].size(); ++p) {
+      const std::int64_t base =
+          static_cast<std::int64_t>((i * kernels[i].size() + p) * 2);
+      kt[base] = static_cast<float>(kernels[i][p].real());
+      kt[base + 1] = static_cast<float>(kernels[i][p].imag());
+    }
+  }
+  nn::Tensor target({cfg.sim_px, cfg.sim_px});
+  const Grid<double> down = downsample_area(intended, s / cfg.sim_px);
+  for (std::size_t i = 0; i < down.size(); ++i) {
+    target[static_cast<std::int64_t>(i)] =
+        down[i] > 0.5 ? cfg.target_bright : cfg.target_dark;
+  }
+  nn::Tensor theta({s, s});
+  for (std::size_t i = 0; i < intended.size(); ++i) {
+    theta[static_cast<std::int64_t>(i)] =
+        intended[i] > 0.5 ? cfg.theta_init : -cfg.theta_init;
+  }
+  nn::Var vtheta = nn::make_leaf(theta, true);
+  nn::Adam opt({vtheta}, cfg.lr);
+  for (int it = 0; it < iters; ++it) {
+    opt.zero_grad();
+    nn::Var mask = nn::sigmoid(vtheta);
+    nn::Var spectrum = nn::fft2c_crop(mask, kdim);
+    nn::Var aerial =
+        nn::abs2_sum0(nn::socs_field_from_spectrum(spectrum, kt, cfg.sim_px));
+    nn::Var fit = nn::mse_loss(aerial, target);
+    nn::Var bin = nn::sub(nn::mean(mask), nn::mean(nn::square(mask)));
+    nn::Var loss = nn::add(fit, nn::scale(bin, cfg.bin_weight));
+    nn::backward(loss);
+    opt.step();
+  }
+  const float* p = vtheta->value.data();
+  return std::vector<float>(p, p + vtheta->value.numel());
+}
+
+TEST(OpcEngine, BatchedStepBitIdenticalToPerMaskLoop) {
+  const auto kernels = shared_kernels(3, 7, 101);
+  const OpcConfig cfg = small_opc_config();
+  const std::vector<Grid<double>> intents = random_intents(3, cfg.mask_px, 7);
+  const int iters = 4;
+
+  OpcEngine engine(kernels, cfg);
+  engine.start(intents);
+  for (int it = 0; it < iters; ++it) engine.step();
+  const std::vector<float> batched = engine.theta();
+
+  const std::size_t n = static_cast<std::size_t>(cfg.mask_px) * cfg.mask_px;
+  for (std::size_t b = 0; b < intents.size(); ++b) {
+    const std::vector<float> ref =
+        per_mask_reference(*kernels, intents[b], cfg, iters);
+    ASSERT_EQ(ref.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batched[b * n + i], ref[i])
+          << "theta diverged at mask " << b << " element " << i;
+    }
+  }
+}
+
+TEST(OpcEngine, LossesDecreaseAndMasksBinarize) {
+  const auto kernels = shared_kernels(3, 7, 202);
+  const OpcConfig cfg = small_opc_config();
+  OpcEngine engine(kernels, cfg);
+  engine.start(random_intents(2, cfg.mask_px, 8));
+  for (int it = 0; it < 12; ++it) engine.step();
+  ASSERT_EQ(engine.losses().size(), 12u);
+  EXPECT_LT(engine.losses().back(), engine.losses().front());
+  EXPECT_TRUE(std::isfinite(engine.mean_epe_px()));
+  const std::vector<Grid<double>> masks = engine.masks();
+  ASSERT_EQ(masks.size(), 2u);
+  for (const Grid<double>& m : masks) {
+    EXPECT_EQ(m.rows(), cfg.mask_px);
+    for (const double v : m) {
+      EXPECT_TRUE(v >= 0.0 && v <= 1.0);
+    }
+  }
+  const std::vector<Grid<double>> prints = engine.printed();
+  ASSERT_EQ(prints.size(), 2u);
+  EXPECT_EQ(prints[0].rows(), cfg.sim_px);
+}
+
+TEST(OpcEngine, CheckpointRestoreResumesBitIdentically) {
+  const auto kernels = shared_kernels(3, 7, 303);
+  const OpcConfig cfg = small_opc_config();
+  const std::vector<Grid<double>> intents = random_intents(2, cfg.mask_px, 9);
+
+  OpcEngine straight(kernels, cfg);
+  straight.start(intents);
+  for (int it = 0; it < 6; ++it) straight.step();
+
+  OpcEngine first(kernels, cfg);
+  first.start(intents);
+  for (int it = 0; it < 3; ++it) first.step();
+  const std::string path = test::golden_path("opc_checkpoint.bin");
+  first.checkpoint().save(path);
+  const OpcCheckpoint loaded = OpcCheckpoint::load(path);
+  EXPECT_EQ(loaded.iteration, 3);
+  EXPECT_EQ(loaded.adam_step, 3);
+
+  // Restore into an engine configured differently: the checkpoint's
+  // config must win.
+  OpcConfig other = cfg;
+  other.lr = 123.0f;
+  other.mask_px = 16;
+  OpcEngine resumed(kernels, other);
+  resumed.restore(loaded);
+  EXPECT_EQ(resumed.iteration(), 3);
+  for (int it = 0; it < 3; ++it) resumed.step();
+
+  EXPECT_EQ(straight.theta(), resumed.theta());
+  EXPECT_EQ(straight.losses(), resumed.losses());
+  const OpcCheckpoint a = straight.checkpoint();
+  const OpcCheckpoint b = resumed.checkpoint();
+  EXPECT_EQ(a.adam_m, b.adam_m);
+  EXPECT_EQ(a.adam_v, b.adam_v);
+  EXPECT_EQ(a.adam_step, b.adam_step);
+}
+
+// ---------------------------------------------------------------------------
+// Serving OPC jobs through LithoServer.
+// ---------------------------------------------------------------------------
+
+FastLitho serving_litho(std::uint64_t salt) {
+  Rng rng = make_rng(salt);
+  return FastLitho(random_kernels(2, 5, rng));
+}
+
+TEST(ServeOpc, JobCompletesNextToAerialTraffic) {
+  FastLitho litho = serving_litho(11);
+  const auto kernels = litho.kernels_shared();
+  FastLitho reference(kernels);
+  LithoServer server(std::move(litho), ServeOptions{});
+
+  OpcJobOptions opts;
+  opts.config = small_opc_config();
+  opts.iterations = 8;
+  opts.epe_every = 4;
+  OpcJobHandle job =
+      server.submit_opc(random_intents(2, opts.config.mask_px, 21), opts);
+
+  // Aerial traffic stays live (and bit-identical) while the job runs.
+  Rng rng = make_rng(99);
+  for (int i = 0; i < 16; ++i) {
+    Grid<double> mask = random_mask(16, 16, rng);
+    const Grid<double> expect = reference.aerial_from_mask(mask, 16);
+    std::future<Grid<double>> fut = server.submit(std::move(mask), 16);
+    EXPECT_EQ(fut.get(), expect);
+  }
+
+  const OpcJobResult result = job.result().get();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.iterations_done, 8);
+  ASSERT_EQ(result.masks.size(), 2u);
+  EXPECT_EQ(result.checkpoint.batch, 2);
+  const auto progress = job.progress();
+  EXPECT_TRUE(progress.done);
+  EXPECT_FALSE(progress.cancelled);
+  EXPECT_EQ(progress.iteration, 8);
+  EXPECT_TRUE(std::isfinite(progress.fit_loss));
+  EXPECT_TRUE(std::isfinite(progress.mean_epe_px));  // epe_every hit at 4, 8
+
+  // Served job == local engine on the same snapshot, bit for bit.
+  OpcEngine local(kernels, opts.config);
+  local.start(random_intents(2, opts.config.mask_px, 21));
+  for (int it = 0; it < 8; ++it) local.step();
+  EXPECT_EQ(result.checkpoint.theta, local.theta());
+}
+
+TEST(ServeOpc, CancelThenResumeLandsExactlyWhereStraightRunDoes) {
+  FastLitho litho = serving_litho(12);
+  const auto kernels = litho.kernels_shared();
+  LithoServer server(std::move(litho), ServeOptions{});
+
+  OpcJobOptions opts;
+  opts.config = small_opc_config();
+  opts.iterations = 1000000;  // far more than the test ever runs
+  OpcJobHandle job =
+      server.submit_opc(random_intents(2, opts.config.mask_px, 22), opts);
+  while (job.progress().iteration < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  job.cancel();
+  const OpcJobResult partial = job.result().get();
+  EXPECT_FALSE(partial.completed);
+  EXPECT_TRUE(job.progress().cancelled);
+  ASSERT_GE(partial.iterations_done, 1);
+  ASSERT_EQ(partial.checkpoint.batch, 2);
+
+  const long total = partial.iterations_done + 3;
+  OpcJobOptions more = opts;
+  more.iterations = total;
+  OpcJobHandle resumed = server.resume_opc(partial.checkpoint, more);
+  const OpcJobResult final_result = resumed.result().get();
+  EXPECT_TRUE(final_result.completed);
+  EXPECT_EQ(final_result.iterations_done, total);
+
+  OpcEngine straight(kernels, opts.config);
+  straight.start(random_intents(2, opts.config.mask_px, 22));
+  for (long it = 0; it < total; ++it) straight.step();
+  EXPECT_EQ(final_result.checkpoint.theta, straight.theta());
+  EXPECT_EQ(final_result.checkpoint.losses, straight.losses());
+}
+
+TEST(ServeOpc, StopResolvesEveryJobFuture) {
+  LithoServer server(serving_litho(13), ServeOptions{});
+  OpcJobOptions opts;
+  opts.config = small_opc_config();
+  opts.iterations = 1000000;
+  OpcJobHandle a =
+      server.submit_opc(random_intents(1, opts.config.mask_px, 23), opts);
+  OpcJobHandle b =
+      server.submit_opc(random_intents(1, opts.config.mask_px, 24), opts);
+  server.stop();
+  const OpcJobResult ra = a.result().get();
+  const OpcJobResult rb = b.result().get();
+  EXPECT_FALSE(ra.completed);
+  EXPECT_FALSE(rb.completed);
+  EXPECT_TRUE(a.progress().done);
+  EXPECT_TRUE(b.progress().done);
+  // A started job hands back a resumable checkpoint; an unstarted one
+  // reports batch == 0 (resubmit the original request).
+  for (const OpcJobResult* r : {&ra, &rb}) {
+    if (r->checkpoint.batch > 0) {
+      EXPECT_EQ(r->checkpoint.batch, 1);
+      EXPECT_EQ(r->checkpoint.iteration, r->iterations_done);
+    } else {
+      EXPECT_EQ(r->iterations_done, 0);
+      EXPECT_TRUE(r->masks.empty());
+    }
+  }
+  EXPECT_THROW(
+      server.submit_opc(random_intents(1, opts.config.mask_px, 25), opts),
+      check_error);
+}
+
+}  // namespace
+}  // namespace nitho

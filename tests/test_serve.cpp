@@ -640,6 +640,44 @@ TEST(LithoServer, FreshServerReportsNoLatencySamples) {
   EXPECT_GT(st.est_service_us, 0.0);
 }
 
+TEST(LithoServer, PercentileIndexIsNearestRankEvenForTinyWindows) {
+  // Regression pin for the small-window p99 underestimate: the old
+  // floor-style (99 * (n - 1)) / 100 returned the *minimum* of a 2-sample
+  // window as its p99.  Nearest rank is ceil(p/100 * n) - 1.
+  EXPECT_EQ(serve::percentile_index(1, 50), 0u);
+  EXPECT_EQ(serve::percentile_index(1, 99), 0u);
+  EXPECT_EQ(serve::percentile_index(2, 99), 1u);  // max, not min
+  EXPECT_EQ(serve::percentile_index(3, 99), 2u);
+  EXPECT_EQ(serve::percentile_index(100, 99), 98u);
+  EXPECT_EQ(serve::percentile_index(101, 99), 99u);
+  EXPECT_EQ(serve::percentile_index(200, 99), 197u);
+  // p50 agrees with the old median for every window size.
+  EXPECT_EQ(serve::percentile_index(2, 50), 0u);
+  EXPECT_EQ(serve::percentile_index(3, 50), 1u);
+  EXPECT_EQ(serve::percentile_index(4, 50), 1u);
+  EXPECT_EQ(serve::percentile_index(5, 50), 2u);
+  EXPECT_EQ(serve::percentile_index(100, 50), 49u);
+  EXPECT_EQ(serve::percentile_index(100, 100), 99u);
+  EXPECT_THROW(serve::percentile_index(0, 99), check_error);
+  EXPECT_THROW(serve::percentile_index(10, 0), check_error);
+}
+
+TEST(LithoServer, TinyWindowP99ReportsTheSlowestSample) {
+  // Two completed requests: p99 must be the slower one (the old floor
+  // formula reported the faster).  Latencies are noisy, so assert the
+  // ordering property rather than values: p99 >= p50 always, and with
+  // n == 2 the p99 index is the maximum sample.
+  ServerHarness h(116);
+  LithoServer server(h.make_litho());
+  for (int i = 0; i < 2; ++i) {
+    Grid<double> mask = random_mask(32, 32, h.rng);
+    (void)server.submit(std::move(mask), 16).get();
+  }
+  const ShardStats st = server.stats();
+  ASSERT_EQ(st.latency_samples, 2u);
+  EXPECT_GE(st.p99_latency_us, st.p50_latency_us);
+}
+
 TEST(LithoServer, ShedsAtSubmitWhenDeadlineIsHopeless) {
   // Per-request deadlines work without any SloPolicy installed: a
   // deadline already in the past is hopeless no matter the queue state.
