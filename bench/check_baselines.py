@@ -30,33 +30,44 @@ import sys
 import tempfile
 
 # file -> list of (row key, ratio column, absolute floor or None,
-# relative-checked).  A floor is the acceptance threshold from the PR that
-# introduced the subsystem; the relative check
+# relative-checked, absolute ceiling or None).  A floor is the acceptance
+# threshold from the PR that introduced the subsystem; the relative check
 # (candidate >= (1 - tol) * baseline) guards against creeping regressions
 # from later PRs and only applies to machine-independent ratios —
 # slo_headroom divides a fixed target by an *absolute* p99, so it is
-# floor-only (a slower box legitimately has less headroom).
+# floor-only (a slower box legitimately has less headroom).  A *ceiling*
+# gates a smaller-is-better ratio (e.g. a tail-latency ratio): the
+# candidate fails when it rises above the ceiling, and has no relative
+# check — it may improve (drop) freely.
 GATES = {
     "fig5_runtime.csv": [
-        ("Nitho_single", "vs_prerefactor", None, True),
-        ("Nitho_batch", "vs_prerefactor", 1.5, True),
+        ("Nitho_single", "vs_prerefactor", None, True, None),
+        ("Nitho_batch", "vs_prerefactor", 1.5, True, None),
     ],
     "serve_throughput.csv": [
-        ("served_open_loop", "vs_naive", 1.3, True),
+        ("served_open_loop", "vs_naive", 1.3, True, None),
     ],
     "serve_slo.csv": [
         # Overload acceptance (ISSUE 5): at ~2x single-shard capacity with
         # admission control + autotune on, accepted-request p99 must meet
         # the SLO (headroom = target_p99 / p99 >= 1) and goodput must hold
         # >= 0.9x the measured closed-loop capacity.
-        ("overload_admission", "slo_headroom", 1.0, False),
-        ("overload_admission", "goodput_vs_capacity", 0.9, True),
+        ("overload_admission", "slo_headroom", 1.0, False, None),
+        ("overload_admission", "goodput_vs_capacity", 0.9, True, None),
     ],
     "train_throughput.csv": [
-        ("batched", "vs_legacy", 1.3, True),
+        ("batched", "vs_legacy", 1.3, True, None),
     ],
     "opc_throughput.csv": [
-        ("batched", "vs_permask", 1.3, True),
+        ("batched", "vs_permask", 1.3, True, None),
+    ],
+    "rollout_swap.csv": [
+        # Rollout hot-swap acceptance (ISSUE 7): served p99 across
+        # swap_kernels() under open-loop load must stay within 1.5x the
+        # steady-state p99.  Smaller is better, so this is ceiling-only:
+        # both p99s come from the same run on the same box, and the ratio
+        # may shrink freely as swaps get cheaper.
+        ("across_swap", "swap_p99_vs_steady", None, False, 1.5),
     ],
 }
 
@@ -102,7 +113,7 @@ def check_file(name, baseline_path, candidate_path, tol):
     failures = []
     baseline = read_csv(baseline_path)
     candidate = read_csv(candidate_path)
-    for key, column, floor, relative in GATES[name]:
+    for key, column, floor, relative, ceiling in GATES[name]:
         base = ratio(baseline, key, column, baseline_path)
         cand = ratio(candidate, key, column, candidate_path)
         min_rel = (1.0 - tol) * base
@@ -115,6 +126,11 @@ def check_file(name, baseline_path, candidate_path, tol):
             failures.append(
                 f"{name}: {key}.{column} = {cand:.3f} is under the "
                 f"acceptance floor {floor}"
+            )
+        if ceiling is not None and cand > ceiling:
+            failures.append(
+                f"{name}: {key}.{column} = {cand:.3f} is over the "
+                f"acceptance ceiling {ceiling}"
             )
     return failures
 
@@ -376,6 +392,43 @@ def self_test():
             [
                 ["per_mask", "790.0", "17.1", "1.00"],
                 ["batched", "2700.0", "17.1", "3.42"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
+        # 12. rollout gate: swap_p99_vs_steady is *ceiling*-gated (smaller
+        #     is better).  Over the 1.5 ceiling fails; far *below* the
+        #     committed baseline passes — an improved (cheaper) swap must
+        #     never trip the relative floor that guards larger-is-better
+        #     ratios.
+        rollout_header = ["mode", "offered_rps", "goodput_rps", "p99_us",
+                          "swaps", "swap_p99_vs_steady"]
+        write_csv(
+            os.path.join(basedir, "rollout_swap.csv"),
+            rollout_header,
+            [
+                ["capacity_open_loop", "9000", "9000", "1400", "0", ""],
+                ["steady_open_loop", "5400", "5400", "900", "0", "1.00"],
+                ["across_swap", "5400", "5300", "1080", "4", "1.20"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "rollout_swap.csv"),
+            rollout_header,
+            [
+                ["capacity_open_loop", "8800", "8800", "1500", "0", ""],
+                ["steady_open_loop", "5300", "5300", "950", "0", "1.00"],
+                ["across_swap", "5300", "5100", "1570", "4", "1.65"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1
+        write_csv(
+            os.path.join(outdir, "rollout_swap.csv"),
+            rollout_header,
+            [
+                ["capacity_open_loop", "8800", "8800", "1500", "0", ""],
+                ["steady_open_loop", "5300", "5300", "950", "0", "1.00"],
+                ["across_swap", "5300", "5200", "960", "4", "1.01"],
             ],
         )
         assert run(basedir, outdir, 0.25, require=False) == 0

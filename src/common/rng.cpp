@@ -1,4 +1,23 @@
 #include "common/rng.hpp"
 
-// Header-only today; the translation unit anchors the library and keeps room
-// for heavier samplers (e.g. Poisson-disk) without touching the interface.
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nitho {
+
+std::string Rng::state() const {
+  std::ostringstream os;
+  os << gen_;
+  return os.str();
+}
+
+void Rng::set_state(const std::string& s) {
+  std::istringstream is(s);
+  std::mt19937_64 restored;
+  is >> restored;
+  check(!is.fail(), "Rng::set_state: malformed generator state");
+  gen_ = restored;
+}
+
+}  // namespace nitho

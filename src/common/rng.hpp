@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace nitho {
@@ -45,6 +46,14 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return gen_; }
+
+  /// Full generator state as text (the standard's operator<< format) — the
+  /// round trip is exact, so a restored generator produces the identical
+  /// stream.  Used by trainer checkpoints.
+  std::string state() const;
+  /// Restores a state captured by state(); throws check_error on a string
+  /// that does not parse as a complete mt19937_64 state.
+  void set_state(const std::string& s);
 
  private:
   std::mt19937_64 gen_;

@@ -1,6 +1,7 @@
 #include "io/tensor_io.hpp"
 
 #include <fstream>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -31,10 +32,19 @@ std::vector<std::int64_t> read_header(std::ifstream& f, Dtype expect,
   check(f.good() && magic == kMagic, "bad tensor file: " + path);
   check(tag == static_cast<std::uint32_t>(expect), "dtype mismatch in " + path);
   check(rank <= 8, "implausible tensor rank in " + path);
+  // Range-check the dims before anyone allocates with them: every caller
+  // narrows to int (Grid dimensions), and a corrupt header must throw here
+  // rather than overflow the cast or request a multi-terabyte buffer.
+  constexpr std::int64_t kMaxDim = std::numeric_limits<int>::max();
+  constexpr std::int64_t kMaxElems = std::int64_t{1} << 33;
   std::vector<std::int64_t> dims(rank);
+  std::int64_t numel = rank == 0 ? 0 : 1;
   for (auto& d : dims) {
     f.read(reinterpret_cast<char*>(&d), sizeof d);
-    check(f.good() && d >= 0, "bad dims in " + path);
+    check(f.good() && d >= 0 && d <= kMaxDim, "bad dims in " + path);
+    check(d == 0 || numel <= kMaxElems / d,
+          "implausible tensor size in " + path);
+    numel = d == 0 ? 0 : numel * d;
   }
   return dims;
 }

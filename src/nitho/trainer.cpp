@@ -1,9 +1,12 @@
 #include "nitho/trainer.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <numeric>
+#include <utility>
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
@@ -11,6 +14,7 @@
 #include "nn/ops.hpp"
 #include "nn/ops_fft.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
 
 namespace nitho {
 namespace {
@@ -94,85 +98,268 @@ TrainStats train_nitho(NithoModel& model,
       cfg);
 }
 
-TrainStats train_nitho(NithoModel& model, const TrainingSet& set,
-                       const NithoTrainConfig& cfg) {
-  const int n = set.size();
+NithoTrainer::NithoTrainer(NithoModel& model, const TrainingSet& set,
+                           NithoTrainConfig cfg)
+    : model_(model),
+      set_(set),
+      cfg_(cfg),
+      opt_(model.parameters(), cfg.lr),
+      rng_(cfg.seed),
+      order_(static_cast<std::size_t>(set.size())) {
+  const int n = set_.size();
   check(n >= 1, "training needs at least one sample");
-  check(cfg.epochs >= 1 && cfg.batch >= 1 && cfg.lr > 0.0f,
+  check(cfg_.epochs >= 1 && cfg_.batch >= 1 && cfg_.lr > 0.0f,
         "bad training configuration");
-  check(set.kernel_dim == model.kernel_dim(),
+  check(set_.kernel_dim == model_.kernel_dim(),
         "training set prepared for a different kernel support");
-  check(cfg.train_px <= 0 || cfg.train_px == set.train_px,
+  check(cfg_.train_px <= 0 || cfg_.train_px == set_.train_px,
         "training set prepared for a different grid");
   // TrainingSet is a plain struct callers may fill by hand; gather_batch
   // memcpys by these shapes, so validate them before trusting them.
-  const std::vector<int> spec_shape{set.kernel_dim, set.kernel_dim, 2};
-  const std::vector<int> target_shape{set.train_px, set.train_px};
-  check(set.targets.size() == set.spectra.size(),
+  const std::vector<int> spec_shape{set_.kernel_dim, set_.kernel_dim, 2};
+  const std::vector<int> target_shape{set_.train_px, set_.train_px};
+  check(set_.targets.size() == set_.spectra.size(),
         "training set spectra/targets size mismatch");
   for (int i = 0; i < n; ++i) {
-    check(set.spectra[static_cast<std::size_t>(i)].shape() == spec_shape &&
-              set.targets[static_cast<std::size_t>(i)].shape() == target_shape,
+    check(set_.spectra[static_cast<std::size_t>(i)].shape() == spec_shape &&
+              set_.targets[static_cast<std::size_t>(i)].shape() == target_shape,
           "training set tensor shapes inconsistent with kernel_dim/train_px");
   }
-  const int px = set.train_px;
+  std::iota(order_.begin(), order_.end(), 0);
+}
 
-  nn::Adam opt(model.parameters(), cfg.lr);
-  Rng rng(cfg.seed);
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+float NithoTrainer::scheduled_lr(const NithoTrainConfig& cfg,
+                                 int completed_epochs) {
+  check(completed_epochs >= 0 && completed_epochs <= cfg.epochs,
+        "scheduled_lr: epoch cursor out of range");
+  if (completed_epochs == 0) return cfg.lr;
+  // Cosine decay to 10% of the base learning rate; bit-exactly the
+  // expression run_epoch evaluates at the end of each epoch.
+  const double t = static_cast<double>(completed_epochs) / cfg.epochs;
+  return static_cast<float>(cfg.lr *
+                            (0.1 + 0.45 * (1.0 + std::cos(kPi * t))));
+}
 
-  // One graph per step over the whole mask batch; node shells and tensor
-  // buffers are recycled across steps by the arena (DESIGN.md §8).
-  nn::GraphArena arena;
-  nn::Tensor batch_spectra, batch_targets;
+void NithoTrainer::set_base_lr(float lr) {
+  check(lr > 0.0f, "set_base_lr: learning rate must be positive");
+  cfg_.lr = lr;
+  opt_.set_lr(scheduled_lr(cfg_, epoch_));
+}
 
-  TrainStats stats;
+void NithoTrainer::run_epoch() {
+  check(!done(), "run_epoch: training already complete");
+  const int n = set_.size();
+  const int px = set_.train_px;
   WallTimer timer;
   WallTimer phase;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-    rng.shuffle(order);
-    double epoch_loss = 0.0;
-    int batches = 0;
-    for (int b = 0; b < n; b += cfg.batch) {
-      const int count = std::min(cfg.batch, n - b);
-      gather_batch(set, order, b, count, batch_spectra, batch_targets);
-      arena.reset();
-      nn::GraphArena::Scope scope(arena);
-      opt.zero_grad();
-      phase.reset();
-      // One field evaluation per step (the kernels do not depend on masks),
-      // then the batch images as a single chain of batched nodes.
-      const nn::Var kernels = model.predict_kernels();
-      nn::Var pred = nn::abs2_sum0_batch(
-          nn::socs_field_batch(kernels, batch_spectra, px));
-      nn::Var loss =
-          nn::scale(nn::mse_loss_batch_ordered(pred, batch_targets),
-                    1.0f / static_cast<float>(count));
-      stats.forward_seconds += phase.seconds();
-      phase.reset();
-      nn::backward(loss);
-      stats.backward_seconds += phase.seconds();
-      phase.reset();
-      opt.step();
-      stats.step_seconds += phase.seconds();
-      epoch_loss += loss->value[0];
-      ++batches;
-      ++stats.steps;
-    }
-    stats.epoch_losses.push_back(epoch_loss / std::max(1, batches));
-    // Cosine decay to 10% of the base learning rate.
-    const double t = static_cast<double>(epoch + 1) / cfg.epochs;
-    opt.set_lr(static_cast<float>(cfg.lr * (0.1 + 0.45 * (1.0 + std::cos(kPi * t)))));
-    if (cfg.verbose) {
-      std::printf("  [nitho] epoch %3d/%d  loss %.3e\n", epoch + 1, cfg.epochs,
-                  stats.epoch_losses.back());
-      std::fflush(stdout);
-    }
+  rng_.shuffle(order_);
+  double epoch_loss = 0.0;
+  int batches = 0;
+  for (int b = 0; b < n; b += cfg_.batch) {
+    const int count = std::min(cfg_.batch, n - b);
+    gather_batch(set_, order_, b, count, batch_spectra_, batch_targets_);
+    arena_.reset();
+    nn::GraphArena::Scope scope(arena_);
+    opt_.zero_grad();
+    phase.reset();
+    // One field evaluation per step (the kernels do not depend on masks),
+    // then the batch images as a single chain of batched nodes
+    // (DESIGN.md §8; node shells and buffers recycle through the arena).
+    const nn::Var kernels = model_.predict_kernels();
+    nn::Var pred = nn::abs2_sum0_batch(
+        nn::socs_field_batch(kernels, batch_spectra_, px));
+    nn::Var loss =
+        nn::scale(nn::mse_loss_batch_ordered(pred, batch_targets_),
+                  1.0f / static_cast<float>(count));
+    stats_.forward_seconds += phase.seconds();
+    phase.reset();
+    nn::backward(loss);
+    stats_.backward_seconds += phase.seconds();
+    phase.reset();
+    opt_.step();
+    stats_.step_seconds += phase.seconds();
+    epoch_loss += loss->value[0];
+    ++batches;
+    ++stats_.steps;
   }
-  stats.final_loss = stats.epoch_losses.back();
-  stats.seconds = timer.seconds();
-  return stats;
+  stats_.epoch_losses.push_back(epoch_loss / std::max(1, batches));
+  stats_.final_loss = stats_.epoch_losses.back();
+  ++epoch_;
+  opt_.set_lr(scheduled_lr(cfg_, epoch_));
+  stats_.seconds += timer.seconds();
+  if (cfg_.verbose) {
+    std::printf("  [nitho] epoch %3d/%d  loss %.3e\n", epoch_, cfg_.epochs,
+                stats_.epoch_losses.back());
+    std::fflush(stdout);
+  }
+}
+
+namespace {
+constexpr std::uint64_t kTrainerStateVersion = 1;
+}  // namespace
+
+void NithoTrainer::save_state(std::ostream& os) const {
+  nn::write_u64(os, kTrainerStateVersion);
+  // Config: the run this state belongs to.  load_state adopts it.
+  nn::write_u64(os, static_cast<std::uint64_t>(cfg_.epochs));
+  nn::write_u64(os, static_cast<std::uint64_t>(cfg_.batch));
+  nn::write_f32(os, cfg_.lr);
+  nn::write_u64(os, static_cast<std::uint64_t>(
+                        cfg_.train_px < 0 ? 0 : cfg_.train_px));
+  nn::write_u64(os, cfg_.seed);
+  // Structural fingerprint of the bound model + set: restoring against a
+  // different kernel support / grid / sample count must fail loudly.
+  nn::write_u64(os, static_cast<std::uint64_t>(model_.kernel_dim()));
+  nn::write_u64(os, static_cast<std::uint64_t>(set_.train_px));
+  nn::write_u64(os, static_cast<std::uint64_t>(set_.size()));
+  // Cursor + state.
+  nn::write_u64(os, static_cast<std::uint64_t>(epoch_));
+  const std::vector<nn::Var> params = model_.parameters();
+  nn::write_parameters(os, params);
+  nn::write_string(os, rng_.state());
+  // The shuffle permutation is state, not a derived value: run_epoch
+  // shuffles order_ in place (the evolving permutation, matching the
+  // legacy loop), so a resume that restarted from iota would draw a
+  // different epoch ordering and diverge.
+  std::vector<double> order(order_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order[i] = static_cast<double>(order_[i]);
+  }
+  nn::write_doubles(os, order);
+  nn::write_doubles(os, stats_.epoch_losses);
+  nn::write_u64(os, static_cast<std::uint64_t>(stats_.steps));
+  nn::write_doubles(os, {stats_.seconds, stats_.forward_seconds,
+                         stats_.backward_seconds, stats_.step_seconds});
+  // Adam last: load_state stages everything above in locals and commits
+  // only after this record (itself all-or-nothing) has loaded, so a
+  // truncated or corrupt stream can never leave the trainer half restored.
+  opt_.save_state(os);  // moments (shape-tagged), step count, current lr
+}
+
+void NithoTrainer::load_state(std::istream& is) {
+  const std::uint64_t version = nn::read_u64(is);
+  check(version == kTrainerStateVersion,
+        "NithoTrainer::load_state: unsupported state version");
+  NithoTrainConfig cfg = cfg_;
+  cfg.epochs = static_cast<int>(nn::read_u64(is));
+  cfg.batch = static_cast<int>(nn::read_u64(is));
+  cfg.lr = nn::read_f32(is);
+  cfg.train_px = static_cast<int>(nn::read_u64(is));
+  cfg.seed = nn::read_u64(is);
+  check(cfg.epochs >= 1 && cfg.batch >= 1 && cfg.lr > 0.0f,
+        "NithoTrainer::load_state: corrupt config");
+  const auto kernel_dim = static_cast<int>(nn::read_u64(is));
+  const auto train_px = static_cast<int>(nn::read_u64(is));
+  const auto set_size = static_cast<int>(nn::read_u64(is));
+  check(kernel_dim == model_.kernel_dim(),
+        "NithoTrainer::load_state: state was captured for a different "
+        "kernel support");
+  check(train_px == set_.train_px && set_size == set_.size(),
+        "NithoTrainer::load_state: state was captured over a different "
+        "training set");
+  const auto epoch = static_cast<int>(nn::read_u64(is));
+  check(epoch >= 0 && epoch <= cfg.epochs,
+        "NithoTrainer::load_state: epoch cursor out of range");
+  // Stage everything in locals first: nothing of the trainer is mutated
+  // until the whole stream has parsed and validated (the Adam record is
+  // deliberately last in the stream and is itself all-or-nothing), so a
+  // truncated or corrupt checkpoint never leaves a half-restored trainer.
+  const std::vector<nn::Var> params = model_.parameters();
+  const std::uint64_t stored = nn::read_u64(is);
+  check(stored == params.size(),
+        "NithoTrainer::load_state: stored parameter count does not match "
+        "the model");
+  std::vector<nn::Tensor> weights;
+  weights.reserve(params.size());
+  for (const nn::Var& p : params) {
+    nn::Tensor t = nn::read_tensor(is);
+    check(t.shape() == p->value.shape(),
+          "NithoTrainer::load_state: stored parameter shape does not match "
+          "the model");
+    weights.push_back(std::move(t));
+  }
+  Rng staged_rng(0);
+  staged_rng.set_state(nn::read_string(is));
+  const std::vector<double> order_d = nn::read_doubles(is);
+  check(order_d.size() == static_cast<std::size_t>(set_.size()),
+        "NithoTrainer::load_state: shuffle permutation length disagrees "
+        "with the training set");
+  std::vector<int> order(order_d.size());
+  std::vector<bool> seen(order_d.size(), false);
+  for (std::size_t i = 0; i < order_d.size(); ++i) {
+    const double v = order_d[i];
+    const int idx = static_cast<int>(v);
+    check(v == static_cast<double>(idx) && idx >= 0 &&
+              idx < set_.size() && !seen[static_cast<std::size_t>(idx)],
+          "NithoTrainer::load_state: corrupt shuffle permutation");
+    seen[static_cast<std::size_t>(idx)] = true;
+    order[i] = idx;
+  }
+  std::vector<double> losses = nn::read_doubles(is);
+  check(static_cast<int>(losses.size()) == epoch,
+        "NithoTrainer::load_state: loss trajectory length disagrees with "
+        "the epoch cursor");
+  const auto steps = static_cast<int>(nn::read_u64(is));
+  const std::vector<double> seconds = nn::read_doubles(is);
+  check(seconds.size() == 4,
+        "NithoTrainer::load_state: malformed timing record");
+  // Last mutating read; shape-checked against the bound parameters and
+  // all-or-nothing by itself.
+  opt_.load_state(is);
+
+  // Commit.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const nn::Tensor& t = weights[i];
+    std::copy(t.data(), t.data() + t.numel(), params[i]->value.data());
+  }
+  rng_ = staged_rng;
+  order_ = std::move(order);
+  cfg_ = cfg;
+  epoch_ = epoch;
+  stats_.epoch_losses = std::move(losses);
+  stats_.final_loss =
+      stats_.epoch_losses.empty() ? 0.0 : stats_.epoch_losses.back();
+  stats_.steps = steps;
+  stats_.seconds = seconds[0];
+  stats_.forward_seconds = seconds[1];
+  stats_.backward_seconds = seconds[2];
+  stats_.step_seconds = seconds[3];
+}
+
+double evaluate_nitho(const NithoModel& model, const TrainingSet& set,
+                      int batch) {
+  const int n = set.size();
+  check(n >= 1, "evaluation needs at least one sample");
+  check(batch >= 1, "bad evaluation batch size");
+  check(set.kernel_dim == model.kernel_dim(),
+        "evaluation set prepared for a different kernel support");
+  const int px = set.train_px;
+  nn::GraphArena arena;
+  nn::Tensor spectra, targets;
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  double total = 0.0;
+  for (int b = 0; b < n; b += batch) {
+    const int count = std::min(batch, n - b);
+    gather_batch(set, order, b, count, spectra, targets);
+    arena.reset();
+    nn::GraphArena::Scope scope(arena);
+    const nn::Var kernels = model.predict_kernels();
+    nn::Var pred =
+        nn::abs2_sum0_batch(nn::socs_field_batch(kernels, spectra, px));
+    nn::Var loss = nn::mse_loss_batch_ordered(pred, targets);
+    // Unscaled: the batch loss is the ordered sum of per-sample MSEs;
+    // accumulate the raw sums and divide once at the end.
+    total += static_cast<double>(loss->value[0]);
+  }
+  return total / static_cast<double>(n);
+}
+
+TrainStats train_nitho(NithoModel& model, const TrainingSet& set,
+                       const NithoTrainConfig& cfg) {
+  NithoTrainer trainer(model, set, cfg);
+  while (!trainer.done()) trainer.run_epoch();
+  return trainer.stats();
 }
 
 std::vector<const Sample*> sample_ptrs(const Dataset& ds, int max_count) {

@@ -13,10 +13,14 @@
 // tests/test_nitho.cpp against a verbatim legacy reimplementation).
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "litho/golden.hpp"
 #include "nitho/model.hpp"
+#include "nn/optimizer.hpp"
 
 namespace nitho {
 
@@ -61,6 +65,78 @@ struct TrainingSet {
 /// grid are converted without a spectral resample.
 TrainingSet prepare_training_set(const std::vector<const Sample*>& data,
                                  int kernel_dim, int train_px = 0);
+
+/// Epoch-stepwise, checkpointable driver of the Algorithm-1 loop.  This is
+/// the class train_nitho() runs on: constructing one and calling
+/// run_epoch() until done() is arithmetic-for-arithmetic the historical
+/// whole-run loop, so every bit-identity pin on train_nitho covers it.
+///
+/// The trainer's entire state — model weights, Adam moments + step count,
+/// the shuffle RNG, the loss trajectory and the epoch cursor — round-trips
+/// through save_state/load_state (nn/serialize records): a trainer stopped
+/// after epoch k, serialized, restored into a fresh model + trainer and
+/// resumed to epoch n produces bit-identical weights and losses to the
+/// uninterrupted n-epoch run (pinned in tests/test_nitho.cpp).  This is
+/// what lets rollout replicas (src/rollout/) be paused, shipped and
+/// tournament-cloned.
+///
+/// The model and the training set are borrowed and must outlive the
+/// trainer; the set must have been prepared for the model's kernel support.
+class NithoTrainer {
+ public:
+  NithoTrainer(NithoModel& model, const TrainingSet& set,
+               NithoTrainConfig cfg);
+
+  /// One full pass over the set (cfg.epochs passes complete the run; extra
+  /// calls throw).  Appends to epoch_losses() and advances the LR schedule.
+  void run_epoch();
+
+  bool done() const { return epoch_ >= cfg_.epochs; }
+  int epochs_done() const { return epoch_; }
+  const NithoTrainConfig& config() const { return cfg_; }
+  NithoModel& model() { return model_; }
+  const std::vector<double>& epoch_losses() const {
+    return stats_.epoch_losses;
+  }
+  /// Accumulated stats so far (final_loss = last completed epoch's loss).
+  const TrainStats& stats() const { return stats_; }
+
+  /// The cosine-decay learning rate in force after `completed_epochs`
+  /// epochs of a cfg run (bit-exactly the value run_epoch would have set).
+  static float scheduled_lr(const NithoTrainConfig& cfg, int completed_epochs);
+
+  /// Re-bases the LR schedule on a new base rate (tournament perturbation):
+  /// cfg().lr becomes `lr` and the current rate is recomputed for the
+  /// current epoch cursor.  Does not touch weights, moments or the RNG.
+  void set_base_lr(float lr);
+
+  /// Serializes config + epoch cursor + weights + Adam + RNG + trajectory.
+  /// load_state adopts the stored config (like opc::OpcEngine::restore) and
+  /// throws check_error when the stored state is structurally incompatible
+  /// with the bound model/set (kernel support, grid, set size) or the
+  /// stream is truncated/corrupt — it never partially restores.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
+
+ private:
+  NithoModel& model_;
+  const TrainingSet& set_;
+  NithoTrainConfig cfg_;
+  nn::Adam opt_;
+  Rng rng_;
+  std::vector<int> order_;
+  nn::GraphArena arena_;
+  nn::Tensor batch_spectra_, batch_targets_;
+  int epoch_ = 0;
+  TrainStats stats_;
+};
+
+/// Mean per-sample imaging MSE of the model on a prepared set, through the
+/// same batched forward path the trainer optimizes (no gradients).  The
+/// held-out metric rollout tournaments rank replicas by; deterministic for
+/// a fixed batch size (ordered per-sample reduction, double accumulation).
+double evaluate_nitho(const NithoModel& model, const TrainingSet& set,
+                      int batch = 4);
 
 /// Trains the model in place on (mask spectrum, golden aerial) pairs.
 TrainStats train_nitho(NithoModel& model,

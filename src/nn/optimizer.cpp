@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
+#include <utility>
 
 #include "common/check.hpp"
+#include "nn/serialize.hpp"
 
 namespace nitho::nn {
 
@@ -65,6 +68,47 @@ void Adam::load_state(const std::vector<float>& flat) {
     std::copy(src, src + v.numel(), v.data());
     src += v.numel();
   }
+}
+
+void Adam::save_state(std::ostream& os) const {
+  write_u64(os, static_cast<std::uint64_t>(params_.size()));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    write_tensor(os, m_[i]);
+    write_tensor(os, v_[i]);
+  }
+  write_u64(os, static_cast<std::uint64_t>(t_));
+  write_f32(os, lr_);
+}
+
+void Adam::load_state(std::istream& is) {
+  const std::uint64_t count = read_u64(is);
+  check(count == params_.size(),
+        "Adam::load_state: stored moment count does not match the bound "
+        "parameters");
+  // Validate the whole stream against the bound parameters before touching
+  // any moment: a mismatch mid-stream must not leave the optimizer half
+  // restored.
+  std::vector<Tensor> m, v;
+  m.reserve(params_.size());
+  v.reserve(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor mi = read_tensor(is);
+    Tensor vi = read_tensor(is);
+    check(mi.shape() == params_[i]->value.shape() &&
+              vi.shape() == params_[i]->value.shape(),
+          "Adam::load_state: stored moment shape does not match the bound "
+          "parameter");
+    m.push_back(std::move(mi));
+    v.push_back(std::move(vi));
+  }
+  const std::uint64_t t = read_u64(is);
+  check(t <= static_cast<std::uint64_t>(std::numeric_limits<long>::max()),
+        "Adam::load_state: step count out of range");
+  const float lr = read_f32(is);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  t_ = static_cast<long>(t);
+  lr_ = lr;
 }
 
 void Adam::set_step_count(long t) {

@@ -1,6 +1,7 @@
 #pragma once
 // First-order optimizers over autodiff parameters.
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/autodiff.hpp"
@@ -28,6 +29,17 @@ class Adam {
   void load_state(const std::vector<float>& flat);
   long step_count() const { return t_; }
   void set_step_count(long t);
+
+  /// Shape-tagged stream checkpoint (nn/serialize records): parameter
+  /// count, per-parameter first and second moments with their shapes, the
+  /// step count and the learning rate.  Unlike the flat vector above,
+  /// load_state(istream) range-checks the stored moment count and every
+  /// stored shape against the parameters this optimizer is bound to and
+  /// throws check_error on mismatch (wrong model, wrong layer sizes) or on
+  /// a truncated/corrupt stream — restored state is the whole of Adam, so
+  /// a silent misassignment would corrupt training invisibly.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   std::vector<Var> params_;

@@ -1,9 +1,92 @@
 #include "nn/serialize.hpp"
 
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+
 #include "common/check.hpp"
 #include "io/tensor_io.hpp"
 
 namespace nitho::nn {
+namespace {
+
+// Stream-record framing: [magic u32][kind u32][payload].  The magic is
+// distinct from io/tensor_io's file magic so a state stream misread as a
+// tensor file (or vice versa) fails loudly on the first record.
+constexpr std::uint32_t kRecordMagic = 0x4E535452u;  // "RTSN"
+
+enum class Rec : std::uint32_t {
+  kTensor = 1,
+  kFloats = 2,
+  kDoubles = 3,
+  kU64 = 4,
+  kF32 = 5,
+  kString = 6,
+};
+
+// Corrupt headers routinely decode as absurd element counts; cap what a
+// single record may ask this process to allocate (2^33 floats = 32 GiB is
+// already far past any checkpoint in this codebase).
+constexpr std::int64_t kMaxRecordElems = std::int64_t{1} << 33;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  check(os.good(), "state write failed");
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  check(is.good(), "state stream truncated");
+  return v;
+}
+
+void write_header(std::ostream& os, Rec kind) {
+  write_pod(os, kRecordMagic);
+  write_pod(os, static_cast<std::uint32_t>(kind));
+}
+
+void expect_header(std::istream& is, Rec kind) {
+  const auto magic = read_pod<std::uint32_t>(is);
+  check(magic == kRecordMagic, "state stream corrupt: bad record magic");
+  const auto tag = read_pod<std::uint32_t>(is);
+  check(tag == static_cast<std::uint32_t>(kind),
+        "state stream corrupt: unexpected record kind");
+}
+
+std::int64_t read_count(std::istream& is) {
+  const auto n = read_pod<std::int64_t>(is);
+  check(n >= 0 && n <= kMaxRecordElems,
+        "state stream corrupt: implausible element count");
+  return n;
+}
+
+template <typename T>
+void write_span(std::ostream& os, const T* data, std::int64_t n) {
+  write_pod(os, n);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n) *
+               static_cast<std::streamsize>(sizeof(T)));
+  check(os.good(), "state write failed");
+}
+
+template <typename T>
+std::vector<T> read_span(std::istream& is) {
+  const std::int64_t n = read_count(is);
+  std::vector<T> out(static_cast<std::size_t>(n));
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(out.data()),
+            static_cast<std::streamsize>(n) *
+                static_cast<std::streamsize>(sizeof(T)));
+    check(is.good(), "state stream truncated");
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<float> dump_parameters(std::span<const Var> params) {
   std::vector<float> out;
@@ -41,6 +124,115 @@ void load_parameters_file(const std::string& path,
 
 std::int64_t parameter_bytes(std::span<const Var> params) {
   return parameter_count(params) * static_cast<std::int64_t>(sizeof(float));
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_header(os, Rec::kTensor);
+  write_pod(os, static_cast<std::uint32_t>(t.ndim()));
+  for (int i = 0; i < t.ndim(); ++i) {
+    write_pod(os, static_cast<std::int64_t>(t.dim(i)));
+  }
+  write_span(os, t.data(), t.numel());
+}
+
+Tensor read_tensor(std::istream& is) {
+  expect_header(is, Rec::kTensor);
+  const auto rank = read_pod<std::uint32_t>(is);
+  check(rank <= 8, "state stream corrupt: implausible tensor rank");
+  std::vector<int> shape(rank);
+  std::int64_t numel = rank == 0 ? 0 : 1;
+  for (auto& d : shape) {
+    const auto dim = read_pod<std::int64_t>(is);
+    check(dim >= 0 && dim <= std::numeric_limits<int>::max(),
+          "state stream corrupt: tensor dim out of range");
+    check(dim == 0 || numel <= kMaxRecordElems / dim,
+          "state stream corrupt: tensor element count out of range");
+    numel = dim == 0 ? 0 : numel * dim;
+    d = static_cast<int>(dim);
+  }
+  const std::int64_t stored = read_count(is);
+  check(stored == numel,
+        "state stream corrupt: tensor payload disagrees with its shape");
+  Tensor t(shape);
+  if (numel > 0) {
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(numel) *
+                static_cast<std::streamsize>(sizeof(float)));
+    check(is.good(), "state stream truncated");
+  }
+  return t;
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_header(os, Rec::kFloats);
+  write_span(os, v.data(), static_cast<std::int64_t>(v.size()));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  expect_header(is, Rec::kFloats);
+  return read_span<float>(is);
+}
+
+void write_doubles(std::ostream& os, const std::vector<double>& v) {
+  write_header(os, Rec::kDoubles);
+  write_span(os, v.data(), static_cast<std::int64_t>(v.size()));
+}
+
+std::vector<double> read_doubles(std::istream& is) {
+  expect_header(is, Rec::kDoubles);
+  return read_span<double>(is);
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  write_header(os, Rec::kU64);
+  write_pod(os, v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  expect_header(is, Rec::kU64);
+  return read_pod<std::uint64_t>(is);
+}
+
+void write_f32(std::ostream& os, float v) {
+  write_header(os, Rec::kF32);
+  write_pod(os, v);
+}
+
+float read_f32(std::istream& is) {
+  expect_header(is, Rec::kF32);
+  return read_pod<float>(is);
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_header(os, Rec::kString);
+  write_span(os, s.data(), static_cast<std::int64_t>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  expect_header(is, Rec::kString);
+  const std::vector<char> bytes = read_span<char>(is);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+void write_parameters(std::ostream& os, std::span<const Var> params) {
+  write_u64(os, static_cast<std::uint64_t>(params.size()));
+  for (const Var& p : params) {
+    check(p != nullptr, "null parameter");
+    write_tensor(os, p->value);
+  }
+}
+
+void read_parameters(std::istream& is, std::span<const Var> params) {
+  const std::uint64_t stored = read_u64(is);
+  check(stored == params.size(),
+        "read_parameters: stored parameter count does not match the model");
+  for (const Var& p : params) {
+    check(p != nullptr, "null parameter");
+    const Tensor t = read_tensor(is);
+    check(t.shape() == p->value.shape(),
+          "read_parameters: stored parameter shape does not match the model");
+    std::copy(t.data(), t.data() + t.numel(), p->value.data());
+  }
 }
 
 }  // namespace nitho::nn

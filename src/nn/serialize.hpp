@@ -1,8 +1,24 @@
 #pragma once
-// Parameter (de)serialization: model checkpoints are the flat concatenation
-// of parameter tensors in registration order (shapes are structural and come
-// from the model definition).
+// Parameter and trainer-state (de)serialization.
+//
+// Two layers:
+//
+//   * Flat parameter blobs (dump/load_parameters): model checkpoints are
+//     the concatenation of parameter values in registration order (shapes
+//     are structural and come from the model definition).  This is the
+//     historical NithoModel::save format and stays wire-compatible.
+//
+//   * Checked stream records (write_/read_*): the substrate of full
+//     trainer/optimizer checkpoints (nitho::NithoTrainer, nn::Adam).  Every
+//     record carries a magic + kind tag and its own sizes; every read
+//     validates the tag, the sizes and the stream state and THROWS
+//     check_error on truncation or corruption — a short or corrupt stream
+//     must never silently zero-fill state that is then trained on.
+//     read_parameters additionally checks the stored parameter count and
+//     every stored shape against the parameters it is restoring into.
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,5 +38,36 @@ void load_parameters_file(const std::string& path, std::span<const Var> params);
 
 /// Model size in bytes (float32 storage), for the Table I comparison.
 std::int64_t parameter_bytes(std::span<const Var> params);
+
+// ---------------------------------------------------------------------------
+// Checked stream records.  Values round-trip bit-exactly (NaN and Inf
+// payloads included: the payload is the raw IEEE bytes, never re-parsed).
+// ---------------------------------------------------------------------------
+
+void write_tensor(std::ostream& os, const Tensor& t);
+Tensor read_tensor(std::istream& is);
+
+void write_floats(std::ostream& os, const std::vector<float>& v);
+std::vector<float> read_floats(std::istream& is);
+
+void write_doubles(std::ostream& os, const std::vector<double>& v);
+std::vector<double> read_doubles(std::istream& is);
+
+void write_u64(std::ostream& os, std::uint64_t v);
+std::uint64_t read_u64(std::istream& is);
+
+void write_f32(std::ostream& os, float v);
+float read_f32(std::istream& is);
+
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is);
+
+/// Shape-tagged parameter set: a count record followed by one tensor record
+/// per parameter.  Unlike the flat blob, read_parameters range-checks the
+/// stored count and every stored shape against the bound parameters and
+/// throws on mismatch (wrong model, wrong layer sizes) instead of silently
+/// misassigning values.
+void write_parameters(std::ostream& os, std::span<const Var> params);
+void read_parameters(std::istream& is, std::span<const Var> params);
 
 }  // namespace nitho::nn

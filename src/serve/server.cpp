@@ -37,9 +37,11 @@ struct LithoServer::Shard {
   RequestQueue queue;
   std::thread worker;
 
-  /// Current kernel snapshot; replaced wholesale by swap_kernels.
+  /// Current kernel snapshot + its generation number; replaced wholesale
+  /// (as a pair, under one lock) by swap_kernels.
   mutable std::mutex snap_mu;
   std::shared_ptr<const FastLitho> snapshot;
+  std::uint64_t generation = 0;
 
   /// Current SLO policy (null = admission control off); replaced wholesale
   /// by swap_slo, exactly like the kernel snapshot.  The submit path reads
@@ -80,6 +82,10 @@ struct LithoServer::Shard {
   std::shared_ptr<const FastLitho> current_snapshot() const {
     std::lock_guard<std::mutex> lk(snap_mu);
     return snapshot;
+  }
+  std::uint64_t current_generation() const {
+    std::lock_guard<std::mutex> lk(snap_mu);
+    return generation;
   }
   std::shared_ptr<const SloPolicy> current_slo() const {
     std::lock_guard<std::mutex> lk(slo_mu);
@@ -254,14 +260,19 @@ OpcJobHandle LithoServer::resume_opc(opc::OpcCheckpoint checkpoint,
                       opts);
 }
 
-void LithoServer::swap_kernels(FastLitho fresh) {
+std::uint64_t LithoServer::swap_kernels(FastLitho fresh) {
   const auto kernels = fresh.kernels_shared();
   const double threshold = fresh.resist_threshold();
+  // One generation per publish, serialized across concurrent swappers.
+  const std::uint64_t gen =
+      1 + generation_.fetch_add(1, std::memory_order_relaxed);
   for (auto& shard : shards_) {
     auto snap = std::make_shared<const FastLitho>(FastLitho(kernels, threshold));
     std::lock_guard<std::mutex> lk(shard->snap_mu);
     shard->snapshot = std::move(snap);
+    shard->generation = gen;
   }
+  return gen;
 }
 
 void LithoServer::swap_slo(std::optional<SloPolicy> slo) {
@@ -276,6 +287,11 @@ void LithoServer::swap_slo(std::optional<SloPolicy> slo) {
 std::shared_ptr<const FastLitho> LithoServer::snapshot(int shard) const {
   check(shard >= 0 && shard < shards(), "snapshot: shard out of range");
   return shards_[static_cast<std::size_t>(shard)]->current_snapshot();
+}
+
+std::uint64_t LithoServer::generation(int shard) const {
+  check(shard >= 0 && shard < shards(), "generation: shard out of range");
+  return shards_[static_cast<std::size_t>(shard)]->current_generation();
 }
 
 std::shared_ptr<const SloPolicy> LithoServer::slo(int shard) const {
@@ -507,6 +523,7 @@ ShardStats LithoServer::shard_stats(int shard) const {
       sh.cur_max_delay_us.load(std::memory_order_relaxed));
   st.autotune_updates = sh.tune_updates.load(std::memory_order_relaxed);
   st.est_service_us = sh.est_service_us.load(std::memory_order_relaxed);
+  st.kernel_generation = sh.current_generation();
   fill_percentiles(std::move(latencies), st);
   return st;
 }
@@ -549,6 +566,10 @@ ShardStats LithoServer::stats() const {
                      sh.cur_max_delay_us.load(std::memory_order_relaxed)));
     total.autotune_updates +=
         sh.tune_updates.load(std::memory_order_relaxed);
+    // Swaps publish shard 0 first, so the max is the newest generation any
+    // shard could hand to a submit right now.
+    total.kernel_generation =
+        std::max(total.kernel_generation, sh.current_generation());
   }
   for (int s = 0; s < shards(); ++s) {
     total.queue_depth += shards_[static_cast<std::size_t>(s)]->queue.depth();

@@ -25,6 +25,11 @@
 //     Every request is served by the snapshot that was current at its
 //     submit time; in-flight work on the old kernels finishes on its
 //     shared_ptr and the old engines free once the last request drains.
+//     Snapshots carry a monotonic generation number (0 = the construction
+//     snapshot; swap_kernels returns the new one), so continual-learning
+//     rollout (src/rollout/, DESIGN.md §11) can attribute every served
+//     result to exactly one model generation — capture-at-submit means a
+//     batch never mixes generations.
 //   * stop() closes the queues, drains every accepted request and joins
 //     the workers: all futures resolve (shutdown never breaks a promise).
 //     The destructor calls stop().
@@ -135,6 +140,10 @@ struct ShardStats {
   int max_batch = 0;
   double max_delay_us = 0.0;
   std::uint64_t autotune_updates = 0;
+  /// Generation of the kernel snapshot a submit would capture now (0 until
+  /// the first swap_kernels).  In the all-shard aggregate: the newest
+  /// generation any shard serves.
+  std::uint64_t kernel_generation = 0;
 };
 
 /// Renders a ShardStats latency percentile for humans: "123 us", or "n/a"
@@ -199,10 +208,13 @@ class LithoServer {
   OpcJobHandle resume_opc(opc::OpcCheckpoint checkpoint,
                           OpcJobOptions opts = {});
 
-  /// Publishes a new kernel snapshot (shape may differ from the old one).
-  /// Requests submitted before the swap are still served by the old
-  /// kernels; requests submitted after see the new ones.
-  void swap_kernels(FastLitho fresh);
+  /// Publishes a new kernel snapshot (shape may differ from the old one)
+  /// and returns its generation number (monotonic, starting at 1; the
+  /// construction snapshot is generation 0).  Requests submitted before
+  /// the swap are still served by the old kernels; requests submitted
+  /// after see the new ones.  Because every request captures its snapshot
+  /// at submit, a served result belongs to exactly one generation.
+  std::uint64_t swap_kernels(FastLitho fresh);
 
   /// Publishes a new SLO policy (or removes it with nullopt) without
   /// draining the server — the admission-control analogue of
@@ -219,6 +231,12 @@ class LithoServer {
 
   /// The kernel snapshot a submit routed to `shard` would capture now.
   std::shared_ptr<const FastLitho> snapshot(int shard = 0) const;
+
+  /// The generation of that snapshot.  Published under the same lock as
+  /// the snapshot itself; to attribute a result to a generation, use the
+  /// value swap_kernels returned rather than re-reading this across a
+  /// racing swap.
+  std::uint64_t generation(int shard = 0) const;
 
   /// Close queues, drain accepted requests, join workers.  Idempotent and
   /// safe to call concurrently; submits racing with stop either complete
@@ -253,6 +271,9 @@ class LithoServer {
   ServeOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> round_robin_{0};
+  /// Kernel-snapshot generations handed out so far (the construction
+  /// snapshot is generation 0; the first swap publishes 1).
+  std::atomic<std::uint64_t> generation_{0};
   /// OPC job runner; stopped (and its futures resolved) before the shard
   /// queues close, so a draining job stops probing shard state.
   std::unique_ptr<OpcService> opc_;

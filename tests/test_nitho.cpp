@@ -9,6 +9,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <sstream>
 
 #include "fft/spectral.hpp"
 #include "layout/raster.hpp"
@@ -548,6 +549,132 @@ TEST(Trainer, PrepareTrainingSetShapesAndReuse) {
   const TrainStats sa = train_nitho(a, set, cfg);
   const TrainStats sb = train_nitho(b, sample_ptrs(ds), cfg);
   EXPECT_EQ(sa.epoch_losses, sb.epoch_losses);
+}
+
+// The stop/serialize/restore/resume protocol must be invisible in the
+// arithmetic: training n epochs straight through and training k, shipping
+// the trainer state through a stream into a fresh model + trainer (with a
+// different init and different config — both fully overwritten), then
+// resuming to n, must produce the same losses and weights bit for bit.
+// This is the guarantee rollout replica adoption (src/rollout/) rides.
+TEST(Trainer, SerializeRestoreResumeIsBitIdentical) {
+  const Dataset ds = engine().make_dataset(DatasetKind::B2v, 5, 42);
+  NithoTrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch = 2;
+  cfg.train_px = 32;
+  cfg.seed = 11;
+
+  NithoModel full(small_model_config(), 512, 193.0, 1.35);
+  const TrainingSet set =
+      prepare_training_set(sample_ptrs(ds), full.kernel_dim(), cfg.train_px);
+  NithoTrainer uninterrupted(full, set, cfg);
+  while (!uninterrupted.done()) uninterrupted.run_epoch();
+
+  // Train to epoch 2, checkpoint, restore into a *differently initialized*
+  // model under a *different* config — load_state must overwrite both.
+  NithoModel part(small_model_config(), 512, 193.0, 1.35);
+  NithoTrainer interrupted(part, set, cfg);
+  interrupted.run_epoch();
+  interrupted.run_epoch();
+  std::stringstream state;
+  interrupted.save_state(state);
+
+  NithoConfig other_init = small_model_config();
+  other_init.seed = 999;
+  NithoModel fresh(other_init, 512, 193.0, 1.35);
+  NithoTrainConfig other_cfg = cfg;
+  other_cfg.lr = 123.0f;
+  other_cfg.seed = 1;
+  other_cfg.epochs = 2;
+  NithoTrainer resumed(fresh, set, other_cfg);
+  resumed.load_state(state);
+  EXPECT_EQ(resumed.epochs_done(), 2);
+  EXPECT_EQ(resumed.config().lr, cfg.lr);
+  EXPECT_EQ(resumed.config().epochs, cfg.epochs);
+  ASSERT_FALSE(resumed.done());
+  while (!resumed.done()) resumed.run_epoch();
+
+  ASSERT_EQ(resumed.epoch_losses().size(),
+            uninterrupted.epoch_losses().size());
+  for (std::size_t e = 0; e < resumed.epoch_losses().size(); ++e) {
+    EXPECT_EQ(resumed.epoch_losses()[e], uninterrupted.epoch_losses()[e])
+        << "epoch " << e;
+  }
+  EXPECT_EQ(resumed.stats().steps, uninterrupted.stats().steps);
+  const auto ka = full.export_kernels();
+  const auto kb = fresh.export_kernels();
+  ASSERT_EQ(ka.size(), kb.size());
+  for (std::size_t i = 0; i < ka.size(); ++i) EXPECT_EQ(ka[i], kb[i]);
+}
+
+TEST(Trainer, LoadStateRejectsIncompatibleStateWithoutPartialRestore) {
+  const Dataset ds = engine().make_dataset(DatasetKind::B1, 3, 8);
+  NithoTrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch = 2;
+  cfg.train_px = 32;
+  NithoModel m(small_model_config(), 512, 193.0, 1.35);
+  const TrainingSet set =
+      prepare_training_set(sample_ptrs(ds), m.kernel_dim(), cfg.train_px);
+  NithoTrainer t(m, set, cfg);
+  t.run_epoch();
+  std::stringstream state;
+  t.save_state(state);
+  const std::string bytes = state.str();
+
+  // A trainer over a different kernel support must reject the checkpoint
+  // and keep its own weights untouched.
+  NithoConfig smaller = small_model_config();
+  smaller.kernel_dim = 9;
+  NithoModel m2(smaller, 512, 193.0, 1.35);
+  const TrainingSet set2 =
+      prepare_training_set(sample_ptrs(ds), m2.kernel_dim(), cfg.train_px);
+  NithoTrainer t2(m2, set2, cfg);
+  const auto before = m2.export_kernels();
+  std::stringstream wrong(bytes);
+  EXPECT_THROW(t2.load_state(wrong), check_error);
+  const auto after = m2.export_kernels();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+  EXPECT_EQ(t2.epochs_done(), 0);
+
+  // Truncated checkpoint: throw, never zero-fill.
+  std::stringstream cut(bytes.substr(0, bytes.size() / 3));
+  NithoTrainer t3(m2, set2, cfg);
+  EXPECT_THROW(t3.load_state(cut), check_error);
+}
+
+TEST(Trainer, EvaluateNithoIsDeterministicAndTracksTraining) {
+  const Dataset ds = engine().make_dataset(DatasetKind::B1, 4, 77);
+  NithoModel m(small_model_config(), 512, 193.0, 1.35);
+  const TrainingSet set =
+      prepare_training_set(sample_ptrs(ds), m.kernel_dim(), 32);
+  const double before = evaluate_nitho(m, set);
+  EXPECT_EQ(before, evaluate_nitho(m, set));
+  EXPECT_TRUE(std::isfinite(before));
+  NithoTrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch = 2;
+  cfg.train_px = 32;
+  train_nitho(m, set, cfg);
+  EXPECT_LT(evaluate_nitho(m, set), before);
+}
+
+TEST(Trainer, ScheduledLrMatchesRunEpochSchedule) {
+  NithoTrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.lr = 4e-3f;
+  EXPECT_EQ(NithoTrainer::scheduled_lr(cfg, 0), cfg.lr);
+  // End of the run: cosine decayed to 10% of base.
+  EXPECT_FLOAT_EQ(NithoTrainer::scheduled_lr(cfg, 10), 0.1f * cfg.lr);
+  // Monotone non-increasing across the run.
+  for (int e = 1; e <= 10; ++e) {
+    EXPECT_LE(NithoTrainer::scheduled_lr(cfg, e),
+              NithoTrainer::scheduled_lr(cfg, e - 1));
+  }
+  EXPECT_THROW(NithoTrainer::scheduled_lr(cfg, 11), check_error);
 }
 
 TEST(Trainer, SamplePtrsHelpers) {
