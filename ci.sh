@@ -17,9 +17,9 @@ for cfg in Release Debug; do
   ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
 done
 
-echo "=== ThreadSanitizer (serve / autotune / engine / common / nn / opc / serialize / rollout) ==="
+echo "=== ThreadSanitizer (serve / autotune / engine / common / nn / opc / serialize / rollout / obs) ==="
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target test_serve test_autotune test_engine test_common test_nn test_opc test_serialize test_rollout
+cmake --build --preset tsan -j "${jobs}" --target test_serve test_autotune test_engine test_common test_nn test_opc test_serialize test_rollout test_obs
 ctest --preset tsan -j 1
 
 echo "CI OK: both configurations built warning-clean, all suites passed,"

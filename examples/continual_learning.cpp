@@ -17,14 +17,19 @@
 #include <cstdint>
 #include <cstdio>
 #include <future>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "litho/golden.hpp"
 #include "nitho/fast_litho.hpp"
 #include "nitho/trainer.hpp"
+#include "obs/export.hpp"
 #include "rollout/rollout.hpp"
 #include "serve/server.hpp"
 
@@ -45,7 +50,15 @@ Grid<double> random_tile(int px, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=<path>: trace the serving shards AND the tournament (round /
+  // train / rank / swap phases, sampled trainer steps) into one Perfetto-
+  // loadable JSON — the server's tracer and the rollout tracer merge as
+  // two process groups.
+  const Flags flags(argc, argv);
+  const std::string trace_path = flags.get("trace");
+  const bool tracing = !trace_path.empty();
+
   std::printf("Rollout: background trainer tournament -> live hot-swaps\n");
   std::printf("========================================================\n\n");
 
@@ -92,11 +105,23 @@ int main() {
   // Generation 0: the shared untrained init, exported the same way every
   // round winner will be.
   NithoModel init(cfg.model, cfg.tile_nm, cfg.wavelength_nm, cfg.na);
+  // One registry for the whole system: serving counters/histograms and
+  // rollout/trainer gauges land in the same snapshot.
+  auto registry = std::make_shared<obs::MetricsRegistry>();
   serve::ServeOptions opts;
   opts.shards = 2;
   opts.batch.max_batch = 8;
+  opts.metrics = registry;
+  opts.trace.enabled = tracing;
   serve::LithoServer server(
       FastLitho::from_model(init, cfg.resist_threshold), opts);
+  // The tournament gets its own tracer (track 0 = controller phases,
+  // 1..replicas = trainer replicas), constructed next to the server's so
+  // the merged timelines align.
+  obs::TraceConfig rollout_trace;
+  rollout_trace.enabled = tracing;
+  obs::Tracer rollout_tracer(rollout_trace,
+                             1 + static_cast<std::uint32_t>(cfg.replicas));
 
   // A closed-loop client streams aerial requests for the entire tournament;
   // it never pauses for a swap.
@@ -125,6 +150,7 @@ int main() {
   });
 
   rollout::RolloutController controller(cfg, train_set, holdout);
+  controller.set_observer(registry.get(), &rollout_tracer);
   WallTimer timer;
   const rollout::RolloutStats stats = controller.run(&server);
   const double secs = timer.seconds();
@@ -153,6 +179,20 @@ int main() {
       server.submit(probe, 32).get() == direct.aerial_from_mask(probe, 32);
   std::printf("spot check vs final winner's direct FastLitho: %s\n",
               identical ? "bit-identical" : "MISMATCH");
+
+  // Unified metrics snapshot: serving shards, tournament outcome and
+  // per-replica trainer phase seconds from the one shared registry.
+  {
+    std::ostringstream os;
+    obs::write_metrics_text(os, registry->snapshot());
+    std::printf("\nmetrics snapshot:\n%s", os.str().c_str());
+  }
+  if (tracing) {
+    obs::write_chrome_trace_file(trace_path,
+                                 {&server.tracer(), &rollout_tracer});
+    std::printf("\nwrote trace to %s (serve + rollout process groups)\n",
+                trace_path.c_str());
+  }
 
   server.stop();
   return identical ? 0 : 1;

@@ -21,14 +21,17 @@
 #include <cstdint>
 #include <cstdio>
 #include <future>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "litho/golden.hpp"
 #include "nitho/fast_litho.hpp"
+#include "obs/export.hpp"
 #include "serve/server.hpp"
 
 using namespace nitho;
@@ -48,7 +51,13 @@ Grid<double> random_tile(int px, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=<path>: turn on request tracing (default 1/16 sampling) and
+  // dump a Perfetto-loadable Chrome trace_event JSON at exit.  Serving is
+  // bit-identical either way — the spot check below runs with tracing on.
+  const Flags flags(argc, argv);
+  const std::string trace_path = flags.get("trace");
+
   std::printf("LithoServer: sharded micro-batching aerial-image serving\n");
   std::printf("========================================================\n\n");
 
@@ -78,6 +87,7 @@ int main() {
   slo.max_queue_wait = std::chrono::milliseconds(200);
   slo.autotune = true;
   opts.slo = slo;
+  opts.trace.enabled = !trace_path.empty();
   serve::LithoServer server(FastLitho{std::vector<Grid<cd>>(kernels)}, opts);
 
   constexpr int kClients = 4;
@@ -174,6 +184,20 @@ int main() {
   const bool identical = served == direct.aerial_from_mask(probe, 48);
   std::printf("\nspot check vs direct aerial_from_mask: %s\n",
               identical ? "bit-identical" : "MISMATCH");
+
+  // Metrics snapshot (obs::MetricsRegistry): the same counters the stats
+  // above read, exported through the text exporter.
+  {
+    std::ostringstream os;
+    obs::write_metrics_text(os, server.metrics().snapshot());
+    std::printf("\nmetrics snapshot:\n%s", os.str().c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::write_chrome_trace_file(trace_path, server.tracer());
+    std::printf("\nwrote %zu trace span(s) to %s (%llu overwritten)\n",
+                server.tracer().events().size(), trace_path.c_str(),
+                static_cast<unsigned long long>(server.tracer().dropped()));
+  }
 
   server.stop();
   std::printf("server drained and stopped; all futures resolved.\n");

@@ -140,6 +140,24 @@ float NithoTrainer::scheduled_lr(const NithoTrainConfig& cfg,
                             (0.1 + 0.45 * (1.0 + std::cos(kPi * t))));
 }
 
+void NithoTrainer::set_observer(obs::MetricsRegistry* registry,
+                                obs::Tracer* tracer, std::uint32_t track,
+                                const std::string& prefix) {
+  obs_tracer_ = tracer;
+  obs_track_ = track;
+  if (registry != nullptr) {
+    g_epoch_ = &registry->gauge(prefix + ".epoch");
+    g_loss_ = &registry->gauge(prefix + ".loss");
+    g_fwd_ = &registry->gauge(prefix + ".forward_seconds");
+    g_bwd_ = &registry->gauge(prefix + ".backward_seconds");
+    g_step_ = &registry->gauge(prefix + ".step_seconds");
+    c_steps_ = &registry->counter(prefix + ".steps");
+  } else {
+    g_epoch_ = g_loss_ = g_fwd_ = g_bwd_ = g_step_ = nullptr;
+    c_steps_ = nullptr;
+  }
+}
+
 void NithoTrainer::set_base_lr(float lr) {
   check(lr > 0.0f, "set_base_lr: learning rate must be positive");
   cfg_.lr = lr;
@@ -161,6 +179,11 @@ void NithoTrainer::run_epoch() {
     arena_.reset();
     nn::GraphArena::Scope scope(arena_);
     opt_.zero_grad();
+    // Sampled step spans (DESIGN.md §12.3): timing-only branches around the
+    // existing phases, so the arithmetic below is byte-for-byte unchanged.
+    const bool traced = obs_tracer_ != nullptr && obs_tracer_->sample();
+    std::int64_t span_t0 = 0, span_t1 = 0, span_t2 = 0;
+    if (traced) span_t0 = obs_tracer_->now_us();
     phase.reset();
     // One field evaluation per step (the kernels do not depend on masks),
     // then the batch images as a single chain of batched nodes
@@ -172,12 +195,24 @@ void NithoTrainer::run_epoch() {
         nn::scale(nn::mse_loss_batch_ordered(pred, batch_targets_),
                   1.0f / static_cast<float>(count));
     stats_.forward_seconds += phase.seconds();
+    if (traced) span_t1 = obs_tracer_->now_us();
     phase.reset();
     nn::backward(loss);
     stats_.backward_seconds += phase.seconds();
+    if (traced) span_t2 = obs_tracer_->now_us();
     phase.reset();
     opt_.step();
     stats_.step_seconds += phase.seconds();
+    if (traced) {
+      const std::int64_t span_t3 = obs_tracer_->now_us();
+      const std::uint64_t id = static_cast<std::uint64_t>(stats_.steps + 1);
+      obs_tracer_->record({"forward", "train", id, obs_track_, span_t0,
+                           span_t1 - span_t0});
+      obs_tracer_->record({"backward", "train", id, obs_track_, span_t1,
+                           span_t2 - span_t1});
+      obs_tracer_->record({"opt_step", "train", id, obs_track_, span_t2,
+                           span_t3 - span_t2});
+    }
     epoch_loss += loss->value[0];
     ++batches;
     ++stats_.steps;
@@ -187,6 +222,14 @@ void NithoTrainer::run_epoch() {
   ++epoch_;
   opt_.set_lr(scheduled_lr(cfg_, epoch_));
   stats_.seconds += timer.seconds();
+  if (g_epoch_ != nullptr) {
+    g_epoch_->set(static_cast<double>(epoch_));
+    g_loss_->set(stats_.final_loss);
+    g_fwd_->set(stats_.forward_seconds);
+    g_bwd_->set(stats_.backward_seconds);
+    g_step_->set(stats_.step_seconds);
+    c_steps_->inc(static_cast<std::uint64_t>(batches));
+  }
   if (cfg_.verbose) {
     std::printf("  [nitho] epoch %3d/%d  loss %.3e\n", epoch_, cfg_.epochs,
                 stats_.epoch_losses.back());

@@ -15,12 +15,15 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "litho/golden.hpp"
 #include "nitho/model.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace nitho {
 
@@ -110,6 +113,19 @@ class NithoTrainer {
   /// current epoch cursor.  Does not touch weights, moments or the RNG.
   void set_base_lr(float lr);
 
+  /// Binds observability sinks (borrowed; must outlive the trainer — both
+  /// may be null to unbind).  Each completed epoch publishes
+  /// "<prefix>.epoch/loss/forward_seconds/backward_seconds/step_seconds"
+  /// gauges and a "<prefix>.steps" counter; with a tracer, sampled steps
+  /// emit forward/backward/opt_step spans on `track` (DESIGN.md §12.3).
+  /// Observation is timing-only — the training arithmetic is untouched, so
+  /// every bit-identity pin holds with or without an observer.  Not part
+  /// of NithoTrainConfig on purpose: the config is serialized state
+  /// (save_state), sinks are runtime wiring.
+  void set_observer(obs::MetricsRegistry* registry,
+                    obs::Tracer* tracer = nullptr, std::uint32_t track = 0,
+                    const std::string& prefix = "train");
+
   /// Serializes config + epoch cursor + weights + Adam + RNG + trajectory.
   /// load_state adopts the stored config (like opc::OpcEngine::restore) and
   /// throws check_error when the stored state is structurally incompatible
@@ -129,6 +145,15 @@ class NithoTrainer {
   nn::Tensor batch_spectra_, batch_targets_;
   int epoch_ = 0;
   TrainStats stats_;
+  /// Observability (set_observer); all borrowed, all optional.
+  obs::Tracer* obs_tracer_ = nullptr;
+  std::uint32_t obs_track_ = 0;
+  obs::Gauge* g_epoch_ = nullptr;
+  obs::Gauge* g_loss_ = nullptr;
+  obs::Gauge* g_fwd_ = nullptr;
+  obs::Gauge* g_bwd_ = nullptr;
+  obs::Gauge* g_step_ = nullptr;
+  obs::Counter* c_steps_ = nullptr;
 };
 
 /// Mean per-sample imaging MSE of the model on a prepared set, through the

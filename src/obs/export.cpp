@@ -1,0 +1,132 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace nitho::obs {
+namespace {
+
+// Span names/categories are string literals chosen by instrumentation
+// sites, but escape anyway so the exporter can never emit invalid JSON.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (std::isnan(v)) return "nan";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+namespace {
+
+void write_events(std::ostream& os, const std::vector<const Tracer*>& tracers) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t t = 0; t < tracers.size(); ++t) {
+    if (tracers[t] == nullptr) continue;
+    const int pid = static_cast<int>(t) + 1;
+    for (const TraceEvent& ev : tracers[t]->events()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+         << json_escape(ev.category) << "\",\"ph\":\"X\",\"ts\":" << ev.start_us
+         << ",\"dur\":" << ev.dur_us << ",\"pid\":" << pid
+         << ",\"tid\":" << ev.track << ",\"args\":{\"id\":" << ev.id << "}}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  write_events(os, {&tracer});
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers) {
+  write_events(os, tracers);
+}
+
+void write_chrome_trace_file(const std::string& path, const Tracer& tracer) {
+  write_chrome_trace_file(path, std::vector<const Tracer*>{&tracer});
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<const Tracer*>& tracers) {
+  std::ofstream f(path);
+  check(f.good(), "write_chrome_trace_file: cannot open " + path);
+  write_events(f, tracers);
+  f.flush();
+  check(f.good(), "write_chrome_trace_file: write failed for " + path);
+}
+
+void write_metrics_text(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const MetricValue& m : snap.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << m.name << " counter "
+           << static_cast<std::uint64_t>(m.value) << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << m.name << " gauge " << num(m.value) << "\n";
+        break;
+      case MetricKind::kHistogram:
+        os << m.name << " hist count=" << m.hist.count
+           << " mean=" << num(m.hist.mean())
+           << " p50=" << num(m.hist.quantile(50))
+           << " p99=" << num(m.hist.quantile(99)) << "\n";
+        break;
+    }
+  }
+}
+
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "name,kind,value,count,mean,p50,p99\n";
+  for (const MetricValue& m : snap.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << m.name << ",counter,"
+           << static_cast<std::uint64_t>(m.value) << ",,,,\n";
+        break;
+      case MetricKind::kGauge:
+        os << m.name << ",gauge," << num(m.value) << ",,,,\n";
+        break;
+      case MetricKind::kHistogram:
+        os << m.name << ",hist,," << m.hist.count << ","
+           << num(m.hist.mean()) << "," << num(m.hist.quantile(50)) << ","
+           << num(m.hist.quantile(99)) << "\n";
+        break;
+    }
+  }
+}
+
+}  // namespace nitho::obs

@@ -1,0 +1,44 @@
+#pragma once
+// Exporters for the observability layer (DESIGN.md §12.4).
+//
+//  * write_chrome_trace: Chrome trace_event JSON ("JSON object format":
+//    {"traceEvents": [...]}) with complete events (ph "X", ts/dur in
+//    microseconds) — loads directly in Perfetto / chrome://tracing.
+//  * write_metrics_text: human-readable snapshot (one metric per line,
+//    histograms with count/mean/p50/p99) for example binaries and logs.
+//  * write_metrics_csv: machine-readable snapshot, one row per metric.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nitho::obs {
+
+/// Renders the tracer's retained spans as Chrome trace_event JSON.  Each
+/// span becomes a complete event: {"name", "cat", "ph": "X", "ts", "dur",
+/// "pid": 1, "tid": track, "args": {"id": id}}.
+void write_chrome_trace(std::ostream& os, const Tracer& tracer);
+/// Merges several tracers into one file; tracer i's spans carry
+/// "pid": i + 1, so each tracer renders as its own process group (e.g. the
+/// serving tracer next to a rollout tracer).  Null entries are skipped.
+/// Caveat: each tracer's timestamps are relative to its own construction;
+/// construct the tracers together when the merged timeline should align.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers);
+/// Same, to a file; throws check_error when the file can't be written.
+void write_chrome_trace_file(const std::string& path, const Tracer& tracer);
+void write_chrome_trace_file(const std::string& path,
+                             const std::vector<const Tracer*>& tracers);
+
+/// One metric per line: "name counter 42", "name gauge 0.5",
+/// "name hist count=N mean=... p50=... p99=...".
+void write_metrics_text(std::ostream& os, const MetricsSnapshot& snap);
+
+/// CSV with header "name,kind,value,count,mean,p50,p99"; value is filled
+/// for counters/gauges, the histogram columns for histograms.
+void write_metrics_csv(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace nitho::obs

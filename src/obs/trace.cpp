@@ -1,0 +1,67 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace nitho::obs {
+
+Tracer::Tracer(TraceConfig cfg, std::uint32_t tracks)
+    : cfg_(cfg), epoch_(std::chrono::steady_clock::now()) {
+  check(tracks >= 1, "Tracer: need at least one track");
+  check(cfg_.sample_every >= 1, "Tracer: sample_every must be >= 1");
+  check(cfg_.ring_capacity >= 1, "Tracer: ring_capacity must be >= 1");
+  rings_ = std::vector<Ring>(tracks);
+  for (Ring& r : rings_) r.buf.resize(cfg_.ring_capacity);
+}
+
+bool Tracer::sample() {
+  if (!cfg_.enabled) return false;
+  const std::uint64_t seq =
+      sample_seq_.fetch_add(1, std::memory_order_relaxed);
+  return seq % cfg_.sample_every == 0;
+}
+
+std::int64_t Tracer::now_us() const {
+  return us_since_epoch(std::chrono::steady_clock::now());
+}
+
+std::int64_t Tracer::us_since_epoch(
+    std::chrono::steady_clock::time_point t) const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(t - epoch_)
+      .count();
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  if (!cfg_.enabled) return;
+  check(ev.track < rings_.size(), "Tracer::record: track out of range");
+  Ring& r = rings_[ev.track];
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (r.size == r.buf.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // overwriting oldest
+  } else {
+    ++r.size;
+  }
+  r.buf[r.next] = ev;
+  r.next = (r.next + 1) % r.buf.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  for (const Ring& r : rings_) {
+    std::lock_guard<std::mutex> lk(r.mu);
+    // Oldest-first: the ring's logical start is next - size (mod capacity).
+    const std::size_t cap = r.buf.size();
+    const std::size_t start = (r.next + cap - r.size) % cap;
+    for (std::size_t k = 0; k < r.size; ++k) {
+      out.push_back(r.buf[(start + k) % cap]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+}  // namespace nitho::obs

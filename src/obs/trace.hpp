@@ -1,0 +1,96 @@
+#pragma once
+// Per-request / per-phase trace spans (DESIGN.md §12.3).
+//
+// A Tracer owns a fixed set of bounded per-track rings of completed spans.
+// Tracks map onto the system's threads of activity (one per serving shard,
+// one for OPC, one per trainer replica, one for the rollout controller), so
+// each ring has a single writer in practice and its mutex is uncontended
+// except while an exporter drains it.  Rings overwrite oldest-first when
+// full; dropped() counts spans lost to overwrite so an exporter can say
+// "trace is a suffix of the run".
+//
+// Tracing is OFF by default (TraceConfig::enabled == false).  When off,
+// every instrumentation site reduces to one relaxed atomic load and a
+// branch — no timestamps are taken and no ring is touched, which is what
+// the obs_overhead bench gate (bench/baselines/obs_overhead.csv) measures.
+// When on, spans are sampled: sample() admits every sample_every-th call,
+// so at the default 1/16 sampling a traced request records ~5 spans while
+// 15 others record none.
+//
+// Timestamps are microseconds since the Tracer's construction (steady
+// clock), matching Chrome trace_event "ts"/"dur" units so the exporter in
+// obs/export.hpp can emit them verbatim.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nitho::obs {
+
+struct TraceConfig {
+  bool enabled = false;           ///< master switch; off = no timestamps taken
+  std::uint32_t sample_every = 16;  ///< admit 1 of every N sample() calls
+  std::size_t ring_capacity = 4096;  ///< completed spans kept per track
+};
+
+/// One completed span.  name/category must be string literals (or otherwise
+/// outlive the Tracer) — rings store the pointers, not copies.
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint64_t id = 0;    ///< correlates spans of one request / round
+  std::uint32_t track = 0; ///< ring index; exported as the Chrome "tid"
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig cfg, std::uint32_t tracks);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return cfg_.enabled; }
+  std::uint32_t tracks() const { return static_cast<std::uint32_t>(rings_.size()); }
+
+  /// Sampling decision: true for every sample_every-th call (first call
+  /// included, so short runs still produce spans).  Always false when
+  /// disabled.  One relaxed fetch_add when enabled; one relaxed load's
+  /// worth of work when not.
+  bool sample();
+
+  /// Microseconds since construction on the steady clock.
+  std::int64_t now_us() const;
+  /// Converts a steady-clock time point (e.g. a request's enqueue stamp)
+  /// into this tracer's timebase.
+  std::int64_t us_since_epoch(std::chrono::steady_clock::time_point t) const;
+
+  /// Appends a completed span to its track's ring, overwriting the oldest
+  /// span when full.  No-op when disabled.  ev.track must be < tracks().
+  void record(const TraceEvent& ev);
+
+  /// All retained spans across tracks, sorted by start_us.  Takes each
+  /// ring's mutex briefly; safe to call while writers are active.
+  std::vector<TraceEvent> events() const;
+
+  /// Spans lost to ring overwrite since construction.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> buf;  ///< capacity cfg_.ring_capacity, circular
+    std::size_t next = 0;         ///< write cursor
+    std::size_t size = 0;         ///< valid entries (<= capacity)
+  };
+
+  TraceConfig cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> sample_seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::vector<Ring> rings_;
+};
+
+}  // namespace nitho::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -63,6 +64,32 @@ TrainerReplica& RolloutController::replica(int i) {
   return *replicas_[static_cast<std::size_t>(i)];
 }
 
+void RolloutController::set_observer(obs::MetricsRegistry* registry,
+                                     obs::Tracer* tracer,
+                                     std::uint32_t base_track) {
+  obs_tracer_ = tracer;
+  obs_base_track_ = base_track;
+  if (registry != nullptr) {
+    g_round_ = &registry->gauge("rollout.round");
+    g_winner_ = &registry->gauge("rollout.winner");
+    g_winner_loss_ = &registry->gauge("rollout.winner_loss");
+    g_winner_lr_ = &registry->gauge("rollout.winner_lr");
+    g_round_seconds_ = &registry->gauge("rollout.round_seconds");
+    g_generation_ = &registry->gauge("rollout.generation");
+    c_swaps_ = &registry->counter("rollout.swaps");
+  } else {
+    g_round_ = g_winner_ = g_winner_loss_ = g_winner_lr_ = nullptr;
+    g_round_seconds_ = g_generation_ = nullptr;
+    c_swaps_ = nullptr;
+  }
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    replicas_[i]->trainer().set_observer(
+        registry, tracer,
+        base_track + 1 + static_cast<std::uint32_t>(i),
+        "rollout.r" + std::to_string(i));
+  }
+}
+
 float RolloutController::perturbed_lr() {
   // Log-uniform over [lr / spread, lr * spread]: multiplicative moves are
   // the natural exploration scale for learning rates.
@@ -76,11 +103,25 @@ RoundResult RolloutController::run_round(serve::LithoServer* server) {
   WallTimer timer;
   RoundResult res;
   res.round = round_ + 1;
+  // Controller spans are one-per-phase-per-round — far below any sampling
+  // rate — so they bypass sample() and emit whenever tracing is on.
+  const bool traced = obs_tracer_ != nullptr && obs_tracer_->enabled();
+  const auto span_begin = [&]() -> std::int64_t {
+    return traced ? obs_tracer_->now_us() : 0;
+  };
+  const auto span_end = [&](const char* name, std::int64_t t0) {
+    if (!traced) return;
+    obs_tracer_->record({name, "rollout",
+                         static_cast<std::uint64_t>(res.round),
+                         obs_base_track_, t0, obs_tracer_->now_us() - t0});
+  };
+  const std::int64_t t_round = span_begin();
 
   // Train phase: one background thread per replica (each touches only its
   // own model/trainer; the shared TrainingSet is read-only).  The join is
   // the tournament barrier.  A throwing replica fails the round, but only
   // after every thread has stopped.
+  const std::int64_t t_train = span_begin();
   std::vector<std::exception_ptr> errors(replicas_.size());
   {
     std::vector<std::thread> workers;
@@ -99,9 +140,11 @@ RoundResult RolloutController::run_round(serve::LithoServer* server) {
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  span_end("train", t_train);
 
   // Rank phase: held-out loss, deterministic (ordered reduction inside
   // evaluate_nitho; ties break toward the lowest replica id).
+  const std::int64_t t_rank = span_begin();
   res.eval_losses.reserve(replicas_.size());
   res.winner = 0;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -114,14 +157,18 @@ RoundResult RolloutController::run_round(serve::LithoServer* server) {
   TrainerReplica& winner = *replicas_[static_cast<std::size_t>(res.winner)];
   res.winner_loss = res.eval_losses[static_cast<std::size_t>(res.winner)];
   res.winner_lr = winner.trainer().config().lr;
+  span_end("rank", t_rank);
 
   // Publish phase: the winner's kernels become the server's next snapshot
   // generation.  In-flight requests finish on the snapshot they captured
   // at submit, so the swap never mixes generations within a batch.
   if (server != nullptr) {
+    const std::int64_t t_swap = span_begin();
     res.generation = server->swap_kernels(
         FastLitho::from_model(winner.model(), cfg_.resist_threshold));
     ++stats_.swaps;
+    if (c_swaps_ != nullptr) c_swaps_->inc();
+    span_end("swap", t_swap);
   }
 
   // Exploit + explore phase (LTFB): losers adopt the winner's entire
@@ -129,6 +176,7 @@ RoundResult RolloutController::run_round(serve::LithoServer* server) {
   // band (log-uniform around train.lr, so exploration never drifts
   // unboundedly).  Serialize once; each adoption reads a private stream.
   if (replicas_.size() > 1) {
+    const std::int64_t t_adopt = span_begin();
     std::ostringstream state;
     winner.save_state(state);
     const std::string blob = state.str();
@@ -138,12 +186,22 @@ RoundResult RolloutController::run_round(serve::LithoServer* server) {
       replicas_[i]->load_state(is);
       replicas_[i]->trainer().set_base_lr(perturbed_lr());
     }
+    span_end("adopt", t_adopt);
   }
 
   ++round_;
   res.seconds = timer.seconds();
   stats_.rounds.push_back(res);
   stats_.final_winner = res.winner;
+  span_end("round", t_round);
+  if (g_round_ != nullptr) {
+    g_round_->set(static_cast<double>(res.round));
+    g_winner_->set(static_cast<double>(res.winner));
+    g_winner_loss_->set(res.winner_loss);
+    g_winner_lr_->set(static_cast<double>(res.winner_lr));
+    g_round_seconds_->set(res.seconds);
+    g_generation_->set(static_cast<double>(res.generation));
+  }
   if (cfg_.verbose) {
     std::printf(
         "  [rollout] round %d/%d  winner r%d  loss %.3e  lr %.3e  gen %llu\n",

@@ -133,6 +133,18 @@ class RolloutController {
   /// All remaining rounds; returns the accumulated stats.
   RolloutStats run(serve::LithoServer* server = nullptr);
 
+  /// Binds observability sinks (borrowed; must outlive the controller —
+  /// both may be null to unbind).  Round outcomes publish as "rollout.*"
+  /// gauges/counters; each replica's trainer is wired with prefix
+  /// "rollout.r<id>".  With a tracer, the controller's round/train/rank/
+  /// swap/adopt spans go on track `base_track` and replica i's step spans
+  /// on track base_track + 1 + i — size the tracer accordingly (controller
+  /// spans are per round, so they bypass sampling; replica step spans
+  /// sample as usual).  Timing-only: tournament arithmetic is unchanged.
+  void set_observer(obs::MetricsRegistry* registry,
+                    obs::Tracer* tracer = nullptr,
+                    std::uint32_t base_track = 0);
+
   bool done() const { return round_ >= cfg_.rounds; }
   int rounds_done() const { return round_; }
   int replica_count() const { return static_cast<int>(replicas_.size()); }
@@ -150,6 +162,16 @@ class RolloutController {
   std::vector<std::unique_ptr<TrainerReplica>> replicas_;
   RolloutStats stats_;
   int round_ = 0;
+  /// Observability (set_observer); all borrowed, all optional.
+  obs::Tracer* obs_tracer_ = nullptr;
+  std::uint32_t obs_base_track_ = 0;
+  obs::Gauge* g_round_ = nullptr;
+  obs::Gauge* g_winner_ = nullptr;
+  obs::Gauge* g_winner_loss_ = nullptr;
+  obs::Gauge* g_winner_lr_ = nullptr;
+  obs::Gauge* g_round_seconds_ = nullptr;
+  obs::Gauge* g_generation_ = nullptr;
+  obs::Counter* c_swaps_ = nullptr;
 };
 
 }  // namespace nitho::rollout

@@ -33,7 +33,12 @@ void OpcJobHandle::cancel() {
   state_->cancel.store(true, std::memory_order_relaxed);
 }
 
-OpcService::OpcService(BusyFn busy) : busy_(std::move(busy)) {
+OpcService::OpcService(BusyFn busy, obs::MetricsRegistry* registry,
+                       obs::Tracer* tracer, std::uint32_t track)
+    : busy_(std::move(busy)),
+      registry_(registry),
+      tracer_(tracer),
+      track_(track) {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
@@ -135,6 +140,22 @@ void OpcService::throttle(const OpcJobOptions& opts) const {
 
 void OpcService::run_job(Job& job) {
   detail::OpcJobState& state = *job.state;
+  // Gauge references are bound once per job, not per step (the registry's
+  // name table is never touched on the step loop).
+  obs::Gauge* g_iter = nullptr;
+  obs::Gauge* g_total = nullptr;
+  obs::Gauge* g_fit = nullptr;
+  obs::Gauge* g_epe = nullptr;
+  obs::Counter* c_steps = nullptr;
+  if (registry_ != nullptr) {
+    registry_->counter("opc.jobs").inc();
+    g_iter = &registry_->gauge("opc.iteration");
+    g_total = &registry_->gauge("opc.total");
+    g_fit = &registry_->gauge("opc.fit_loss");
+    g_epe = &registry_->gauge("opc.mean_epe_px");
+    c_steps = &registry_->counter("opc.steps");
+    g_total->set(static_cast<double>(job.opts.iterations));
+  }
   try {
     opc::OpcEngine engine(job.kernels, job.opts.config);
     if (job.checkpoint) {
@@ -151,7 +172,14 @@ void OpcService::run_job(Job& job) {
         break;
       }
       throttle(job.opts);
+      const bool traced = tracer_ != nullptr && tracer_->sample();
+      const std::int64_t span_t0 = traced ? tracer_->now_us() : 0;
       const opc::OpcStepStats stats = engine.step();
+      if (traced) {
+        tracer_->record({"opc_step", "opc",
+                         static_cast<std::uint64_t>(engine.iteration()),
+                         track_, span_t0, tracer_->now_us() - span_t0});
+      }
       const bool epe_due =
           job.opts.epe_every > 0 &&
           (engine.iteration() % job.opts.epe_every == 0 ||
@@ -164,6 +192,12 @@ void OpcService::run_job(Job& job) {
         state.progress.iteration = engine.iteration();
         state.progress.fit_loss = stats.fit_loss;
         if (epe_due) state.progress.mean_epe_px = epe;
+      }
+      if (c_steps != nullptr) {
+        c_steps->inc();
+        g_iter->set(static_cast<double>(engine.iteration()));
+        g_fit->set(static_cast<double>(stats.fit_loss));
+        if (epe_due) g_epe->set(epe);
       }
     }
     OpcJobResult result;

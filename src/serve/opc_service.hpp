@@ -39,6 +39,8 @@
 
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opc/engine.hpp"
 
 namespace nitho::serve {
@@ -120,7 +122,13 @@ class OpcService {
   /// probe); null = never yield.
   using BusyFn = std::function<bool()>;
 
-  explicit OpcService(BusyFn busy);
+  /// Observability sinks are borrowed (must outlive the service) and bound
+  /// at construction — before the worker thread starts, so no publication
+  /// race.  With them null the service runs exactly as before.  Job
+  /// progress publishes as "opc.*" gauges; sampled per-step spans land on
+  /// tracer track `track` (DESIGN.md §12.3).
+  explicit OpcService(BusyFn busy, obs::MetricsRegistry* registry = nullptr,
+                      obs::Tracer* tracer = nullptr, std::uint32_t track = 0);
   ~OpcService();
   OpcService(const OpcService&) = delete;
   OpcService& operator=(const OpcService&) = delete;
@@ -149,6 +157,9 @@ class OpcService {
   void throttle(const OpcJobOptions& opts) const;
 
   BusyFn busy_;
+  obs::MetricsRegistry* registry_ = nullptr;  ///< borrowed; may be null
+  obs::Tracer* tracer_ = nullptr;             ///< borrowed; may be null
+  std::uint32_t track_ = 0;
   std::atomic<bool> stop_{false};
   mutable std::mutex mu_;
   std::condition_variable cv_;

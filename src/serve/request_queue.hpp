@@ -19,6 +19,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -63,6 +64,13 @@ struct ServeRequest {
   /// Latest time at which the request may still be dequeued into a batch;
   /// kNoDeadline disables shedding for this request (DESIGN.md §9.1).
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  /// Tracing (DESIGN.md §12.3): set at submit when the server's tracer
+  /// samples this request.  Untraced requests take no extra timestamps.
+  bool traced = false;
+  std::uint64_t trace_id = 0;
+  /// Stamped by the shard worker at dequeue (traced requests only); splits
+  /// the pre-compute span into queue-wait and batch-assembly.
+  std::chrono::steady_clock::time_point dequeued_at{};
 };
 
 class RequestQueue {

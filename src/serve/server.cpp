@@ -14,13 +14,11 @@ namespace nitho::serve {
 using Clock = std::chrono::steady_clock;
 
 std::size_t percentile_index(std::size_t n, int percent) {
-  check(n >= 1, "percentile_index: empty sample");
-  check(percent >= 1 && percent <= 100, "percentile_index: percent range");
-  // ceil((percent/100) * n) - 1 without touching floating point: a double
-  // product like 0.99 * 100 rounds up to 99.000...014, whose ceil would
-  // skip one rank.
-  const std::size_t p = static_cast<std::size_t>(percent);
-  return (p * n + 99) / 100 - 1;
+  // One rank rule for the whole system: the exact small-window path here
+  // and obs::HistogramSnapshot::quantile share this definition, so the
+  // switchover between them (Shard::kExactWindow) changes resolution, not
+  // rank semantics.
+  return obs::nearest_rank_index(n, percent);
 }
 
 std::string latency_str(double us, std::uint64_t samples) {
@@ -50,18 +48,26 @@ struct LithoServer::Shard {
   mutable std::mutex slo_mu;
   std::shared_ptr<const SloPolicy> slo;
 
-  /// Counters + a sliding latency window (ring buffer, so a long-lived
-  /// server keeps O(1) stats memory).  submitted is atomic — it sits on
+  /// Counters + latency accounting.  submitted is atomic — it sits on
   /// the client-facing submit path, which must not contend on stats_mu
   /// with the worker's per-batch accounting.
-  static constexpr std::size_t kLatencyWindow = 4096;
+  ///
+  /// Latencies live in two places (DESIGN.md §12.2): the first
+  /// kExactWindow samples verbatim in exact_latencies (exact nearest-rank
+  /// percentiles while the sample is tiny — the regime where one bucket's
+  /// resolution would be visible), and every sample in the lifetime
+  /// obs::LogHistogram behind `latency` (bounded-error percentiles at any
+  /// scale, read without copying or sorting anything).  lat_count is the
+  /// authoritative sample count; both it and exact_latencies are guarded
+  /// by stats_mu, the histogram is lock-free.
+  static constexpr std::size_t kExactWindow = 64;
   std::atomic<std::uint64_t> submitted{0};
   mutable std::mutex stats_mu;
   std::uint64_t completed = 0;
   std::uint64_t completed_ok = 0;  ///< resolved with a value (goodput)
   std::uint64_t batches = 0;
-  std::vector<double> latencies_us;
-  std::size_t latency_next = 0;
+  std::uint64_t lat_count = 0;
+  std::vector<double> exact_latencies;
 
   /// Admission-control accounting.  shed_at_submit sits on client threads,
   /// shed_in_queue on the worker; both are read by stats readers.
@@ -78,6 +84,22 @@ struct LithoServer::Shard {
   std::atomic<std::int64_t> cur_max_delay_us{0};
   std::atomic<std::uint64_t> tune_updates{0};
   Clock::time_point started_at{};
+
+  /// Registry mirrors, bound once by the server constructor (the registry
+  /// name table is never touched per event).  The shard's own accounting
+  /// above stays authoritative for ShardStats and its ordering invariants;
+  /// these are relaxed, eventually-consistent copies for export.  The
+  /// histogram is the exception: it is the percentile source once
+  /// lat_count exceeds kExactWindow.
+  std::uint32_t track = 0;  ///< tracer ring index == shard index
+  obs::Counter* m_submitted = nullptr;
+  obs::Counter* m_completed = nullptr;
+  obs::Counter* m_completed_ok = nullptr;
+  obs::Counter* m_batches = nullptr;
+  obs::Counter* m_shed_at_submit = nullptr;
+  obs::Counter* m_shed_in_queue = nullptr;
+  obs::Gauge* m_est_service_us = nullptr;
+  obs::LogHistogram* latency = nullptr;
 
   std::shared_ptr<const FastLitho> current_snapshot() const {
     std::lock_guard<std::mutex> lk(snap_mu);
@@ -96,6 +118,12 @@ struct LithoServer::Shard {
 LithoServer::LithoServer(FastLitho litho, ServeOptions options)
     : options_(options) {
   check(options_.shards >= 1, "LithoServer needs at least one shard");
+  metrics_ = options_.metrics ? options_.metrics
+                              : std::make_shared<obs::MetricsRegistry>();
+  // Tracks 0..shards-1 belong to the shard workers, track `shards` to the
+  // OPC worker — one writer per ring.
+  tracer_ = std::make_unique<obs::Tracer>(
+      options_.trace, static_cast<std::uint32_t>(options_.shards) + 1);
   const auto kernels = litho.kernels_shared();
   const double threshold = litho.resist_threshold();
   const std::shared_ptr<const SloPolicy> slo =
@@ -103,6 +131,16 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
                    : nullptr;
   for (int s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>(options_.queue_capacity);
+    const std::string prefix = "serve.shard" + std::to_string(s) + ".";
+    shard->track = static_cast<std::uint32_t>(s);
+    shard->m_submitted = &metrics_->counter(prefix + "submitted");
+    shard->m_completed = &metrics_->counter(prefix + "completed");
+    shard->m_completed_ok = &metrics_->counter(prefix + "completed_ok");
+    shard->m_batches = &metrics_->counter(prefix + "batches");
+    shard->m_shed_at_submit = &metrics_->counter(prefix + "shed_at_submit");
+    shard->m_shed_in_queue = &metrics_->counter(prefix + "shed_in_queue");
+    shard->m_est_service_us = &metrics_->gauge(prefix + "est_service_us");
+    shard->latency = &metrics_->histogram(prefix + "latency_us");
     // Shard 0 adopts the caller's instance (keeping any engines it has
     // already warmed); the rest share its kernels with fresh caches.
     shard->snapshot =
@@ -124,12 +162,15 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
   // OPC jobs yield whenever any shard has latency traffic queued.  The
   // probe reads queue depths only — shards_ is immutable after this
   // constructor and outlives opc_ (stop() tears the service down first).
-  opc_ = std::make_unique<OpcService>([this] {
-    for (const auto& shard : shards_) {
-      if (shard->queue.depth() > 0) return true;
-    }
-    return false;
-  });
+  opc_ = std::make_unique<OpcService>(
+      [this] {
+        for (const auto& shard : shards_) {
+          if (shard->queue.depth() > 0) return true;
+        }
+        return false;
+      },
+      metrics_.get(), tracer_.get(),
+      static_cast<std::uint32_t>(options_.shards));
 }
 
 LithoServer::~LithoServer() { stop(); }
@@ -198,6 +239,7 @@ bool LithoServer::shed_at_submit(Shard& shard, ServeRequest& req) {
           "deadline"));
   req.result.set_exception(kShedAtSubmit);
   shard.shed_at_submit.fetch_add(1, std::memory_order_relaxed);
+  shard.m_shed_at_submit->inc();
   return true;
 }
 
@@ -210,6 +252,12 @@ std::future<Grid<double>> LithoServer::submit(
   // A shed is an answer (DeadlineExceeded), not backpressure: the future
   // is already resolved and the request never occupies a queue slot.
   if (shed_at_submit(shard, req)) return fut;
+  // Sampling decision at submit (one relaxed RMW when tracing is on, a
+  // branch when off); spans are emitted by the shard worker at resolve.
+  if (tracer_->sample()) {
+    req.traced = true;
+    req.trace_id = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Count before push so a stats reader can never observe a completed
   // request that is not yet in submitted; roll back if the queue refuses.
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -217,6 +265,9 @@ std::future<Grid<double>> LithoServer::submit(
     shard.submitted.fetch_sub(1, std::memory_order_relaxed);
     check_fail("submit on a stopped server", std::source_location::current());
   }
+  // Registry mirror after the push succeeds, so it never needs rolling
+  // back (eventually consistent with `submitted`, never ahead of it).
+  shard.m_submitted->inc();
   return fut;
 }
 
@@ -227,9 +278,14 @@ std::optional<std::future<Grid<double>>> LithoServer::try_submit(
   ServeRequest req = make_request(shard, mask, out_px, kind, deadline);
   std::future<Grid<double>> fut = req.result.get_future();
   if (shed_at_submit(shard, req)) return fut;
+  if (tracer_->sample()) {
+    req.traced = true;
+    req.trace_id = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
   shard.submitted.fetch_add(1, std::memory_order_relaxed);
   switch (shard.queue.try_push(req)) {
     case RequestQueue::PushResult::kOk:
+      shard.m_submitted->inc();
       return fut;
     case RequestQueue::PushResult::kFull:
       shard.submitted.fetch_sub(1, std::memory_order_relaxed);
@@ -361,6 +417,8 @@ void LithoServer::shard_loop(Shard& shard) {
       shard.completed += shed.size();
     }
     shard.shed_in_queue.fetch_add(shed.size(), std::memory_order_release);
+    shard.m_completed->inc(shed.size());
+    shard.m_shed_in_queue->inc(shed.size());
     // Built once: under overload this fires per expired request, and an
     // exception_ptr construction costs a throw/catch on this toolchain.
     static const std::exception_ptr kShedInQueue =
@@ -381,6 +439,9 @@ void LithoServer::shard_loop(Shard& shard) {
                  : shard.queue.pop(req);
     TuneWindow* const w = tuner ? &window : nullptr;
     if (popped == RequestQueue::PopResult::kItem) {
+      // Traced requests only: the extra timestamp splits queue-wait from
+      // batch-assembly in the exported spans.
+      if (req.traced) req.dequeued_at = Clock::now();
       if (auto full = batcher.add(std::move(req), Clock::now())) {
         execute_batch(shard, std::move(*full), w);
       }
@@ -437,25 +498,38 @@ void LithoServer::execute_batch(Shard& shard, Batch batch,
         static_cast<double>(batch.requests.size());
     const double prev =
         shard.est_service_us.load(std::memory_order_relaxed);
-    shard.est_service_us.store(
-        prev == 0.0 ? per_req_us : 0.8 * prev + 0.2 * per_req_us,
-        std::memory_order_relaxed);
+    const double ewma =
+        prev == 0.0 ? per_req_us : 0.8 * prev + 0.2 * per_req_us;
+    shard.est_service_us.store(ewma, std::memory_order_relaxed);
+    shard.m_est_service_us->set(ewma);
   }
   if (window != nullptr) window->record_batch(batch_latencies_us);
+  // The histogram is recorded outside stats_mu (it is lock-free) and
+  // *before* lat_count moves, so a reader that sees lat_count past the
+  // exact window always finds at least that many samples in the histogram.
+  for (const double us : batch_latencies_us) shard.latency->record(us);
   {
     std::lock_guard<std::mutex> lk(shard.stats_mu);
     shard.completed += batch.requests.size();
     if (!err) shard.completed_ok += batch.requests.size();
     ++shard.batches;
+    shard.lat_count += batch_latencies_us.size();
     for (const double us : batch_latencies_us) {
-      if (shard.latencies_us.size() < Shard::kLatencyWindow) {
-        shard.latencies_us.push_back(us);
-      } else {
-        shard.latencies_us[shard.latency_next] = us;
-        shard.latency_next = (shard.latency_next + 1) % Shard::kLatencyWindow;
-      }
+      if (shard.exact_latencies.size() >= Shard::kExactWindow) break;
+      shard.exact_latencies.push_back(us);
     }
   }
+  shard.m_completed->inc(batch.requests.size());
+  if (!err) shard.m_completed_ok->inc(batch.requests.size());
+  shard.m_batches->inc();
+  // Span bookkeeping costs one branch per batch while tracing is off; the
+  // sampled-request scan and timestamps only run when it is on.
+  const bool tracing = tracer_->enabled();
+  bool any_traced = false;
+  if (tracing) {
+    for (const ServeRequest& r : batch.requests) any_traced |= r.traced;
+  }
+  const auto t_resolve = any_traced ? Clock::now() : Clock::time_point{};
   for (std::size_t i = 0; i < batch.requests.size(); ++i) {
     ServeRequest& r = batch.requests[i];
     if (err) {
@@ -466,17 +540,55 @@ void LithoServer::execute_batch(Shard& shard, Batch batch,
       r.result.set_value(std::move(aerials[i]));
     }
   }
+  if (any_traced) {
+    // Emitted by the shard worker — the ring's single writer.  Batch-level
+    // spans (compute, resolve) carry the first traced request's id.
+    const auto t_done = Clock::now();
+    const auto us = [this](Clock::time_point t) {
+      return tracer_->us_since_epoch(t);
+    };
+    std::uint64_t batch_id = 0;
+    for (const ServeRequest& r : batch.requests) {
+      if (!r.traced) continue;
+      if (batch_id == 0) batch_id = r.trace_id;
+      // Parent before children at the same start time, so the exporter's
+      // stable sort keeps the nesting viewers expect.
+      tracer_->record({"request", "serve", r.trace_id, shard.track,
+                       us(r.enqueued_at), us(t_done) - us(r.enqueued_at)});
+      tracer_->record({"queue_wait", "serve", r.trace_id, shard.track,
+                       us(r.enqueued_at),
+                       us(r.dequeued_at) - us(r.enqueued_at)});
+      tracer_->record({"batch_assembly", "serve", r.trace_id, shard.track,
+                       us(r.dequeued_at), us(t0) - us(r.dequeued_at)});
+    }
+    tracer_->record({"compute", "serve", batch_id, shard.track, us(t0),
+                     us(now) - us(t0)});
+    tracer_->record({"resolve", "serve", batch_id, shard.track,
+                     us(t_resolve), us(t_done) - us(t_resolve)});
+  }
 }
 
 namespace {
 
-void fill_percentiles(std::vector<double> latencies, ShardStats& st) {
-  st.latency_samples = latencies.size();
+/// Exact nearest-rank percentiles for the small-window regime.  `latencies`
+/// holds every sample the shard(s) have ever completed (the exact window
+/// has not been exceeded), so sorting it is cheap by construction.
+void fill_percentiles_exact(std::vector<double> latencies, ShardStats& st) {
   if (latencies.empty()) return;  // keep the NaN sentinels: no data != 0 µs
   std::sort(latencies.begin(), latencies.end());
   const std::size_t n = latencies.size();
   st.p50_latency_us = latencies[percentile_index(n, 50)];
   st.p99_latency_us = latencies[percentile_index(n, 99)];
+}
+
+/// Histogram-derived percentiles for everything past the exact window —
+/// O(buckets), no lock against the worker, bounded relative error
+/// (obs::LogHistogram).
+void fill_percentiles_hist(const obs::HistogramSnapshot& snap,
+                           ShardStats& st) {
+  if (snap.count == 0) return;
+  st.p50_latency_us = snap.quantile(50);
+  st.p99_latency_us = snap.quantile(99);
 }
 
 double uptime_seconds(Clock::time_point started_at) {
@@ -489,7 +601,8 @@ ShardStats LithoServer::shard_stats(int shard) const {
   check(shard >= 0 && shard < shards(), "shard_stats: shard out of range");
   const Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   ShardStats st;
-  std::vector<double> latencies;
+  std::vector<double> exact;
+  std::uint64_t lat_count = 0;
   std::uint64_t completed_ok = 0;
   // Read shed_in_queue before completed: the worker bumps completed first,
   // so this order keeps shed_in_queue <= completed for readers (the
@@ -501,7 +614,8 @@ ShardStats LithoServer::shard_stats(int shard) const {
     st.completed = sh.completed;
     completed_ok = sh.completed_ok;
     st.batches = sh.batches;
-    latencies = sh.latencies_us;
+    lat_count = sh.lat_count;
+    if (lat_count <= Shard::kExactWindow) exact = sh.exact_latencies;
   }
   // Read submitted after completed: every completion happens-after its own
   // submission count, so this order keeps completed <= submitted for
@@ -524,13 +638,25 @@ ShardStats LithoServer::shard_stats(int shard) const {
   st.autotune_updates = sh.tune_updates.load(std::memory_order_relaxed);
   st.est_service_us = sh.est_service_us.load(std::memory_order_relaxed);
   st.kernel_generation = sh.current_generation();
-  fill_percentiles(std::move(latencies), st);
+  st.latency_samples = lat_count;
+  // Exact nearest-rank while the shard's whole history fits the exact
+  // window (this is where the tiny-window pins live: n == 1 must report
+  // that sample, n == 2 must report the max as p99); histogram beyond it.
+  // The worker records the histogram before bumping lat_count under the
+  // same mutex we just held, so the snapshot cannot be behind lat_count.
+  if (lat_count <= Shard::kExactWindow) {
+    fill_percentiles_exact(std::move(exact), st);
+  } else {
+    fill_percentiles_hist(sh.latency->snapshot(), st);
+  }
   return st;
 }
 
 ShardStats LithoServer::stats() const {
   ShardStats total;
-  std::vector<double> latencies;
+  std::vector<double> exact;
+  std::uint64_t lat_count = 0;
+  bool all_exact = true;  // every shard's history fits its exact window
   std::uint64_t completed_ok = 0;
   double earliest_start = 0.0;
   for (int s = 0; s < shards(); ++s) {
@@ -546,8 +672,13 @@ ShardStats LithoServer::stats() const {
       total.completed += sh.completed;
       completed_ok += sh.completed_ok;
       total.batches += sh.batches;
-      latencies.insert(latencies.end(), sh.latencies_us.begin(),
-                       sh.latencies_us.end());
+      lat_count += sh.lat_count;
+      if (sh.lat_count <= Shard::kExactWindow) {
+        exact.insert(exact.end(), sh.exact_latencies.begin(),
+                     sh.exact_latencies.end());
+      } else {
+        all_exact = false;
+      }
     }
     // After completed, as in shard_stats: keeps completed <= submitted.
     total.submitted += sh.submitted.load(std::memory_order_acquire);
@@ -584,7 +715,21 @@ ShardStats LithoServer::stats() const {
   total.shed.goodput_rps =
       earliest_start > 0.0 ? static_cast<double>(completed_ok) / earliest_start
                            : 0.0;
-  fill_percentiles(std::move(latencies), total);
+  total.latency_samples = lat_count;
+  // Exact concat-and-sort only while *every* shard is still inside its
+  // exact window (the concatenation is then the complete sample); one
+  // histogram past the window and the whole aggregate reads as a
+  // bucket-wise histogram merge instead — mixing an exact vector into a
+  // bucketed merge would bias ranks.
+  if (all_exact) {
+    fill_percentiles_exact(std::move(exact), total);
+  } else {
+    obs::HistogramSnapshot merged;
+    for (int s = 0; s < shards(); ++s) {
+      merged += shards_[static_cast<std::size_t>(s)]->latency->snapshot();
+    }
+    fill_percentiles_hist(merged, total);
+  }
   return total;
 }
 

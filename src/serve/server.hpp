@@ -58,6 +58,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/autotune.hpp"
 #include "serve/batcher.hpp"
 #include "serve/opc_service.hpp"
@@ -98,6 +100,14 @@ struct ServeOptions {
   RouteMode route = RouteMode::kOutPxAffinity;
   /// Admission control + SLO autotune; nullopt (default) = PR 3 behavior.
   std::optional<SloPolicy> slo;
+  /// Metrics registry the server publishes into (DESIGN.md §12); null
+  /// (default) = the server creates a private one.  Pass a shared registry
+  /// to aggregate serve/train/rollout metrics in one snapshot.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Request-span tracing; disabled by default.  With it disabled, every
+  /// instrumentation site is a single branch and served results are
+  /// bit-identical to a server built without observability at all.
+  obs::TraceConfig trace;
 };
 
 /// Admission-control accounting (all zero while no SloPolicy is active).
@@ -123,13 +133,18 @@ struct ShardStats {
   /// without ever occupying a batch slot.
   double mean_batch_occupancy = 0.0;
   std::size_t queue_depth = 0;   ///< instantaneous
-  /// Submit-to-resolve latency percentiles over the last
-  /// kLatencyWindow completed requests, in microseconds.  NaN until the
-  /// first request completes — a fresh server has no latency, not a ~0 µs
-  /// one; printers should show "n/a" while latency_samples == 0.
+  /// Submit-to-resolve latency percentiles in microseconds.  Exact
+  /// nearest-rank over every completed request while the sample is small
+  /// (each shard keeps its first 64 latencies verbatim); beyond that,
+  /// derived from a lifetime log-bucket histogram with a bounded relative
+  /// error of ≤ 1/(2·16) ≈ 3.1% (obs::LogHistogram, DESIGN.md §12.2) —
+  /// reading them no longer copies and sorts a ring under the stats mutex.
+  /// NaN until the first request completes — a fresh server has no
+  /// latency, not a ~0 µs one; printers should show "n/a" while
+  /// latency_samples == 0.
   double p50_latency_us = std::numeric_limits<double>::quiet_NaN();
   double p99_latency_us = std::numeric_limits<double>::quiet_NaN();
-  /// Number of samples currently in the percentile window.
+  /// Completed requests contributing to the percentiles.
   std::uint64_t latency_samples = 0;
   /// EWMA of per-request service time (µs), the basis of the submit-path
   /// wait estimate; 0 until the first batch completes.
@@ -156,7 +171,8 @@ std::string latency_str(double us, std::uint64_t samples);
 /// ceil(percent/100 * n) - 1, computed in integer arithmetic.  The ceil is
 /// what makes small windows honest — the floor-style (99*(n-1))/100 the
 /// stats used before returns the *minimum* for n <= 2 and biases the tail
-/// low until the window fills.
+/// low until the window fills.  Delegates to obs::nearest_rank_index so the
+/// exact small-window path and the histogram quantile share one rank rule.
 std::size_t percentile_index(std::size_t n, int percent);
 
 class LithoServer {
@@ -251,6 +267,17 @@ class LithoServer {
   ShardStats shard_stats(int shard) const;
   ShardStats stats() const;  ///< aggregate over all shards
 
+  /// The registry the server publishes into (ServeOptions::metrics, or the
+  /// private one it created).  Valid for the server's lifetime.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  std::shared_ptr<obs::MetricsRegistry> metrics_shared() const {
+    return metrics_;
+  }
+  /// The request tracer (tracks 0..shards-1 = shard workers, track shards =
+  /// the OPC worker).  Always constructed; inert unless
+  /// ServeOptions::trace.enabled.
+  obs::Tracer& tracer() const { return *tracer_; }
+
  private:
   struct Shard;
 
@@ -269,6 +296,13 @@ class LithoServer {
   void execute_batch(Shard& shard, Batch batch, TuneWindow* window);
 
   ServeOptions options_;
+  /// Observability sinks; created before the shards, which cache borrowed
+  /// metric references, so they must be declared (and thus destroyed)
+  /// after-first / before-last relative to shards_.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  /// Ids handed to sampled (traced) requests; correlates a request's spans.
+  std::atomic<std::uint64_t> trace_seq_{1};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> round_robin_{0};
   /// Kernel-snapshot generations handed out so far (the construction

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""End-to-end trace validation (ISSUE 8 acceptance): run example_serve_demo
+with --trace and check the dump is a schema-valid Chrome trace_event JSON
+object ("JSON object format") that Perfetto / chrome://tracing will load.
+
+Usage: validate_trace.py <path-to-example_serve_demo>
+
+The C++ unit tests (tests/test_obs.cpp) pin the exporter's escaping and
+structure with substring checks; this script is the real parse: a strict
+json.load plus per-event field checks, against a trace produced by an
+actual serving run.  The demo's own exit code doubles as the bit-identity
+check — it returns non-zero when the served spot check mismatches the
+direct computation, tracing on or not.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REQUIRED_FIELDS = {"name": str, "cat": str, "ph": str, "ts": (int, float),
+                   "dur": (int, float), "pid": int, "tid": int, "args": dict}
+# The request lifecycle the serving instrumentation promises (trace.hpp).
+EXPECTED_SPANS = {"request", "queue_wait", "batch_assembly", "compute",
+                  "resolve"}
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <path-to-example_serve_demo>")
+    demo = Path(sys.argv[1])
+    if not demo.exists():
+        fail(f"demo binary not found: {demo}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.json"
+        proc = subprocess.run([str(demo), f"--trace={trace_path}"],
+                              capture_output=True, text=True, timeout=540)
+        if proc.returncode != 0:
+            fail("demo exited non-zero (served result no longer "
+                 f"bit-identical with tracing on?):\n{proc.stdout}\n"
+                 f"{proc.stderr}")
+        if not trace_path.exists():
+            fail(f"demo did not write {trace_path}")
+        try:
+            doc = json.loads(trace_path.read_text())
+        except json.JSONDecodeError as e:
+            fail(f"trace is not valid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be the trace_event JSON *object* format")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"displayTimeUnit: expected 'ms', got {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+
+    last_ts = None
+    for i, ev in enumerate(events):
+        for field, ty in REQUIRED_FIELDS.items():
+            if not isinstance(ev.get(field), ty):
+                fail(f"event {i}: field {field!r} missing or mistyped: {ev}")
+        if ev["ph"] != "X":
+            fail(f"event {i}: expected complete events (ph 'X'), got {ev['ph']!r}")
+        if ev["ts"] < 0 or ev["dur"] < 0:
+            fail(f"event {i}: negative ts/dur: {ev}")
+        if not isinstance(ev["args"].get("id"), int):
+            fail(f"event {i}: args.id missing: {ev}")
+        if last_ts is not None and ev["ts"] < last_ts:
+            fail(f"event {i}: events not sorted by ts")
+        last_ts = ev["ts"]
+
+    names = {ev["name"] for ev in events}
+    missing = EXPECTED_SPANS - names
+    if missing:
+        fail(f"request lifecycle spans missing from trace: {sorted(missing)}")
+
+    # Every child span must lie inside its request's [ts, ts+dur] envelope
+    # (same track, same id) — the nesting Perfetto renders.
+    requests = {(ev["pid"], ev["tid"], ev["args"]["id"]): ev
+                for ev in events if ev["name"] == "request"}
+    for ev in events:
+        if ev["name"] not in ("queue_wait", "batch_assembly"):
+            continue
+        parent = requests.get((ev["pid"], ev["tid"], ev["args"]["id"]))
+        if parent is None:
+            fail(f"{ev['name']} span with no matching request span: {ev}")
+        if not (parent["ts"] <= ev["ts"]
+                and ev["ts"] + ev["dur"] <= parent["ts"] + parent["dur"]):
+            fail(f"{ev['name']} span escapes its request envelope: {ev}")
+
+    print(f"validate_trace: OK ({len(events)} events, "
+          f"{len(requests)} traced requests)")
+
+
+if __name__ == "__main__":
+    main()
