@@ -82,6 +82,7 @@ Grid<double> legacy_aerial_from_mask(const std::vector<Grid<cd>>& kernels,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  log_simd_arm();
   BenchEnv env(BenchConfig::from_flags(flags));
   const int tiles = flags.get_int("tiles", 6);
   const int ref_tiles = flags.get_int("ref-tiles", 2);

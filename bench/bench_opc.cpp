@@ -125,6 +125,7 @@ std::vector<float> run_per_mask(const std::vector<Grid<cd>>& kernels,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  log_simd_arm();
   const int batch = flags.get_int("batch", 8);
   const int iters = flags.get_int("iters", 30);
   const int mask_px = flags.get_int("mask-px", 64);

@@ -96,6 +96,7 @@ struct PhaseResult {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  log_simd_arm();
   const int reqs = flags.get_int("reqs", 4096);
   const int mask_px = flags.get_int("mask-px", 32);
   const int out_px = flags.get_int("out-px", 16);

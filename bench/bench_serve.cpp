@@ -92,6 +92,7 @@ using serve::latency_str;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  log_simd_arm();
   // Default workload: batch-friendly load — many small tiles (an OPC-style
   // tile sweep), where per-request overhead rivals compute and coalescing
   // pays.  At heavier per-request compute (e.g. --mask-px 64 --rank 16)

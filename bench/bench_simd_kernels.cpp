@@ -1,0 +1,200 @@
+// SIMD kernel microbench (ISSUE 9): same-binary scalar-vs-vector ratios for
+// the three gated hot loops — the engine's fused crop/multiply/scatter +
+// abs2-accumulate pass, the radix-2 butterfly transform, and the dense GEMM
+// microkernels — plus informational rows for the Bluestein path and the
+// float abs2 accumulate.  Ratios come from interleaved best-of-reps runs of
+// the *identical* workload under force_arm(), so everything except the
+// dispatch arm cancels out; bit-identity across arms is pinned by
+// tests/test_simd.cpp, this file only measures speed.
+//
+// Writes bench_out/simd_kernels.csv; gated against
+// bench/baselines/simd_kernels.csv by bench/check_baselines.py (floor:
+// vs_scalar >= 1.2 on fused_scatter, butterfly_f32 and gemm_nn_dense).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common.hpp"
+#include "common/aligned.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/simd.hpp"
+#include "common/timer.hpp"
+#include "fft/fft.hpp"
+#include "io/csv.hpp"
+#include "nn/gemm.hpp"
+
+using namespace nitho;
+using namespace nitho::bench;
+
+namespace {
+
+// Best-of-`reps` nanoseconds per call, interleaving the two arms outside so
+// thermal / scheduling drift hits both equally.
+double measure_ns(const std::function<void()>& fn, int iters, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    for (int i = 0; i < iters; ++i) fn();
+    best = std::min(best, t.seconds() * 1e9 / iters);
+  }
+  return best;
+}
+
+struct Workload {
+  const char* name;
+  std::function<void()> fn;
+  int iters;
+};
+
+Rng bench_rng(std::uint64_t salt) { return Rng(0xBEEF2023ull + salt); }
+
+template <typename C>
+std::vector<C> random_cvec(std::int64_t n, Rng& rng) {
+  std::vector<C> v(static_cast<std::size_t>(n));
+  for (auto& z : v) {
+    z = C(static_cast<typename C::value_type>(rng.normal()),
+          static_cast<typename C::value_type>(rng.normal()));
+  }
+  return v;
+}
+
+std::vector<float> random_fvec(std::int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const char* arm = log_simd_arm();
+  const int reps = flags.get_int("reps", 7);
+
+  // --- fused scatter: the engine's per-kernel pass minus the FFT ---------
+  // (kdim 29 = the paper-scale Eq.-10 kernel support; out 128.)
+  const int kdim = 29, out = 128;
+  Rng rng = bench_rng(1);
+  const auto kern = random_cvec<cd>(kdim * kdim, rng);
+  const auto spec = random_cvec<cd>(kdim * kdim, rng);
+  aligned_vector<cd> field(static_cast<std::size_t>(out) * out);
+  aligned_vector<double> local(static_cast<std::size_t>(out) * out, 0.0);
+  const int seg_start = 93;  // a wrapping scatter start, like (e0+sh) % out
+  const int seg1 = std::min(kdim, out - seg_start);
+  Workload fused{"fused_scatter",
+                 [&] {
+                   std::fill(field.begin(), field.end(), cd(0.0, 0.0));
+                   for (int r = 0; r < kdim; ++r) {
+                     const cd* krow = kern.data() + r * kdim;
+                     const cd* srow = spec.data() + r * kdim;
+                     cd* frow = field.data() +
+                                static_cast<std::size_t>((seg_start + r) % out) * out;
+                     simd::cmul(frow + seg_start, krow, srow, seg1);
+                     simd::cmul(frow, krow + seg1, srow + seg1, kdim - seg1);
+                   }
+                   simd::abs2_scale_accum(local.data(), field.data(),
+                                          16384.0, out * out);
+                 },
+                 200};
+
+  // --- radix-2 butterflies: whole 512-point transforms -------------------
+  // The input is re-copied each call so values stay finite (repeated
+  // unnormalized transforms would blow up into the slow non-finite paths).
+  const auto sig_d = random_cvec<cd>(512, rng);
+  const auto sig_f = random_cvec<cf>(512, rng);
+  aligned_vector<cd> buf_d(512);
+  aligned_vector<cf> buf_f(512);
+  const FftPlan<double>& plan_d = fft_plan_d(512);
+  const FftPlan<float>& plan_f = fft_plan_f(512);
+  Workload bfly64{"butterfly_f64",
+                  [&] {
+                    std::memcpy(buf_d.data(), sig_d.data(), 512 * sizeof(cd));
+                    plan_d.forward(buf_d.data());
+                  },
+                  500};
+  Workload bfly32{"butterfly_f32",
+                  [&] {
+                    std::memcpy(buf_f.data(), sig_f.data(), 512 * sizeof(cf));
+                    plan_f.forward(buf_f.data());
+                  },
+                  500};
+
+  // --- Bluestein (prime 509): chirp + convolution over the SIMD stages ---
+  const auto sig_b = random_cvec<cd>(509, rng);
+  aligned_vector<cd> buf_b(509);
+  const FftPlan<double>& plan_b = fft_plan_d(509);
+  aligned_vector<cd> scratch_b(static_cast<std::size_t>(plan_b.scratch_size()));
+  Workload bluestein{"bluestein_f64",
+                     [&] {
+                       std::memcpy(buf_b.data(), sig_b.data(),
+                                   509 * sizeof(cd));
+                       plan_b.forward(buf_b.data(), scratch_b.data());
+                     },
+                     200};
+
+  // --- dense GEMM microkernels (CMLP-shaped, serial path) ----------------
+  const std::int64_t gm = 48, gn = 48, gk = 48;
+  const auto ga = random_fvec(gm * gk, rng);
+  const auto gb = random_fvec(gk * gn, rng);
+  const auto gbt = random_fvec(gn * gk, rng);
+  std::vector<float> gc(static_cast<std::size_t>(gm * gn));
+  Workload gemm_nn{"gemm_nn_dense",
+                   [&] {
+                     nn::gemm_nn<false>(gm, gn, gk, ga.data(), gb.data(),
+                                        gc.data(), false);
+                   },
+                   400};
+  Workload gemm_nt{"gemm_nt_dense",
+                   [&] {
+                     nn::gemm_nt(gm, gn, gk, ga.data(), gbt.data(), gc.data(),
+                                 false);
+                   },
+                   400};
+
+  // --- float abs2 accumulate (training intensity pass) -------------------
+  const auto plane_e = random_fvec(2 * 64 * 64, rng);
+  std::vector<float> plane_acc(64 * 64);
+  Workload abs2{"abs2_accum_f32",
+                [&] {
+                  std::fill(plane_acc.begin(), plane_acc.end(), 0.0f);
+                  simd::abs2_accum(plane_acc.data(), plane_e.data(), 64 * 64);
+                },
+                2000};
+
+  const Workload* workloads[] = {&fused,   &bfly64,  &bfly32, &bluestein,
+                                 &gemm_nn, &gemm_nt, &abs2};
+
+  std::printf("== SIMD kernel microbench (best of %d reps) ==\n\n", reps);
+  TablePrinter tp({"kernel", "scalar ns", "simd ns", "vs_scalar"}, 14);
+  CsvWriter csv(out_dir() + "/simd_kernels.csv",
+                {"kernel", "scalar_ns", "simd_ns", "vs_scalar", "arm"});
+  const simd::Arm best = simd::detected_arm();
+  for (const Workload* w : workloads) {
+    // Warm caches and the dispatch atomic under both arms first.
+    simd::force_arm(simd::Arm::kScalar);
+    w->fn();
+    simd::force_arm(best);
+    w->fn();
+    double scalar_ns = 1e30, simd_ns = 1e30;
+    for (int r = 0; r < reps; ++r) {
+      simd::force_arm(simd::Arm::kScalar);
+      scalar_ns = std::min(scalar_ns, measure_ns(w->fn, w->iters, 1));
+      simd::force_arm(best);
+      simd_ns = std::min(simd_ns, measure_ns(w->fn, w->iters, 1));
+    }
+    simd::force_arm(best);
+    const double ratio = scalar_ns / simd_ns;
+    tp.row({w->name, fmt(scalar_ns, 0), fmt(simd_ns, 0), fmt(ratio, 2)});
+    csv.row({w->name, fmt(scalar_ns, 0), fmt(simd_ns, 0), fmt(ratio, 2),
+             arm});
+  }
+  tp.rule();
+  std::printf(
+      "\nGate (check_baselines.py): vs_scalar >= 1.2 on fused_scatter, "
+      "butterfly_f32, gemm_nn_dense.\n");
+  return 0;
+}

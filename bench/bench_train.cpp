@@ -10,9 +10,17 @@
 // overhead: graph/allocation amortization and fused batched FFT passes,
 // not arithmetic shortcuts and not threads.
 //
+// The two loops run as `--repeats` interleaved legacy/batched rounds
+// (fresh identically-seeded models per round) and the ratio pools the
+// rounds' total steps over total seconds — back-to-back single windows put
+// any slow drift of the box entirely into one side of the ratio, while
+// interleaving cancels it.
+//
 // Flags: the shared set (--train N --nitho-epochs N --seed N) plus
-// --batch N (default 4) and --train-px N (default 64).
+// --batch N (default 4), --train-px N (default 64) and --repeats N
+// (default 3).
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -26,7 +34,7 @@ namespace nitho::bench {
 namespace {
 
 struct Measurement {
-  double steps_per_s = 0.0;
+  double seconds = 0.0;
   TrainStats stats;
 };
 
@@ -37,16 +45,17 @@ Measurement measure(const char* what, NithoModel& model,
   Measurement m;
   m.stats = batched ? train_nitho(model, set, cfg)
                     : legacy_train_nitho(model, set, cfg);
-  const double seconds = t.seconds();
-  m.steps_per_s = m.stats.steps / seconds;
+  m.seconds = t.seconds();
   std::printf(
       "[train] %-16s %3d steps in %6.2fs  -> %6.2f steps/s  loss %.3e\n",
-      what, m.stats.steps, seconds, m.steps_per_s, m.stats.final_loss);
+      what, m.stats.steps, m.seconds, m.stats.steps / m.seconds,
+      m.stats.final_loss);
   std::fflush(stdout);
   return m;
 }
 
 int run(const Flags& flags) {
+  log_simd_arm();
   BenchConfig cfg = BenchConfig::from_flags(flags);
   const int batch = flags.get_int("batch", 4);
   const int train_px = flags.get_int("train-px", 64);
@@ -54,6 +63,8 @@ int run(const Flags& flags) {
   // what the baseline tracks.
   cfg.train_count = flags.get_int("train", 8);
   const int epochs = flags.get_int("nitho-epochs", 6);
+
+  const int repeats = std::max(1, flags.get_int("repeats", 3));
 
   BenchEnv env(cfg);
   const Dataset& train = env.train_set(DatasetKind::B2v);
@@ -65,16 +76,17 @@ int run(const Flags& flags) {
   tc.seed = cfg.seed;
 
   NithoConfig mc = env.nitho_config();
-  NithoModel legacy_model(mc, env.litho().tile_nm,
-                          env.litho().optics.wavelength_nm,
-                          env.litho().optics.na);
-  NithoModel batched_model(mc, env.litho().tile_nm,
-                           env.litho().optics.wavelength_nm,
-                           env.litho().optics.na);
+  auto make_model = [&] {
+    return NithoModel(mc, env.litho().tile_nm,
+                      env.litho().optics.wavelength_nm,
+                      env.litho().optics.na);
+  };
+  NithoModel probe = make_model();
   const TrainingSet set = prepare_training_set(
-      sample_ptrs(train), legacy_model.kernel_dim(), tc.train_px);
-  std::printf("[train] %d samples, batch %d, %d epochs, kdim %d, px %d\n",
-              set.size(), batch, epochs, set.kernel_dim, set.train_px);
+      sample_ptrs(train), probe.kernel_dim(), tc.train_px);
+  std::printf(
+      "[train] %d samples, batch %d, %d epochs, kdim %d, px %d, %d rounds\n",
+      set.size(), batch, epochs, set.kernel_dim, set.train_px, repeats);
 
   // Warm the FFT plan caches and the page pool on a throwaway epoch each so
   // neither loop pays first-touch costs inside its timed window.
@@ -89,23 +101,38 @@ int run(const Flags& flags) {
     train_nitho(wb, set, warm);
   }
 
-  const Measurement lm =
-      measure("legacy_per_mask", legacy_model, set, tc, /*batched=*/false);
-  const Measurement bm =
-      measure("batched", batched_model, set, tc, /*batched=*/true);
+  // Interleaved rounds: identically-seeded fresh models per round, totals
+  // pooled per mode so slow drift of the box hits both sides alike.
+  double lsteps = 0.0, lsecs = 0.0, bsteps = 0.0, bsecs = 0.0;
+  double fwd_s = 0.0, bwd_s = 0.0, step_s = 0.0;
+  for (int rep = 0; rep < repeats; ++rep) {
+    NithoModel legacy_model = make_model();
+    NithoModel batched_model = make_model();
+    const Measurement lm =
+        measure("legacy_per_mask", legacy_model, set, tc, /*batched=*/false);
+    const Measurement bm =
+        measure("batched", batched_model, set, tc, /*batched=*/true);
+    lsteps += lm.stats.steps;
+    lsecs += lm.seconds;
+    bsteps += bm.stats.steps;
+    bsecs += bm.seconds;
+    fwd_s += bm.stats.forward_seconds;
+    bwd_s += bm.stats.backward_seconds;
+    step_s += bm.stats.step_seconds;
+  }
+  const double legacy_rate = lsteps / lsecs;
+  const double batched_rate = bsteps / bsecs;
   std::printf("[train] batched phase split: fwd %.2fs bwd %.2fs step %.2fs\n",
-              bm.stats.forward_seconds, bm.stats.backward_seconds,
-              bm.stats.step_seconds);
+              fwd_s, bwd_s, step_s);
   std::printf("[train] batched = %.2fx legacy steps/s\n",
-              bm.steps_per_s / lm.steps_per_s);
+              batched_rate / legacy_rate);
 
   CsvWriter csv(out_dir() + "/train_throughput.csv",
                 {"mode", "steps_per_s", "fwd_s", "bwd_s", "step_s",
                  "vs_legacy"});
-  csv.row({"legacy_per_mask", fmt(lm.steps_per_s, 2), "", "", "", "1.00"});
-  csv.row({"batched", fmt(bm.steps_per_s, 2), fmt(bm.stats.forward_seconds, 2),
-           fmt(bm.stats.backward_seconds, 2), fmt(bm.stats.step_seconds, 2),
-           fmt(bm.steps_per_s / lm.steps_per_s, 2)});
+  csv.row({"legacy_per_mask", fmt(legacy_rate, 2), "", "", "", "1.00"});
+  csv.row({"batched", fmt(batched_rate, 2), fmt(fwd_s, 2), fmt(bwd_s, 2),
+           fmt(step_s, 2), fmt(batched_rate / legacy_rate, 2)});
   return 0;
 }
 

@@ -69,6 +69,16 @@ GATES = {
         # may shrink freely as swaps get cheaper.
         ("across_swap", "swap_p99_vs_steady", None, False, 1.5),
     ],
+    "simd_kernels.csv": [
+        # SIMD acceptance (ISSUE 9): the vector arms must stay >= 1.2x the
+        # scalar arm on the fused scatter pass, the float complex butterfly
+        # and the dense GEMM.  Both times come from the same binary on the
+        # same box (force_arm-interleaved best-of-reps), so the ratio is
+        # machine-independent and relative-checked like the other speedups.
+        ("fused_scatter", "vs_scalar", 1.2, True, None),
+        ("butterfly_f32", "vs_scalar", 1.2, True, None),
+        ("gemm_nn_dense", "vs_scalar", 1.2, True, None),
+    ],
     "obs_overhead.csv": [
         # Observability overhead acceptance (ISSUE 8): trace-off throughput
         # over trace-on (default 1/16 sampling) on the batch-friendly
@@ -529,6 +539,59 @@ def self_test():
             ],
         )
         assert run(basedir, outdir, 0.25, require=False) == 0
+        # 15. simd gate: all three vector-vs-scalar floors bind at 1.2x and
+        #     the relative check guards committed headroom; the arm column
+        #     is informational and ignored by the gate.
+        simd_header = ["kernel", "scalar_ns", "simd_ns", "vs_scalar", "arm"]
+        write_csv(
+            os.path.join(basedir, "simd_kernels.csv"),
+            simd_header,
+            [
+                ["fused_scatter", "18000", "12000", "1.50", "avx2"],
+                ["butterfly_f64", "5800", "2400", "2.42", "avx2"],
+                ["butterfly_f32", "5700", "1600", "3.56", "avx2"],
+                ["gemm_nn_dense", "19700", "14600", "1.35", "avx2"],
+            ],
+        )
+        write_csv(
+            os.path.join(outdir, "simd_kernels.csv"),
+            simd_header,
+            [
+                ["fused_scatter", "18100", "15500", "1.17", "avx2"],
+                ["butterfly_f64", "5900", "2500", "2.36", "avx2"],
+                ["butterfly_f32", "5800", "1700", "3.41", "avx2"],
+                ["gemm_nn_dense", "19800", "14800", "1.34", "avx2"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1  # floor binds
+        write_csv(
+            os.path.join(outdir, "simd_kernels.csv"),
+            simd_header,
+            [
+                ["fused_scatter", "18100", "12100", "1.49", "sse2"],
+                ["butterfly_f64", "5900", "2500", "2.36", "sse2"],
+                ["butterfly_f32", "5800", "1700", "3.41", "sse2"],
+                ["gemm_nn_dense", "19800", "14800", "1.34", "sse2"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 0
+        # A ratio above the floor but collapsed far below the committed
+        # baseline (3.56 -> 1.30 on butterfly_f32) fails the relative check.
+        write_csv(
+            os.path.join(outdir, "simd_kernels.csv"),
+            simd_header,
+            [
+                ["fused_scatter", "18100", "12100", "1.49", "avx2"],
+                ["butterfly_f64", "5900", "2500", "2.36", "avx2"],
+                ["butterfly_f32", "5800", "4460", "1.30", "avx2"],
+                ["gemm_nn_dense", "19800", "14800", "1.34", "avx2"],
+            ],
+        )
+        assert run(basedir, outdir, 0.25, require=False) == 1
+        os.remove(os.path.join(outdir, "simd_kernels.csv"))
+        os.remove(os.path.join(basedir, "simd_kernels.csv"))
+        assert run(basedir, outdir, 0.25, require=False) == 0
+
     print("self-test OK")
     return 0
 

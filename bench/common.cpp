@@ -6,6 +6,7 @@
 
 #include "baselines/image_trainer.hpp"
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "common/timer.hpp"
 #include "nn/serialize.hpp"
 
@@ -228,6 +229,12 @@ std::string out_dir() {
 std::string cache_dir() {
   std::filesystem::create_directories("bench_cache");
   return "bench_cache";
+}
+
+const char* log_simd_arm() {
+  const char* name = simd::arm_name(simd::active_arm());
+  std::printf("[simd] dispatch arm: %s\n", name);
+  return name;
 }
 
 }  // namespace nitho::bench

@@ -103,4 +103,9 @@ std::string fmt(double v, int precision = 2);
 std::string out_dir();
 std::string cache_dir();
 
+/// Prints "[simd] dispatch arm: <scalar|sse2|avx2>" and returns the arm
+/// name, so every gated bench logs — and its CSV can record — which kernel
+/// arm produced the numbers.
+const char* log_simd_arm();
+
 }  // namespace nitho::bench

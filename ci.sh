@@ -17,10 +17,16 @@ for cfg in Release Debug; do
   ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
 done
 
-echo "=== ThreadSanitizer (serve / autotune / engine / common / nn / opc / serialize / rollout / obs) ==="
+echo "=== Scalar fallback (NITHO_NO_SIMD) ==="
+cmake --preset scalar
+cmake --build --preset scalar -j "${jobs}"
+ctest --preset scalar -j "${jobs}"
+
+echo "=== ThreadSanitizer (serve / autotune / engine / common / nn / opc / serialize / rollout / obs / simd) ==="
 cmake --preset tsan
-cmake --build --preset tsan -j "${jobs}" --target test_serve test_autotune test_engine test_common test_nn test_opc test_serialize test_rollout test_obs
+cmake --build --preset tsan -j "${jobs}" --target test_serve test_autotune test_engine test_common test_nn test_opc test_serialize test_rollout test_obs test_simd
 ctest --preset tsan -j 1
 
-echo "CI OK: both configurations built warning-clean, all suites passed,"
-echo "and the threaded suites are TSan-clean."
+echo "CI OK: both configurations built warning-clean, all suites passed"
+echo "(including the scalar-only kernel arms), and the threaded suites are"
+echo "TSan-clean."

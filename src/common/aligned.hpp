@@ -1,0 +1,63 @@
+#pragma once
+// Aligned heap allocation for hot-loop buffers (DESIGN.md §13.3).
+//
+// The SIMD kernels in common/simd.hpp use unaligned loads, so alignment is
+// a performance contract, not a correctness one: buffers that live under
+// the vector kernels (FFT workspaces, the engine's field scratch) come from
+// aligned_vector so every vector load/store lands on one cache line.
+// kSimdAlign is 64 bytes — a full cache line, and enough for any SSE/AVX
+// register width the dispatch layer selects.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace nitho {
+
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// True when p sits on a kSimdAlign boundary.
+inline bool is_aligned(const void* p, std::size_t align = kSimdAlign) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+/// Minimal C++17 aligned allocator: operator new(size, align) under the
+/// hood, so it composes with sanitizers (no posix_memalign / free pairing
+/// mismatches).
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T), "alignment below the type's own");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is kSimdAlign-aligned (asserted in
+/// tests/test_simd.cpp).  Drop-in for the workspace buffers; element access
+/// and iteration are unchanged.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace nitho

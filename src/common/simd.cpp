@@ -1,0 +1,787 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cmath>
+
+// Arm availability is decided at compile time per arm and at runtime per
+// process (DESIGN.md §13.1).  SSE2 is part of the x86-64 baseline so its
+// arm compiles with the default flags; the AVX2 arm is compiled with a
+// per-function target attribute and only ever *called* after CPUID says the
+// instructions exist.  Neither arm uses FMA: contraction rounds differently
+// from the scalar arms and would break the bit-identity protocol.
+#if !defined(NITHO_NO_SIMD) && defined(__x86_64__) && defined(__GNUC__)
+#define NITHO_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define NITHO_SIMD_X86 0
+#endif
+
+namespace nitho::simd {
+namespace {
+
+Arm detect() {
+#if NITHO_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return Arm::kAvx2;
+  return Arm::kSse2;
+#else
+  return Arm::kScalar;
+#endif
+}
+
+std::atomic<int>& arm_slot() {
+  static std::atomic<int> slot{static_cast<int>(detect())};
+  return slot;
+}
+
+inline Arm current() {
+  return static_cast<Arm>(arm_slot().load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arms.  These ARE the reference semantics: every expression below
+// is the verbatim hot-loop arithmetic the call sites used before the SIMD
+// layer existed, and the vector arms replicate it lane by lane.
+// ---------------------------------------------------------------------------
+
+template <typename C>
+void cmul_scalar(C* dst, const C* a, const C* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+template <typename C>
+void cmul_inplace_scalar(C* a, const C* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) a[i] *= b[i];
+}
+
+void abs2_scale_accum_scalar(double* acc, const cd* z, double scale,
+                             std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const cd v = z[i] * scale;
+    acc[i] += norm2(v);
+  }
+}
+
+void abs2_accum_scalar(float* acc, const float* e, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    acc[i] += e[2 * i] * e[2 * i] + e[2 * i + 1] * e[2 * i + 1];
+  }
+}
+
+void axpy_scalar(float* c, float a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) c[i] += a * b[i];
+}
+
+void add_inplace_scalar(float* c, const float* t, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) c[i] += t[i];
+}
+
+void adam_update_scalar(float* p, float* m, float* v, const float* g,
+                        std::int64_t n, float beta1, float beta2, float bc1,
+                        float bc2, float lr, float eps) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float gi = g[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    p[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void gemm_panel_scalar(float* c, std::int64_t ldc, const float* a,
+                       std::int64_t ars, std::int64_t aps, const float* b,
+                       std::int64_t ldb, std::int64_t mr, std::int64_t k,
+                       std::int64_t n) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    const float* ar = a + r * ars;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = ar[p * aps];
+      const float* brow = b + p * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void abs2_backprop_scalar(float* g, const float* e, const float* gy,
+                          std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    g[2 * i] += 2.0f * e[2 * i] * gy[i];
+    g[2 * i + 1] += 2.0f * e[2 * i + 1] * gy[i];
+  }
+}
+
+template <typename C>
+void fft_stage_scalar(C* x, int len, int half, const C* tw) {
+  for (int base = 0; base < len; base += 2 * half) {
+    for (int k = 0; k < half; ++k) {
+      const C t = x[base + half + k] * tw[k];
+      x[base + half + k] = x[base + k] - t;
+      x[base + k] += t;
+    }
+  }
+}
+
+#if NITHO_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 arms.  x86-64 baseline — no SSE3 addsub; a - b is written as
+// a + (b ^ signmask), which is the IEEE definition of subtraction and
+// therefore bit-identical.  Complex multiply follows the scalar formula
+// (re1*re2 - im1*im2, re1*im2 + im1*re2); the imaginary part's two
+// products may be summed in either order (IEEE addition is commutative).
+// ---------------------------------------------------------------------------
+
+// One complex<double> per vector: t = a*b as [re, im].
+inline __m128d cmul1_sse2(__m128d a, __m128d b) {
+  const __m128d br = _mm_shuffle_pd(b, b, 0x0);  // [br, br]
+  const __m128d bi = _mm_shuffle_pd(b, b, 0x3);  // [bi, bi]
+  const __m128d as = _mm_shuffle_pd(a, a, 0x1);  // [ai, ar]
+  const __m128d t1 = _mm_mul_pd(a, br);          // [ar*br, ai*br]
+  const __m128d t2 = _mm_mul_pd(as, bi);         // [ai*bi, ar*bi]
+  const __m128d sign = _mm_set_pd(0.0, -0.0);    // negate lane 0
+  return _mm_add_pd(t1, _mm_xor_pd(t2, sign));   // [ar*br-ai*bi, ai*br+ar*bi]
+}
+
+// Two complex<float> per vector.
+inline __m128 cmul2_sse2(__m128 a, __m128 b) {
+  const __m128 br = _mm_shuffle_ps(b, b, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128 bi = _mm_shuffle_ps(b, b, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128 as = _mm_shuffle_ps(a, a, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 t1 = _mm_mul_ps(a, br);
+  const __m128 t2 = _mm_mul_ps(as, bi);
+  const __m128 sign = _mm_set_ps(0.0f, -0.0f, 0.0f, -0.0f);
+  return _mm_add_ps(t1, _mm_xor_ps(t2, sign));
+}
+
+void cmul_sse2(cd* dst, const cd* a, const cd* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const __m128d av = _mm_loadu_pd(reinterpret_cast<const double*>(a + i));
+    const __m128d bv = _mm_loadu_pd(reinterpret_cast<const double*>(b + i));
+    _mm_storeu_pd(reinterpret_cast<double*>(dst + i), cmul1_sse2(av, bv));
+  }
+}
+
+void cmul_sse2(cf* dst, const cf* a, const cf* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 av = _mm_loadu_ps(reinterpret_cast<const float*>(a + i));
+    const __m128 bv = _mm_loadu_ps(reinterpret_cast<const float*>(b + i));
+    _mm_storeu_ps(reinterpret_cast<float*>(dst + i), cmul2_sse2(av, bv));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+void abs2_scale_accum_sse2(double* acc, const cd* z, double scale,
+                           std::int64_t n) {
+  const __m128d sv = _mm_set1_pd(scale);
+  std::int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d z0 = _mm_loadu_pd(reinterpret_cast<const double*>(z + i));
+    __m128d z1 = _mm_loadu_pd(reinterpret_cast<const double*>(z + i + 1));
+    z0 = _mm_mul_pd(z0, sv);
+    z1 = _mm_mul_pd(z1, sv);
+    const __m128d s0 = _mm_mul_pd(z0, z0);  // [re0^2, im0^2]
+    const __m128d s1 = _mm_mul_pd(z1, z1);
+    // [re0^2, re1^2] + [im0^2, im1^2] = norm2 per pixel (re^2 + im^2,
+    // matching the scalar operand order).
+    const __m128d re = _mm_unpacklo_pd(s0, s1);
+    const __m128d im = _mm_unpackhi_pd(s0, s1);
+    const __m128d nrm = _mm_add_pd(re, im);
+    _mm_storeu_pd(acc + i, _mm_add_pd(_mm_loadu_pd(acc + i), nrm));
+  }
+  for (; i < n; ++i) {
+    const cd v = z[i] * scale;
+    acc[i] += norm2(v);
+  }
+}
+
+void abs2_accum_sse2(float* acc, const float* e, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v0 = _mm_loadu_ps(e + 2 * i);      // [x0,y0,x1,y1]
+    const __m128 v1 = _mm_loadu_ps(e + 2 * i + 4);  // [x2,y2,x3,y3]
+    const __m128 ev = _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 od = _mm_shuffle_ps(v0, v1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128 nrm = _mm_add_ps(_mm_mul_ps(ev, ev), _mm_mul_ps(od, od));
+    _mm_storeu_ps(acc + i, _mm_add_ps(_mm_loadu_ps(acc + i), nrm));
+  }
+  for (; i < n; ++i) {
+    acc[i] += e[2 * i] * e[2 * i] + e[2 * i + 1] * e[2 * i + 1];
+  }
+}
+
+void axpy_sse2(float* c, float a, const float* b, std::int64_t n) {
+  const __m128 av = _mm_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 prod = _mm_mul_ps(av, _mm_loadu_ps(b + i));
+    _mm_storeu_ps(c + i, _mm_add_ps(_mm_loadu_ps(c + i), prod));
+  }
+  for (; i < n; ++i) c[i] += a * b[i];
+}
+
+void add_inplace_sse2(float* c, const float* t, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(c + i, _mm_add_ps(_mm_loadu_ps(c + i), _mm_loadu_ps(t + i)));
+  }
+  for (; i < n; ++i) c[i] += t[i];
+}
+
+// divps / sqrtps are IEEE correctly-rounded (unlike the rcpps / rsqrtps
+// approximations, which are never used here), so every lane reproduces the
+// scalar arm's mul/add/div/sqrt sequence bit for bit.
+void adam_update_sse2(float* p, float* m, float* v, const float* g,
+                      std::int64_t n, float beta1, float beta2, float bc1,
+                      float bc2, float lr, float eps) {
+  const __m128 b1 = _mm_set1_ps(beta1), ob1 = _mm_set1_ps(1.0f - beta1);
+  const __m128 b2 = _mm_set1_ps(beta2), ob2 = _mm_set1_ps(1.0f - beta2);
+  const __m128 c1 = _mm_set1_ps(bc1), c2 = _mm_set1_ps(bc2);
+  const __m128 lrv = _mm_set1_ps(lr), ev = _mm_set1_ps(eps);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 gv = _mm_loadu_ps(g + i);
+    const __m128 mv = _mm_add_ps(_mm_mul_ps(b1, _mm_loadu_ps(m + i)),
+                                 _mm_mul_ps(ob1, gv));
+    const __m128 vv = _mm_add_ps(_mm_mul_ps(b2, _mm_loadu_ps(v + i)),
+                                 _mm_mul_ps(_mm_mul_ps(ob2, gv), gv));
+    _mm_storeu_ps(m + i, mv);
+    _mm_storeu_ps(v + i, vv);
+    const __m128 step =
+        _mm_div_ps(_mm_mul_ps(lrv, _mm_div_ps(mv, c1)),
+                   _mm_add_ps(_mm_sqrt_ps(_mm_div_ps(vv, c2)), ev));
+    _mm_storeu_ps(p + i, _mm_sub_ps(_mm_loadu_ps(p + i), step));
+  }
+  if (i < n) {
+    adam_update_scalar(p + i, m + i, v + i, g + i, n - i, beta1, beta2, bc1,
+                       bc2, lr, eps);
+  }
+}
+
+// Register-blocked panel, MR rows held in accumulators across the whole k
+// fold.  Each c[r][j] still receives one rounded mul + one rounded add per
+// p, in ascending p — the axpy sequence, minus the per-p memory round trip
+// (fp32 in xmm/ymm lanes is the same format as fp32 in memory, so keeping
+// the fold in registers is bit-preserving).
+template <int MR>
+void gemm_panel_sse2_t(float* c, std::int64_t ldc, const float* a,
+                       std::int64_t ars, std::int64_t aps, const float* b,
+                       std::int64_t ldb, std::int64_t k, std::int64_t n) {
+  std::int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m128 acc0[MR], acc1[MR];
+    for (int r = 0; r < MR; ++r) {
+      acc0[r] = _mm_loadu_ps(c + r * ldc + j);
+      acc1[r] = _mm_loadu_ps(c + r * ldc + j + 4);
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const __m128 b0 = _mm_loadu_ps(b + p * ldb + j);
+      const __m128 b1 = _mm_loadu_ps(b + p * ldb + j + 4);
+      for (int r = 0; r < MR; ++r) {
+        const __m128 av = _mm_set1_ps(a[r * ars + p * aps]);
+        acc0[r] = _mm_add_ps(acc0[r], _mm_mul_ps(av, b0));
+        acc1[r] = _mm_add_ps(acc1[r], _mm_mul_ps(av, b1));
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      _mm_storeu_ps(c + r * ldc + j, acc0[r]);
+      _mm_storeu_ps(c + r * ldc + j + 4, acc1[r]);
+    }
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m128 acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = _mm_loadu_ps(c + r * ldc + j);
+    for (std::int64_t p = 0; p < k; ++p) {
+      const __m128 bv = _mm_loadu_ps(b + p * ldb + j);
+      for (int r = 0; r < MR; ++r) {
+        const __m128 av = _mm_set1_ps(a[r * ars + p * aps]);
+        acc[r] = _mm_add_ps(acc[r], _mm_mul_ps(av, bv));
+      }
+    }
+    for (int r = 0; r < MR; ++r) _mm_storeu_ps(c + r * ldc + j, acc[r]);
+  }
+  if (j < n) {
+    for (int r = 0; r < MR; ++r) {
+      float* crow = c + r * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = a[r * ars + p * aps];
+        const float* brow = b + p * ldb;
+        for (std::int64_t jj = j; jj < n; ++jj) crow[jj] += av * brow[jj];
+      }
+    }
+  }
+}
+
+void gemm_panel_sse2(float* c, std::int64_t ldc, const float* a,
+                     std::int64_t ars, std::int64_t aps, const float* b,
+                     std::int64_t ldb, std::int64_t mr, std::int64_t k,
+                     std::int64_t n) {
+  switch (mr) {
+    case 1:
+      gemm_panel_sse2_t<1>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    case 2:
+      gemm_panel_sse2_t<2>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    case 3:
+      gemm_panel_sse2_t<3>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    default:
+      gemm_panel_sse2_t<4>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+  }
+}
+
+void abs2_backprop_sse2(float* g, const float* e, const float* gy,
+                        std::int64_t n) {
+  const __m128 two = _mm_set1_ps(2.0f);
+  std::int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128 ev = _mm_loadu_ps(e + 2 * i);  // [x0,y0,x1,y1]
+    const __m128 gv2 = _mm_castpd_ps(
+        _mm_load_sd(reinterpret_cast<const double*>(gy + i)));  // [g0,g1,·,·]
+    const __m128 gyp = _mm_shuffle_ps(gv2, gv2, _MM_SHUFFLE(1, 1, 0, 0));
+    const __m128 t = _mm_mul_ps(_mm_mul_ps(two, ev), gyp);
+    _mm_storeu_ps(g + 2 * i, _mm_add_ps(_mm_loadu_ps(g + 2 * i), t));
+  }
+  for (; i < n; ++i) {
+    g[2 * i] += 2.0f * e[2 * i] * gy[i];
+    g[2 * i + 1] += 2.0f * e[2 * i + 1] * gy[i];
+  }
+}
+
+void fft_stage_sse2(std::complex<double>* x, int len, int half,
+                    const std::complex<double>* tw) {
+  if (half < 1) return;
+  for (int base = 0; base < len; base += 2 * half) {
+    double* top = reinterpret_cast<double*>(x + base);
+    double* bot = reinterpret_cast<double*>(x + base + half);
+    for (int k = 0; k < half; ++k) {
+      const __m128d w =
+          _mm_loadu_pd(reinterpret_cast<const double*>(tw + k));
+      const __m128d bv = _mm_loadu_pd(bot + 2 * k);
+      const __m128d tv = cmul1_sse2(bv, w);
+      const __m128d tp = _mm_loadu_pd(top + 2 * k);
+      _mm_storeu_pd(bot + 2 * k, _mm_sub_pd(tp, tv));
+      _mm_storeu_pd(top + 2 * k, _mm_add_pd(tp, tv));
+    }
+  }
+}
+
+void fft_stage_sse2(std::complex<float>* x, int len, int half,
+                    const std::complex<float>* tw) {
+  if (half < 2) {
+    fft_stage_scalar(x, len, half, tw);
+    return;
+  }
+  for (int base = 0; base < len; base += 2 * half) {
+    float* top = reinterpret_cast<float*>(x + base);
+    float* bot = reinterpret_cast<float*>(x + base + half);
+    for (int k = 0; k + 2 <= half; k += 2) {
+      const __m128 w = _mm_loadu_ps(reinterpret_cast<const float*>(tw + k));
+      const __m128 bv = _mm_loadu_ps(bot + 2 * k);
+      const __m128 tv = cmul2_sse2(bv, w);
+      const __m128 tp = _mm_loadu_ps(top + 2 * k);
+      _mm_storeu_ps(bot + 2 * k, _mm_sub_ps(tp, tv));
+      _mm_storeu_ps(top + 2 * k, _mm_add_ps(tp, tv));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 arms.  Compiled with a per-function target attribute (the TU itself
+// builds with baseline flags) and dispatched only when CPUID reports AVX2.
+// Same formulas as SSE2, two complex<double> / four complex<float> lanes.
+// _mm256_addsub_* computes t1 - t2 in even lanes and t1 + t2 in odd lanes —
+// exactly the scalar (re1*re2 - im1*im2, im1*re2 + re1*im2).
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256d cmul2_avx2(__m256d a,
+                                                          __m256d b) {
+  const __m256d br = _mm256_movedup_pd(b);         // [br0,br0,br1,br1]
+  const __m256d bi = _mm256_permute_pd(b, 0xF);    // [bi0,bi0,bi1,bi1]
+  const __m256d as = _mm256_permute_pd(a, 0x5);    // [ai0,ar0,ai1,ar1]
+  const __m256d t1 = _mm256_mul_pd(a, br);
+  const __m256d t2 = _mm256_mul_pd(as, bi);
+  return _mm256_addsub_pd(t1, t2);
+}
+
+__attribute__((target("avx2"))) inline __m256 cmul4_avx2(__m256 a, __m256 b) {
+  const __m256 br = _mm256_moveldup_ps(b);
+  const __m256 bi = _mm256_movehdup_ps(b);
+  const __m256 as = _mm256_permute_ps(a, 0xB1);
+  const __m256 t1 = _mm256_mul_ps(a, br);
+  const __m256 t2 = _mm256_mul_ps(as, bi);
+  return _mm256_addsub_ps(t1, t2);
+}
+
+__attribute__((target("avx2"))) void cmul_avx2(cd* dst, const cd* a,
+                                               const cd* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d av =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(a + i));
+    const __m256d bv =
+        _mm256_loadu_pd(reinterpret_cast<const double*>(b + i));
+    _mm256_storeu_pd(reinterpret_cast<double*>(dst + i), cmul2_avx2(av, bv));
+  }
+  for (; i < n; ++i) {
+    const __m128d av = _mm_loadu_pd(reinterpret_cast<const double*>(a + i));
+    const __m128d bv = _mm_loadu_pd(reinterpret_cast<const double*>(b + i));
+    _mm_storeu_pd(reinterpret_cast<double*>(dst + i), cmul1_sse2(av, bv));
+  }
+}
+
+__attribute__((target("avx2"))) void cmul_avx2(cf* dst, const cf* a,
+                                               const cf* b, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 av = _mm256_loadu_ps(reinterpret_cast<const float*>(a + i));
+    const __m256 bv = _mm256_loadu_ps(reinterpret_cast<const float*>(b + i));
+    _mm256_storeu_ps(reinterpret_cast<float*>(dst + i), cmul4_avx2(av, bv));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+__attribute__((target("avx2"))) void abs2_scale_accum_avx2(double* acc,
+                                                           const cd* z,
+                                                           double scale,
+                                                           std::int64_t n) {
+  const __m256d sv = _mm256_set1_pd(scale);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d z0 = _mm256_loadu_pd(reinterpret_cast<const double*>(z + i));
+    __m256d z1 = _mm256_loadu_pd(reinterpret_cast<const double*>(z + i + 2));
+    z0 = _mm256_mul_pd(z0, sv);
+    z1 = _mm256_mul_pd(z1, sv);
+    const __m256d s0 = _mm256_mul_pd(z0, z0);
+    const __m256d s1 = _mm256_mul_pd(z1, z1);
+    // hadd pairs re^2+im^2 (scalar operand order) but interleaves the two
+    // sources as [p0, p2, p1, p3]; the 64-bit permute restores pixel order.
+    const __m256d pairs = _mm256_hadd_pd(s0, s1);
+    const __m256d nrm = _mm256_permute4x64_pd(pairs, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i), nrm));
+  }
+  for (; i < n; ++i) {
+    const cd v = z[i] * scale;
+    acc[i] += norm2(v);
+  }
+}
+
+__attribute__((target("avx2"))) void abs2_accum_avx2(float* acc,
+                                                     const float* e,
+                                                     std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v0 = _mm256_loadu_ps(e + 2 * i);
+    const __m256 v1 = _mm256_loadu_ps(e + 2 * i + 8);
+    const __m256 ev = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 od = _mm256_shuffle_ps(v0, v1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 nrm = _mm256_add_ps(_mm256_mul_ps(ev, ev),
+                                     _mm256_mul_ps(od, od));
+    // Lanewise shuffle leaves pixels as [p0p1, p4p5, p2p3, p6p7] in 64-bit
+    // chunks; permute them back into pixel order before accumulating.
+    const __m256 ord = _mm256_castpd_ps(_mm256_permute4x64_pd(
+        _mm256_castps_pd(nrm), _MM_SHUFFLE(3, 1, 2, 0)));
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), ord));
+  }
+  for (; i < n; ++i) {
+    acc[i] += e[2 * i] * e[2 * i] + e[2 * i + 1] * e[2 * i + 1];
+  }
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(float* c, float a,
+                                               const float* b,
+                                               std::int64_t n) {
+  const __m256 av = _mm256_set1_ps(a);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 prod = _mm256_mul_ps(av, _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), prod));
+  }
+  for (; i < n; ++i) c[i] += a * b[i];
+}
+
+__attribute__((target("avx2"))) void add_inplace_avx2(float* c, const float* t,
+                                                      std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        c + i, _mm256_add_ps(_mm256_loadu_ps(c + i), _mm256_loadu_ps(t + i)));
+  }
+  for (; i < n; ++i) c[i] += t[i];
+}
+
+__attribute__((target("avx2"))) void adam_update_avx2(
+    float* p, float* m, float* v, const float* g, std::int64_t n, float beta1,
+    float beta2, float bc1, float bc2, float lr, float eps) {
+  const __m256 b1 = _mm256_set1_ps(beta1), ob1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 b2 = _mm256_set1_ps(beta2), ob2 = _mm256_set1_ps(1.0f - beta2);
+  const __m256 c1 = _mm256_set1_ps(bc1), c2 = _mm256_set1_ps(bc2);
+  const __m256 lrv = _mm256_set1_ps(lr), ev = _mm256_set1_ps(eps);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 gv = _mm256_loadu_ps(g + i);
+    const __m256 mv = _mm256_add_ps(_mm256_mul_ps(b1, _mm256_loadu_ps(m + i)),
+                                    _mm256_mul_ps(ob1, gv));
+    const __m256 vv =
+        _mm256_add_ps(_mm256_mul_ps(b2, _mm256_loadu_ps(v + i)),
+                      _mm256_mul_ps(_mm256_mul_ps(ob2, gv), gv));
+    _mm256_storeu_ps(m + i, mv);
+    _mm256_storeu_ps(v + i, vv);
+    const __m256 step = _mm256_div_ps(
+        _mm256_mul_ps(lrv, _mm256_div_ps(mv, c1)),
+        _mm256_add_ps(_mm256_sqrt_ps(_mm256_div_ps(vv, c2)), ev));
+    _mm256_storeu_ps(p + i, _mm256_sub_ps(_mm256_loadu_ps(p + i), step));
+  }
+  if (i < n) {
+    adam_update_sse2(p + i, m + i, v + i, g + i, n - i, beta1, beta2, bc1,
+                     bc2, lr, eps);
+  }
+}
+
+// Same panel as SSE2 with 8-float lanes; MR=4, NR=16 uses 8 accumulator
+// registers + 2 B-row registers + 1 broadcast, fitting the 16-ymm budget.
+template <int MR>
+__attribute__((target("avx2"))) void gemm_panel_avx2_t(
+    float* c, std::int64_t ldc, const float* a, std::int64_t ars,
+    std::int64_t aps, const float* b, std::int64_t ldb, std::int64_t k,
+    std::int64_t n) {
+  std::int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    __m256 acc0[MR], acc1[MR];
+    for (int r = 0; r < MR; ++r) {
+      acc0[r] = _mm256_loadu_ps(c + r * ldc + j);
+      acc1[r] = _mm256_loadu_ps(c + r * ldc + j + 8);
+    }
+    for (std::int64_t p = 0; p < k; ++p) {
+      const __m256 b0 = _mm256_loadu_ps(b + p * ldb + j);
+      const __m256 b1 = _mm256_loadu_ps(b + p * ldb + j + 8);
+      for (int r = 0; r < MR; ++r) {
+        const __m256 av = _mm256_set1_ps(a[r * ars + p * aps]);
+        acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(av, b0));
+        acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(av, b1));
+      }
+    }
+    for (int r = 0; r < MR; ++r) {
+      _mm256_storeu_ps(c + r * ldc + j, acc0[r]);
+      _mm256_storeu_ps(c + r * ldc + j + 8, acc1[r]);
+    }
+  }
+  for (; j + 8 <= n; j += 8) {
+    __m256 acc[MR];
+    for (int r = 0; r < MR; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc + j);
+    for (std::int64_t p = 0; p < k; ++p) {
+      const __m256 bv = _mm256_loadu_ps(b + p * ldb + j);
+      for (int r = 0; r < MR; ++r) {
+        const __m256 av = _mm256_set1_ps(a[r * ars + p * aps]);
+        acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(av, bv));
+      }
+    }
+    for (int r = 0; r < MR; ++r) _mm256_storeu_ps(c + r * ldc + j, acc[r]);
+  }
+  if (j < n) {
+    // SSE2 sub-panel on the remaining columns (4-wide body + scalar tail).
+    gemm_panel_sse2_t<MR>(c + j, ldc, a, ars, aps, b + j, ldb, k, n - j);
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_panel_avx2(
+    float* c, std::int64_t ldc, const float* a, std::int64_t ars,
+    std::int64_t aps, const float* b, std::int64_t ldb, std::int64_t mr,
+    std::int64_t k, std::int64_t n) {
+  switch (mr) {
+    case 1:
+      gemm_panel_avx2_t<1>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    case 2:
+      gemm_panel_avx2_t<2>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    case 3:
+      gemm_panel_avx2_t<3>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+    default:
+      gemm_panel_avx2_t<4>(c, ldc, a, ars, aps, b, ldb, k, n);
+      return;
+  }
+}
+
+__attribute__((target("avx2"))) void abs2_backprop_avx2(float* g,
+                                                        const float* e,
+                                                        const float* gy,
+                                                        std::int64_t n) {
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256i dup = _mm256_setr_epi32(0, 0, 1, 1, 2, 2, 3, 3);
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256 ev = _mm256_loadu_ps(e + 2 * i);  // 4 interleaved pixels
+    const __m256 gv =
+        _mm256_castps128_ps256(_mm_loadu_ps(gy + i));  // [g0..g3,·..·]
+    const __m256 gyp = _mm256_permutevar8x32_ps(gv, dup);
+    const __m256 t = _mm256_mul_ps(_mm256_mul_ps(two, ev), gyp);
+    _mm256_storeu_ps(g + 2 * i, _mm256_add_ps(_mm256_loadu_ps(g + 2 * i), t));
+  }
+  for (; i < n; ++i) {
+    g[2 * i] += 2.0f * e[2 * i] * gy[i];
+    g[2 * i + 1] += 2.0f * e[2 * i + 1] * gy[i];
+  }
+}
+
+__attribute__((target("avx2"))) void fft_stage_avx2(
+    std::complex<double>* x, int len, int half,
+    const std::complex<double>* tw) {
+  if (half < 2) {
+    fft_stage_sse2(x, len, half, tw);
+    return;
+  }
+  for (int base = 0; base < len; base += 2 * half) {
+    double* top = reinterpret_cast<double*>(x + base);
+    double* bot = reinterpret_cast<double*>(x + base + half);
+    for (int k = 0; k + 2 <= half; k += 2) {
+      const __m256d w =
+          _mm256_loadu_pd(reinterpret_cast<const double*>(tw + k));
+      const __m256d bv = _mm256_loadu_pd(bot + 2 * k);
+      const __m256d tv = cmul2_avx2(bv, w);
+      const __m256d tp = _mm256_loadu_pd(top + 2 * k);
+      _mm256_storeu_pd(bot + 2 * k, _mm256_sub_pd(tp, tv));
+      _mm256_storeu_pd(top + 2 * k, _mm256_add_pd(tp, tv));
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void fft_stage_avx2(
+    std::complex<float>* x, int len, int half, const std::complex<float>* tw) {
+  if (half < 4) {
+    fft_stage_sse2(x, len, half, tw);
+    return;
+  }
+  for (int base = 0; base < len; base += 2 * half) {
+    float* top = reinterpret_cast<float*>(x + base);
+    float* bot = reinterpret_cast<float*>(x + base + half);
+    for (int k = 0; k + 4 <= half; k += 4) {
+      const __m256 w = _mm256_loadu_ps(reinterpret_cast<const float*>(tw + k));
+      const __m256 bv = _mm256_loadu_ps(bot + 2 * k);
+      const __m256 tv = cmul4_avx2(bv, w);
+      const __m256 tp = _mm256_loadu_ps(top + 2 * k);
+      _mm256_storeu_ps(bot + 2 * k, _mm256_sub_ps(tp, tv));
+      _mm256_storeu_ps(top + 2 * k, _mm256_add_ps(tp, tv));
+    }
+  }
+}
+
+#endif  // NITHO_SIMD_X86
+
+}  // namespace
+
+const char* arm_name(Arm arm) {
+  switch (arm) {
+    case Arm::kSse2:
+      return "sse2";
+    case Arm::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+Arm detected_arm() {
+  static const Arm arm = detect();
+  return arm;
+}
+
+Arm active_arm() { return current(); }
+
+Arm force_arm(Arm arm) {
+  Arm target = arm;
+  if (static_cast<int>(target) > static_cast<int>(detected_arm())) {
+    target = detected_arm();
+  }
+  arm_slot().store(static_cast<int>(target), std::memory_order_relaxed);
+  return target;
+}
+
+bool simd_compiled() {
+#if NITHO_SIMD_X86
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if NITHO_SIMD_X86
+#define NITHO_DISPATCH(fn, ...)              \
+  switch (current()) {                       \
+    case Arm::kAvx2:                         \
+      fn##_avx2(__VA_ARGS__);                \
+      return;                                \
+    case Arm::kSse2:                         \
+      fn##_sse2(__VA_ARGS__);                \
+      return;                                \
+    default:                                 \
+      fn##_scalar(__VA_ARGS__);              \
+      return;                                \
+  }
+#else
+#define NITHO_DISPATCH(fn, ...) fn##_scalar(__VA_ARGS__);
+#endif
+
+void cmul(cd* dst, const cd* a, const cd* b, std::int64_t n) {
+  NITHO_DISPATCH(cmul, dst, a, b, n)
+}
+
+void cmul(cf* dst, const cf* a, const cf* b, std::int64_t n) {
+  NITHO_DISPATCH(cmul, dst, a, b, n)
+}
+
+void cmul_inplace(cd* a, const cd* b, std::int64_t n) { cmul(a, a, b, n); }
+
+void cmul_inplace(cf* a, const cf* b, std::int64_t n) { cmul(a, a, b, n); }
+
+void abs2_scale_accum(double* acc, const cd* z, double scale,
+                      std::int64_t n) {
+  NITHO_DISPATCH(abs2_scale_accum, acc, z, scale, n)
+}
+
+void abs2_accum(float* acc, const float* e, std::int64_t n) {
+  NITHO_DISPATCH(abs2_accum, acc, e, n)
+}
+
+void axpy(float* c, float a, const float* b, std::int64_t n) {
+  NITHO_DISPATCH(axpy, c, a, b, n)
+}
+
+void add_inplace(float* c, const float* t, std::int64_t n) {
+  NITHO_DISPATCH(add_inplace, c, t, n)
+}
+
+void adam_update(float* p, float* m, float* v, const float* g, std::int64_t n,
+                 float beta1, float beta2, float bc1, float bc2, float lr,
+                 float eps) {
+  NITHO_DISPATCH(adam_update, p, m, v, g, n, beta1, beta2, bc1, bc2, lr, eps)
+}
+
+void gemm_panel(float* c, std::int64_t ldc, const float* a, std::int64_t ars,
+                std::int64_t aps, const float* b, std::int64_t ldb,
+                std::int64_t mr, std::int64_t k, std::int64_t n) {
+  NITHO_DISPATCH(gemm_panel, c, ldc, a, ars, aps, b, ldb, mr, k, n)
+}
+
+void abs2_backprop(float* g, const float* e, const float* gy,
+                   std::int64_t n) {
+  NITHO_DISPATCH(abs2_backprop, g, e, gy, n)
+}
+
+void fft_stage(std::complex<double>* x, int len, int half,
+               const std::complex<double>* tw) {
+  NITHO_DISPATCH(fft_stage, x, len, half, tw)
+}
+
+void fft_stage(std::complex<float>* x, int len, int half,
+               const std::complex<float>* tw) {
+  NITHO_DISPATCH(fft_stage, x, len, half, tw)
+}
+
+#undef NITHO_DISPATCH
+
+}  // namespace nitho::simd

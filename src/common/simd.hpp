@@ -1,0 +1,121 @@
+#pragma once
+// Runtime-dispatched SIMD kernels under the bit-identity protocol
+// (DESIGN.md §13).
+//
+// Every kernel here has one scalar arm plus (unless NITHO_NO_SIMD) SSE2 and
+// AVX2 arms, and every arm produces *bit-identical* output: vector lanes
+// only ever span independent elements (pixels, butterfly pairs, B-row
+// columns of a fixed A entry), never a reduction, so each element sees
+// exactly the scalar arm's operation sequence.  Fused multiply-add is never
+// emitted (no FMA intrinsics; -ffp-contract=off project-wide), because
+// contraction would round differently from the scalar arms.
+//
+// Dispatch: the arm is picked once per process from CPUID (AVX2 when the
+// CPU has it, else SSE2 on x86-64, else scalar) and read from a relaxed
+// atomic on each kernel call.  force_arm() overrides it — tests pin each
+// arm against the scalar arm with it, benches use it for same-binary
+// scalar-vs-SIMD ratios.  All kernels tolerate unaligned pointers and any
+// length (vector body + scalar tail); alignment (common/aligned.hpp) is a
+// performance contract only.
+
+#include <complex>
+#include <cstdint>
+
+#include "math/cplx.hpp"
+
+namespace nitho::simd {
+
+enum class Arm : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Stable lowercase name ("scalar" / "sse2" / "avx2") for logs and CSVs.
+const char* arm_name(Arm arm);
+
+/// The arm every kernel currently dispatches to.
+Arm active_arm();
+
+/// Best arm this build + CPU supports (what active_arm() resets to).
+Arm detected_arm();
+
+/// Overrides the dispatch arm, clamped to detected_arm(); returns the arm
+/// actually installed.  Safe to call concurrently with kernel calls (the
+/// kernels read the arm once per call), though concurrent *mixed-arm*
+/// output is only meaningful because all arms are bit-identical.
+Arm force_arm(Arm arm);
+
+/// False when the build carries only the scalar arm (NITHO_NO_SIMD).
+bool simd_compiled();
+
+// ---------------------------------------------------------------------------
+// Kernels.  Lanes = independent elements; see each comment for the exact
+// scalar arithmetic the vector arms replicate.
+// ---------------------------------------------------------------------------
+
+/// dst[i] = a[i] * b[i] (complex multiply; dst must not alias a or b).
+/// Scalar arm: std::complex operator*.
+void cmul(cd* dst, const cd* a, const cd* b, std::int64_t n);
+void cmul(cf* dst, const cf* a, const cf* b, std::int64_t n);
+
+/// a[i] *= b[i] (complex multiply in place).
+void cmul_inplace(cd* a, const cd* b, std::int64_t n);
+void cmul_inplace(cf* a, const cf* b, std::int64_t n);
+
+/// acc[i] += |z[i] * scale|^2, as (re*scale)^2 + (im*scale)^2 — the
+/// engine's scale-then-square abs²-accumulate (DESIGN.md §6.1).
+void abs2_scale_accum(double* acc, const cd* z, double scale, std::int64_t n);
+
+/// acc[i] += e[2i]^2 + e[2i+1]^2 over an interleaved complex float plane —
+/// the batched training ops' per-pixel coherent-intensity accumulate.
+void abs2_accum(float* acc, const float* e, std::int64_t n);
+
+/// c[i] += a * b[i] (the dense GEMM row update).
+void axpy(float* c, float a, const float* b, std::int64_t n);
+
+/// Rows per gemm_panel call (the register-blocked microkernel height).
+inline constexpr std::int64_t kGemmPanelRows = 4;
+
+/// Dense GEMM panel: for each row r in [0, mr), mr <= kGemmPanelRows,
+///   c[r*ldc + j] += fold over p in [0, k) of a[r*ars + p*aps] * b[p*ldb + j]
+/// with the p fold serial per element — bit-identical to mr rows of k
+/// successive axpy calls (lanes span j only; each element sees the same
+/// mul-then-add sequence in ascending p, just held in registers between
+/// folds instead of round-tripping memory, which cannot change a single
+/// rounding in fp32).  `ars`/`aps` are A's row/p strides so the same kernel
+/// serves gemm_nn (ars=k, aps=1) and gemm_tn (ars=1, aps=m).
+void gemm_panel(float* c, std::int64_t ldc, const float* a, std::int64_t ars,
+                std::int64_t aps, const float* b, std::int64_t ldb,
+                std::int64_t mr, std::int64_t k, std::int64_t n);
+
+/// g[2i] += (2 * e[2i]) * gy[i]; g[2i+1] += (2 * e[2i+1]) * gy[i] — the
+/// batched abs²-sum backward (d|z|²/dz = 2z against a real upstream pixel
+/// grad).  Lanes span pixels i; the scalar operand order (double the field
+/// value, then scale by the pixel grad, then accumulate) is kept exactly.
+void abs2_backprop(float* g, const float* e, const float* gy, std::int64_t n);
+
+/// c[i] += t[i] (one-shot row accumulate for the packed gemm_nt path).
+void add_inplace(float* c, const float* t, std::int64_t n);
+
+/// One Adam update over n parameters, exactly the optimizer's scalar loop:
+///   m[i] = beta1 * m[i] + (1 - beta1) * g[i];
+///   v[i] = beta2 * v[i] + ((1 - beta2) * g[i]) * g[i];
+///   p[i] -= (lr * (m[i] / bc1)) / (sqrt(v[i] / bc2) + eps);
+/// Lanes span parameters i.  Every operation involved — mul, add, sub, div,
+/// sqrt — is IEEE exactly-rounded in both scalar and vector forms (and FMA
+/// is never emitted), so the vector arms are bit-identical by construction.
+void adam_update(float* p, float* m, float* v, const float* g, std::int64_t n,
+                 float beta1, float beta2, float bc1, float bc2, float lr,
+                 float eps);
+
+/// One radix-2 stage over the whole transform: for every block of 2*half
+/// elements, butterflies x[base+k] / x[base+half+k] with twiddle tw[k]
+/// (k in [0, half)).  tw is the stage's contiguous twiddle table, already
+/// conjugated for inverse transforms.  Scalar arithmetic per butterfly:
+///   t = x[base+half+k] * tw[k];
+///   x[base+half+k] = x[base+k] - t;
+///   x[base+k] += t;
+/// Lanes span k within a block — butterflies touch disjoint elements.
+void fft_stage(std::complex<double>* x, int len, int half,
+               const std::complex<double>* tw);
+void fft_stage(std::complex<float>* x, int len, int half,
+               const std::complex<float>* tw);
+
+}  // namespace nitho::simd

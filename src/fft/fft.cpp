@@ -1,11 +1,14 @@
 #include "fft/fft.hpp"
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace nitho {
 namespace {
@@ -28,11 +31,22 @@ struct FftPlan<R>::Impl {
     check(n >= 1, "FFT size must be >= 1");
     if (is_pow2(n)) {
       init_pow2(n, twiddle, bitrev);
+      build_stage_tables(n);
+      // transform_many repeats the input permutation once per segment, so
+      // flatten it to the (i, j) swaps with j > i — half the iterations and
+      // no branch per element.  Same swaps, same bits.
+      for (int i = 0; i < n; ++i) {
+        if (bitrev[i] > i) {
+          brev_pairs.push_back(i);
+          brev_pairs.push_back(bitrev[i]);
+        }
+      }
     } else {
       // Bluestein: convolve with the chirp b_j = e^{i pi j^2 / n} using a
       // power-of-two FFT of length m >= 2n - 1.
       m = next_pow2(2 * n - 1);
       init_pow2(m, twiddle, bitrev);
+      build_stage_tables(m);
       chirp.resize(n);
       for (int j = 0; j < n; ++j) {
         // j^2 mod 2n keeps the argument small for large n.
@@ -65,24 +79,38 @@ struct FftPlan<R>::Impl {
     }
   }
 
-  // Iterative radix-2 over the cached tables (n must be this plan's pow2
-  // length: n for native plans, m for Bluestein plans).
+  // Flatten the strided twiddle walk into one contiguous table per radix-2
+  // stage so the vector butterflies load twiddles with plain vector loads.
+  // The stage with half-size h reads h entries at offset h - 1 (total
+  // len - 1 per direction); the inverse table holds the pre-conjugated
+  // twiddles, which is the same bits the scalar conj-in-loop produced.
+  void build_stage_tables(int len) {
+    stage_fwd.resize(static_cast<std::size_t>(len) - 1);
+    stage_inv.resize(static_cast<std::size_t>(len) - 1);
+    for (int half = 1; half < len; half <<= 1) {
+      const int step = len / (2 * half);
+      C* fwd = stage_fwd.data() + (half - 1);
+      C* inv = stage_inv.data() + (half - 1);
+      for (int k = 0; k < half; ++k) {
+        const C w = twiddle[static_cast<std::size_t>(k) * step];
+        fwd[k] = w;
+        inv[k] = std::conj(w);
+      }
+    }
+  }
+
+  // Iterative radix-2 over the cached tables (len must be this plan's pow2
+  // length: n for native plans, m for Bluestein plans).  Each stage runs as
+  // one simd::fft_stage call — butterflies within a stage touch disjoint
+  // elements, so the vector arms stay bit-identical to the scalar one.
   void pow2_transform(C* x, int len, bool inverse) const {
     for (int i = 0; i < len; ++i) {
       const int j = bitrev[i];
       if (j > i) std::swap(x[i], x[j]);
     }
+    const C* tables = inverse ? stage_inv.data() : stage_fwd.data();
     for (int half = 1; half < len; half <<= 1) {
-      const int step = len / (2 * half);
-      for (int base = 0; base < len; base += 2 * half) {
-        for (int k = 0; k < half; ++k) {
-          C w = twiddle[static_cast<std::size_t>(k) * step];
-          if (inverse) w = std::conj(w);
-          const C t = x[base + half + k] * w;
-          x[base + half + k] = x[base + k] - t;
-          x[base + k] += t;
-        }
-      }
+      simd::fft_stage(x, len, half, tables + (half - 1));
     }
   }
 
@@ -101,6 +129,46 @@ struct FftPlan<R>::Impl {
     }
   }
 
+  // `count` contiguous segments in one pass: per-segment bit-reversal, then
+  // one fft_stage call per stage over all segments.  Stage blocks (2*half
+  // elements) tile each segment exactly, so the butterflies — and therefore
+  // the bits — match `count` separate transform() calls; only the dispatch
+  // count changes.  The inverse 1/n scale stays one multiply per element.
+  void transform_many(C* x, int count, bool inverse, C* scratch,
+                      bool prerev = false) const {
+    check(count >= 0 &&
+              (count == 0 ||
+               n <= std::numeric_limits<int>::max() / count),
+          "FftPlan: transform_many length overflow");
+    if (m != 0) {
+      check(!prerev, "FftPlan: prerev transforms need a radix-2 size");
+      // Bluestein reuses the serial convolution scratch per segment.
+      for (int t = 0; t < count; ++t) {
+        transform(x + static_cast<std::ptrdiff_t>(t) * n, inverse, scratch);
+      }
+      return;
+    }
+    if (!prerev) {
+      const int np = static_cast<int>(brev_pairs.size());
+      const int* pairs = brev_pairs.data();
+      for (int t = 0; t < count; ++t) {
+        C* seg = x + static_cast<std::ptrdiff_t>(t) * n;
+        for (int k = 0; k < np; k += 2) {
+          std::swap(seg[pairs[k]], seg[pairs[k + 1]]);
+        }
+      }
+    }
+    const C* tables = inverse ? stage_inv.data() : stage_fwd.data();
+    const int total = count * n;
+    for (int half = 1; half < n; half <<= 1) {
+      simd::fft_stage(x, total, half, tables + (half - 1));
+    }
+    if (inverse) {
+      const R scale = static_cast<R>(1.0 / n);
+      for (int i = 0; i < total; ++i) x[i] *= scale;
+    }
+  }
+
   void bluestein(C* x, bool inverse, C* a) const {
     // Forward (sign -): X_k = conj(b_k) * sum_j x_j conj(b_j) b_{k-j}.
     // Inverse reuses the identity ifft(x) = conj(fft(conj(x))) (scaling is
@@ -111,7 +179,7 @@ struct FftPlan<R>::Impl {
     }
     for (int j = n; j < m; ++j) a[j] = C{};
     pow2_transform(a, m, false);
-    for (int i = 0; i < m; ++i) a[i] *= bfft[i];
+    simd::cmul_inplace(a, bfft.data(), m);
     pow2_transform(a, m, true);
     const R inv_m = static_cast<R>(1.0 / m);
     for (int k = 0; k < n; ++k) {
@@ -124,7 +192,10 @@ struct FftPlan<R>::Impl {
   int m = 0;  // Bluestein pow2 length; 0 when n itself is a power of two
   std::vector<C> twiddle;
   std::vector<int> bitrev;
-  std::vector<C> chirp, bfft;
+  std::vector<int> brev_pairs;  // flattened (i, j) swaps, j > i; pow2 only
+  std::vector<C> chirp;
+  aligned_vector<C> bfft;
+  aligned_vector<C> stage_fwd, stage_inv;  // contiguous per-stage twiddles
 };
 
 template <typename R>
@@ -164,6 +235,35 @@ void FftPlan<R>::forward(std::complex<R>* x, std::complex<R>* scratch) const {
 template <typename R>
 void FftPlan<R>::inverse(std::complex<R>* x, std::complex<R>* scratch) const {
   impl_->transform(x, true, scratch);
+}
+
+template <typename R>
+void FftPlan<R>::forward_many(std::complex<R>* x, int count,
+                              std::complex<R>* scratch) const {
+  impl_->transform_many(x, count, false, scratch);
+}
+
+template <typename R>
+void FftPlan<R>::inverse_many(std::complex<R>* x, int count,
+                              std::complex<R>* scratch) const {
+  impl_->transform_many(x, count, true, scratch);
+}
+
+template <typename R>
+const int* FftPlan<R>::bitrev_table() const {
+  return impl_->m == 0 ? impl_->bitrev.data() : nullptr;
+}
+
+template <typename R>
+void FftPlan<R>::forward_many_prerev(std::complex<R>* x, int count,
+                                     std::complex<R>* scratch) const {
+  impl_->transform_many(x, count, false, scratch, /*prerev=*/true);
+}
+
+template <typename R>
+void FftPlan<R>::inverse_many_prerev(std::complex<R>* x, int count,
+                                     std::complex<R>* scratch) const {
+  impl_->transform_many(x, count, true, scratch, /*prerev=*/true);
 }
 
 template class FftPlan<double>;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
 
@@ -51,6 +52,37 @@ class FftPlan {
   void forward(std::complex<R>* x, std::complex<R>* scratch) const;
   void inverse(std::complex<R>* x, std::complex<R>* scratch) const;
 
+  /// `count` independent in-place transforms over contiguous length-size()
+  /// segments starting at x.  Bit-identical to calling the single-segment
+  /// overloads on each segment in turn: segments are bit-reversed
+  /// individually, then each radix-2 stage runs as ONE simd::fft_stage call
+  /// across all segments — a stage's butterfly blocks span 2*half elements
+  /// with half a power of two below size(), so no block ever straddles a
+  /// segment boundary and every segment sees exactly the per-segment stage
+  /// sequence.  This amortizes per-transform dispatch for the batched
+  /// training ops' many small row/column transforms (DESIGN.md §13.2).
+  /// Bluestein sizes fall back to the per-segment path over `scratch`.
+  void forward_many(std::complex<R>* x, int count,
+                    std::complex<R>* scratch) const;
+  void inverse_many(std::complex<R>* x, int count,
+                    std::complex<R>* scratch) const;
+
+  /// Input permutation of the radix-2 path, or nullptr for Bluestein sizes:
+  /// the transforms above first swap x[i] <-> x[table[i]] within each
+  /// segment.  Callers that BUILD a transform's input by scatter can write
+  /// position i to table[i] instead and call the *_prerev entry points,
+  /// which skip that permutation pass — the permutation is pure data
+  /// movement, so results stay bit-identical (the batched training ops'
+  /// gather paths, DESIGN.md §13.2).
+  const int* bitrev_table() const;
+
+  /// forward_many/inverse_many over segments whose elements were written in
+  /// bit-reversed order (see bitrev_table(); radix-2 sizes only).
+  void forward_many_prerev(std::complex<R>* x, int count,
+                           std::complex<R>* scratch) const;
+  void inverse_many_prerev(std::complex<R>* x, int count,
+                           std::complex<R>* scratch) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -74,8 +106,10 @@ class Fft2WorkspaceT {
   std::complex<R>* scratch_for(const FftPlan<R>& plan);
 
  private:
-  std::vector<std::complex<R>> col_;
-  std::vector<std::complex<R>> scratch_;
+  // Aligned so the SIMD butterfly/pointwise kernels run on cache-line
+  // boundaries (common/aligned.hpp; alignment asserted in test_simd).
+  aligned_vector<std::complex<R>> col_;
+  aligned_vector<std::complex<R>> scratch_;
 };
 
 using Fft2Workspace = Fft2WorkspaceT<double>;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "common/aligned.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace nitho {
 namespace {
@@ -22,11 +24,18 @@ constexpr std::int64_t kMaxPartialBytes = 256 << 20;
 
 }  // namespace
 
-/// Per-thread scratch: the out_px^2 field grid the fused scatter writes
-/// into and the FFT workspace (column buffer + Bluestein scratch).
+/// Per-thread scratch: the out_px^2 field buffer the fused scatter writes
+/// into (row-major, cache-line aligned for the SIMD kernels — DESIGN.md
+/// §13.3) and the FFT workspace (column buffer + Bluestein scratch).
 struct AerialEngine::Workspace {
-  explicit Workspace(int out_px) : field(out_px, out_px) {}
-  Grid<cd> field;
+  explicit Workspace(int out_px)
+      : out(out_px),
+        field(static_cast<std::size_t>(out_px) * static_cast<std::size_t>(out_px)) {}
+  cd* row(int r) {
+    return field.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(out);
+  }
+  int out;
+  aligned_vector<cd> field;
   Fft2Workspace fft;
 };
 
@@ -88,17 +97,21 @@ void AerialEngine::accumulate_kernel(const Grid<cd>& kernel,
                                      const Grid<cd>& spectrum, int r0, int c0,
                                      Workspace& ws,
                                      Grid<double>& local) const {
-  Grid<cd>& field = ws.field;
-  field.fill(cd(0.0, 0.0));
+  std::fill(ws.field.begin(), ws.field.end(), cd(0.0, 0.0));
   // Fused crop -> kernel-multiply -> embed/shift: the product of kernel and
-  // cropped-spectrum entries goes straight to its post-ifftshift slot.
+  // cropped-spectrum entries goes straight to its post-ifftshift slot.  The
+  // column map (e0 + c + sh) mod out ascends by 1 per kernel column, so a
+  // row scatters as at most two contiguous destination segments — each a
+  // straight elementwise complex multiply the SIMD layer can vectorize
+  // across pixels.
+  const int seg_start = scatter_[0];
+  const int seg1 = std::min(kdim_, out_px_ - seg_start);
   for (int r = 0; r < kdim_; ++r) {
     const cd* krow = kernel.row(r);
     const cd* srow = spectrum.row(r0 + r) + c0;
-    cd* frow = field.row(scatter_[static_cast<std::size_t>(r)]);
-    for (int c = 0; c < kdim_; ++c) {
-      frow[scatter_[static_cast<std::size_t>(c)]] = krow[c] * srow[c];
-    }
+    cd* frow = ws.row(scatter_[static_cast<std::size_t>(r)]);
+    simd::cmul(frow + seg_start, krow, srow, seg1);
+    simd::cmul(frow, krow + seg1, srow + seg1, kdim_ - seg1);
   }
   // Inverse 2-D transform, rows then columns, pruned to the band rows: a
   // structurally zero row inverse-transforms to (signed) zeros, which only
@@ -107,23 +120,26 @@ void AerialEngine::accumulate_kernel(const Grid<cd>& kernel,
   // (DESIGN.md §6.3).
   cd* scratch = ws.fft.scratch_for(*out_plan_);
   for (const int r : band_rows_) {
-    out_plan_->inverse(field.row(r), scratch);
+    out_plan_->inverse(ws.row(r), scratch);
   }
   cd* col = ws.fft.col_buffer(out_px_);
+  const cd* field = ws.field.data();
   for (int c = 0; c < out_px_; ++c) {
-    for (int r = 0; r < out_px_; ++r) col[r] = field(r, c);
+    for (int r = 0; r < out_px_; ++r) {
+      col[r] = field[static_cast<std::size_t>(r) * out_px_ + c];
+    }
     out_plan_->inverse(col, scratch);
-    for (int r = 0; r < out_px_; ++r) field(r, c) = col[r];
+    for (int r = 0; r < out_px_; ++r) {
+      ws.field[static_cast<std::size_t>(r) * out_px_ + c] = col[r];
+    }
   }
   // Undo the inverse transforms' 1/out^2 so the field matches the
   // unnormalized Hopkins convention (DESIGN.md §5.1), then accumulate the
-  // coherent intensity.  The scale-then-square order reproduces the
-  // historical arithmetic exactly.
+  // coherent intensity.  The kernel's scale-then-square order reproduces
+  // the historical arithmetic exactly.
   const double scale = static_cast<double>(out_px_) * out_px_;
-  for (std::size_t a = 0; a < local.size(); ++a) {
-    const cd z = field[a] * scale;
-    local[a] += norm2(z);
-  }
+  simd::abs2_scale_accum(local.data(), field, scale,
+                         static_cast<std::int64_t>(local.size()));
 }
 
 Grid<double> AerialEngine::aerial(const Grid<cd>& spectrum) const {

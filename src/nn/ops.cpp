@@ -160,7 +160,14 @@ Var add_bias(const Var& x, const Var& b) {
         "add_bias: bias must tile the input");
   Tensor out = arena_tensor(x->value.shape(), /*zeroed=*/false);
   const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) out[i] = x->value[i] + b->value[i % bn];
+  // Row-blocked so the bias index is a plain offset, not an i % bn divide
+  // per element; each out[i] is the same single add either way.
+  const float* xv = x->value.data();
+  const float* bv = b->value.data();
+  float* ov = out.data();
+  for (std::int64_t r = 0; r < n; r += bn) {
+    for (std::int64_t j = 0; j < bn; ++j) ov[r + j] = xv[r + j] + bv[j];
+  }
   return make_node(std::move(out), {x, b},
                    [](Node& node) {
                      Node& ix = *node.inputs[0];
@@ -169,13 +176,18 @@ Var add_bias(const Var& x, const Var& b) {
                      const std::int64_t bn2 = ib.value.numel();
                      if (ix.requires_grad) {
                        ix.ensure_grad();
-                       for (std::int64_t i = 0; i < n2; ++i)
-                         ix.grad[i] += node.grad[i];
+                       simd::add_inplace(ix.grad.data(), node.grad.data(), n2);
                      }
                      if (ib.requires_grad) {
                        ib.ensure_grad();
-                       for (std::int64_t i = 0; i < n2; ++i)
-                         ib.grad[i % bn2] += node.grad[i];
+                       float* bg = ib.grad.data();
+                       const float* g = node.grad.data();
+                       // Ascending r keeps each bg[j] fold in the original
+                       // ascending-i order.
+                       for (std::int64_t r = 0; r < n2; r += bn2) {
+                         for (std::int64_t j = 0; j < bn2; ++j)
+                           bg[j] += g[r + j];
+                       }
                      }
                    },
                    "add_bias");

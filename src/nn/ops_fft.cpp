@@ -2,12 +2,11 @@
 
 #include <algorithm>
 #include <complex>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "fft/fft.hpp"
 
 namespace nitho::nn {
@@ -52,61 +51,110 @@ inline int wrapped_index(int a, int n, int big) {
   return (signed_freq + big) % big;
 }
 
-// Bounded pool of float FFT workspaces for the batched training ops, shaped
-// like the AerialEngine's (one per in-flight task, capped at workers + a few
-// external callers) so steady-state training steps hit the pool, not the
-// heap.
-class FftWsPool {
- public:
-  std::unique_ptr<Fft2WorkspaceF> acquire() {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (!pool_.empty()) {
-        std::unique_ptr<Fft2WorkspaceF> ws = std::move(pool_.back());
-        pool_.pop_back();
-        return ws;
-      }
-    }
-    return std::make_unique<Fft2WorkspaceF>();
-  }
-
-  void release(std::unique_ptr<Fft2WorkspaceF> ws) {
-    const std::size_t cap = static_cast<std::size_t>(parallel_workers()) + 4;
-    std::lock_guard<std::mutex> lk(mu_);
-    if (pool_.size() < cap) pool_.push_back(std::move(ws));
-  }
-
- private:
-  std::mutex mu_;
-  std::vector<std::unique_ptr<Fft2WorkspaceF>> pool_;
-};
-
-FftWsPool& train_ws_pool() {
-  static FftWsPool pool;
-  return pool;
+// One float FFT workspace per worker thread for the batched training ops.
+// parallel_for tasks never nest, so a function-local thread_local is held
+// exclusively for the duration of a task — the same idiom as gemm_nt's
+// packing buffers — and replaces the old mutexed pool, whose per-plane
+// acquire/release was measurable next to a plane's ~60 tiny transforms.
+Fft2WorkspaceF& train_ws() {
+  static thread_local Fft2WorkspaceF ws;
+  return ws;
 }
 
 // Unnormalized inverse 2-D DFT of an interleaved [s, s, 2] plane whose only
-// nonzero rows are `band_rows` — bit-identical to fft2_plane(inverse): a
-// structurally zero row inverse-transforms to (signed) zeros, which enter
-// the column pass only additively (the AerialEngine's pruned-band argument,
-// DESIGN.md §6.3 / §8.2).
-void ifft2_plane_pruned(float* plane, int s, const std::vector<int>& band_rows,
-                        const FftPlan<float>& plan, Fft2WorkspaceF& ws) {
+// nonzero rows are `band_rows`.  Those rows must hold dense data; every
+// other row is treated as structurally zero and is NEVER READ, so callers
+// do not pre-zero the plane — the column pass gathers +0 for the off-band
+// positions itself, exactly the +0 a zeroed, row-pass-untouched plane held
+// before.  The whole plane is written: the s² de-normalization is fused
+// into the column write-back (still one multiply per element, at the same
+// value the old separate scale pass rounded).  Bit-identical to
+// fft2_plane(inverse): a structurally zero row inverse-transforms to zeros,
+// which enter the column pass only additively (the AerialEngine's
+// pruned-band argument, DESIGN.md §6.3 / §8.2).
+// Shared skeleton of the pruned inverse.  Band-row pass: band_rows is
+// sorted, and a centered crop wraps to at most two runs of consecutive rows
+// — each run is contiguous memory, so one inverse_many per run amortizes the
+// per-transform dispatch.  Column pass: a block of columns per sweep over the
+// band rows (contiguous reads), transformed by one inverse_many; ~8 KB of
+// gathered columns per block keeps the strip in L1 while amortizing the
+// per-stage twiddle walk across the whole block.  `write(r, c0, cb, cols,
+// scale)` stores row r of the current column block.  `prerev_rows` promises
+// the caller scattered each band row's elements into bit-reversed positions
+// (radix-2 sizes only; see fft.hpp bitrev_table()), so the row pass skips
+// its permutation pass too.
+template <typename WriteRow>
+void ifft2_pruned_run(float* plane, int s, const std::vector<int>& band_rows,
+                      const FftPlan<float>& plan, Fft2WorkspaceF& ws,
+                      bool prerev_rows, WriteRow&& write) {
   auto* z = reinterpret_cast<cfl*>(plane);
   cfl* scratch = ws.scratch_for(plan);
-  for (const int r : band_rows) {
-    plan.inverse(z + static_cast<std::ptrdiff_t>(r) * s, scratch);
-  }
-  cfl* col = ws.col_buffer(s);
-  for (int c = 0; c < s; ++c) {
-    for (int r = 0; r < s; ++r) col[r] = z[r * s + c];
-    plan.inverse(col, scratch);
-    for (int r = 0; r < s; ++r) z[r * s + c] = col[r];
+  for (std::size_t i = 0; i < band_rows.size();) {
+    std::size_t j = i + 1;
+    while (j < band_rows.size() && band_rows[j] == band_rows[j - 1] + 1) ++j;
+    cfl* seg = z + static_cast<std::ptrdiff_t>(band_rows[i]) * s;
+    const int cnt = static_cast<int>(j - i);
+    if (prerev_rows) {
+      plan.inverse_many_prerev(seg, cnt, scratch);
+    } else {
+      plan.inverse_many(seg, cnt, scratch);
+    }
+    i = j;
   }
   const float scale = static_cast<float>(s) * static_cast<float>(s);
-  const std::int64_t total = static_cast<std::int64_t>(s) * s * 2;
-  for (std::int64_t i = 0; i < total; ++i) plane[i] *= scale;
+  const int col_block = std::max(4, 1024 / s);
+  // Radix-2 sizes: gather straight into bit-reversed row positions and skip
+  // the transforms' permutation pass (a permutation of the zero fills is
+  // still all zeros, so the fill stays a plain memset).
+  const int* brev = plan.bitrev_table();
+  cfl* cols = ws.col_buffer(col_block * s);
+  for (int c0 = 0; c0 < s; c0 += col_block) {
+    const int cb = std::min(col_block, s - c0);
+    std::fill(cols, cols + static_cast<std::ptrdiff_t>(cb) * s,
+              cfl(0.0f, 0.0f));
+    for (const int r : band_rows) {
+      const cfl* src = z + static_cast<std::ptrdiff_t>(r) * s + c0;
+      cfl* dst = cols + (brev != nullptr ? brev[r] : r);
+      for (int q = 0; q < cb; ++q) dst[q * s] = src[q];
+    }
+    if (brev != nullptr) {
+      plan.inverse_many_prerev(cols, cb, scratch);
+    } else {
+      plan.inverse_many(cols, cb, scratch);
+    }
+    for (int r = 0; r < s; ++r) write(r, c0, cb, cols, scale);
+  }
+}
+
+void ifft2_plane_pruned(float* plane, int s, const std::vector<int>& band_rows,
+                        const FftPlan<float>& plan, Fft2WorkspaceF& ws,
+                        bool prerev_rows = false) {
+  auto* z = reinterpret_cast<cfl*>(plane);
+  ifft2_pruned_run(plane, s, band_rows, plan, ws, prerev_rows,
+                   [z, s](int r, int c0, int cb, const cfl* cols,
+                          float scale) {
+                     cfl* dst = z + static_cast<std::ptrdiff_t>(r) * s + c0;
+                     for (int q = 0; q < cb; ++q)
+                       dst[q] = cols[q * s + r] * scale;
+                   });
+}
+
+// ifft2_plane_pruned with the caller's real-part accumulate fused into the
+// column write-back: acc[p] += Re(ifft2(plane))[p] — exactly
+// `ifft2_plane_pruned(plane, ...); acc[p] += plane[2*p];` with the same
+// cols[q*s+r].real() * scale product the plain write-back stored, minus the
+// imaginary-lane multiplies and the full-plane round trip nobody reads.
+void ifft2_pruned_real_accum(float* plane, int s,
+                             const std::vector<int>& band_rows,
+                             const FftPlan<float>& plan, Fft2WorkspaceF& ws,
+                             float* acc, bool prerev_rows = false) {
+  ifft2_pruned_run(plane, s, band_rows, plan, ws, prerev_rows,
+                   [acc, s](int r, int c0, int cb, const cfl* cols,
+                            float scale) {
+                     float* dst = acc + static_cast<std::ptrdiff_t>(r) * s + c0;
+                     for (int q = 0; q < cb; ++q)
+                       dst[q] += cols[q * s + r].real() * scale;
+                   });
 }
 
 }  // namespace
@@ -205,7 +253,14 @@ Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px) {
   std::sort(band_rows.begin(), band_rows.end());
 
   const FftPlan<float>& plan = fft_plan_f(s);
-  Tensor out = arena_tensor({batch, r, s, s, 2});
+  // Radix-2 sizes: scatter each band row's entries into bit-reversed
+  // positions so the pruned inverse's row pass skips its permutation pass
+  // (pure data movement; see fft.hpp bitrev_table()).
+  const int* brev = plan.bitrev_table();
+  // Not pre-zeroed: the scatter writes the band rows densely (segments plus
+  // explicit +0 gaps) and the pruned inverse never reads the other rows but
+  // writes every row back, so the B·r·s² memset is pure waste.
+  Tensor out = arena_tensor({batch, r, s, s, 2}, /*zeroed=*/false);
   Tensor spec = spectra;
 
   parallel_for(static_cast<std::int64_t>(batch) * r, [&](std::int64_t t) {
@@ -214,21 +269,41 @@ Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px) {
     float* dst = out.data() + t * plane;
     const float* k = kernels->value.data() + i * kplane;
     const float* sp = spec.data() + b * kplane;
+    // cols ascends by 1 mod s, so each crop row scatters as at most two
+    // contiguous destination segments — straight elementwise complex
+    // multiplies for the SIMD layer (same arithmetic as the old
+    // (kr*cr - kim*ci, kr*ci + kim*cr) scalar writes).  The fills zero the
+    // row's uncovered spans (a permuted zero fill is still all zeros, so
+    // the prerev path zeroes the whole row up front), making each band row
+    // dense.
+    const int col0 = cols[0];
+    const int seg1 = std::min(m, s - col0);
+    Fft2WorkspaceF& ws = train_ws();
+    cfl* tmp = brev != nullptr ? ws.col_buffer(m) : nullptr;
     for (int a = 0; a < n; ++a) {
       const int rr = rows[static_cast<std::size_t>(a)];
-      for (int c = 0; c < m; ++c) {
-        const int cc = cols[static_cast<std::size_t>(c)];
-        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
-        const float kr = k[ki], kim = k[ki + 1];
-        const float cr = sp[ki], ci = sp[ki + 1];
-        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
-        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
-            kr * ci + kim * cr;
+      const cfl* krow =
+          reinterpret_cast<const cfl*>(k) + static_cast<std::int64_t>(a) * m;
+      const cfl* srow =
+          reinterpret_cast<const cfl*>(sp) + static_cast<std::int64_t>(a) * m;
+      cfl* drow =
+          reinterpret_cast<cfl*>(dst) + static_cast<std::int64_t>(rr) * s;
+      if (brev != nullptr) {
+        // cmul lanes span independent elements, so one length-m call bits-
+        // matches the two-segment split; the permuted stores just move the
+        // products.
+        std::fill(drow, drow + s, cfl(0.0f, 0.0f));
+        simd::cmul(tmp, krow, srow, m);
+        for (int c = 0; c < seg1; ++c) drow[brev[col0 + c]] = tmp[c];
+        for (int c = seg1; c < m; ++c) drow[brev[c - seg1]] = tmp[c];
+      } else {
+        std::fill(drow + (m - seg1), drow + col0, cfl(0.0f, 0.0f));
+        std::fill(drow + col0 + seg1, drow + s, cfl(0.0f, 0.0f));
+        simd::cmul(drow + col0, krow, srow, seg1);
+        simd::cmul(drow, krow + seg1, srow + seg1, m - seg1);
       }
     }
-    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
-    ifft2_plane_pruned(dst, s, band_rows, plan, *ws);
-    train_ws_pool().release(std::move(ws));
+    ifft2_plane_pruned(dst, s, band_rows, plan, ws, brev != nullptr);
   });
 
   return make_node(
@@ -246,24 +321,46 @@ Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px) {
         // disjoint across i; within one kernel the batch accumulates in
         // descending order — exactly the reverse-topological order in which
         // the per-mask graph's socs_field nodes run their backward.
+        const int col0 = cols[0];
+        const int cseg = std::min(m, s - col0);
+        // Strip positions are written bit-reversed so the strip transforms
+        // skip their permutation pass (pure data movement; see fft.hpp).
+        const int* brev = plan.bitrev_table();
         parallel_for(r, [&](std::int64_t i) {
-          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
-          cfl* scratch = ws->scratch_for(plan);
-          cfl* col = ws->col_buffer(s);
+          Fft2WorkspaceF& ws = train_ws();
+          cfl* scratch = ws.scratch_for(plan);
+          cfl* strip = ws.col_buffer(m * s);
           float* kg = ik.grad.data() + i * kplane;
           for (std::int64_t b = batch; b-- > 0;) {
             float* g = node.grad.data() + (b * r + i) * plane;
             auto* z = reinterpret_cast<cfl*>(g);
+            plan.forward_many(z, s, scratch);
+            // Gather every crop column into one strip, then transform the
+            // strip as one forward_many — the columns stay independent.
+            // Row-major gather: one sequential pass over the plane (the crop
+            // columns are two contiguous spans per row, cols ascending by 1
+            // mod s); the strided writes land in the L1-resident strip.
             for (int rr = 0; rr < s; ++rr) {
-              plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, scratch);
+              const cfl* zrow = z + static_cast<std::ptrdiff_t>(rr) * s;
+              const int pr = brev != nullptr ? brev[rr] : rr;
+              for (int c = 0; c < cseg; ++c)
+                strip[c * s + pr] = zrow[col0 + c];
+              for (int c = cseg; c < m; ++c)
+                strip[c * s + pr] = zrow[c - cseg];
+            }
+            if (brev != nullptr) {
+              plan.forward_many_prerev(strip, m, scratch);
+            } else {
+              plan.forward_many(strip, m, scratch);
             }
             const float* sp = spec.data() + b * kplane;
-            for (int c = 0; c < m; ++c) {
-              const int cc = cols[static_cast<std::size_t>(c)];
-              for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
-              plan.forward(col, scratch);
-              for (int a = 0; a < n; ++a) {
-                const cfl gz = col[rows[static_cast<std::size_t>(a)]];
+            // a-major so the kg writes are contiguous; each (a, c) entry
+            // still sees exactly one accumulate per (i, b) iteration, so no
+            // element's fold reorders.
+            for (int a = 0; a < n; ++a) {
+              const int ra = rows[static_cast<std::size_t>(a)];
+              for (int c = 0; c < m; ++c) {
+                const cfl gz = strip[static_cast<std::ptrdiff_t>(c) * s + ra];
                 const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
                 const float cr = sp[ki], ci = sp[ki + 1];
                 kg[ki] += gz.real() * cr + gz.imag() * ci;
@@ -271,7 +368,6 @@ Var socs_field_batch(const Var& kernels, const Tensor& spectra, int out_px) {
               }
             }
           }
-          train_ws_pool().release(std::move(ws));
         });
       },
       "socs_field_batch");
@@ -290,9 +386,9 @@ Var abs2_sum0_batch(const Var& fields) {
     float* o = out.data() + b * plane;
     for (int i = 0; i < r; ++i) {
       const float* e = fields->value.data() + (b * r + i) * plane * 2;
-      for (std::int64_t p = 0; p < plane; ++p) {
-        o[p] += e[2 * p] * e[2 * p] + e[2 * p + 1] * e[2 * p + 1];
-      }
+      // Lanes span pixels; the kernel loop stays serial, so each pixel's
+      // sum over kernels keeps its order.
+      simd::abs2_accum(o, e, plane);
     }
   });
   return make_node(std::move(out), {fields},
@@ -304,12 +400,10 @@ Var abs2_sum0_batch(const Var& fields) {
                        const float* gy = node.grad.data() + b * plane;
                        for (int i = 0; i < r; ++i) {
                          const std::int64_t off = (b * r + i) * plane * 2;
-                         const float* e = ie.value.data() + off;
-                         float* g = ie.grad.data() + off;
-                         for (std::int64_t p = 0; p < plane; ++p) {
-                           g[2 * p] += 2.0f * e[2 * p] * gy[p];
-                           g[2 * p + 1] += 2.0f * e[2 * p + 1] * gy[p];
-                         }
+                         // Lanes span pixels; same (2·e)·gy accumulate as
+                         // the scalar loop, per field plane.
+                         simd::abs2_backprop(ie.grad.data() + off,
+                                             ie.value.data() + off, gy, plane);
                        }
                      });
                    },
@@ -326,9 +420,7 @@ Var abs2_sum0(const Var& fields) {
   const std::int64_t plane = static_cast<std::int64_t>(h) * w;
   for (int i = 0; i < r; ++i) {
     const float* e = fields->value.data() + i * plane * 2;
-    for (std::int64_t p = 0; p < plane; ++p) {
-      out[p] += e[2 * p] * e[2 * p] + e[2 * p + 1] * e[2 * p + 1];
-    }
+    simd::abs2_accum(out.data(), e, plane);
   }
   return make_node(std::move(out), {fields},
                    [r, plane](Node& node) {
@@ -489,6 +581,11 @@ Var fft2c_crop_batch(const Var& masks, int crop) {
   // steady-state OPC step recycles it along with the graph's own tensors.
   Tensor scratch = arena_tensor({batch, s, s, 2}, /*zeroed=*/false);
   Tensor out = arena_tensor({batch, crop, crop, 2}, /*zeroed=*/false);
+  const int col0 = cols[0];
+  const int cseg = std::min(crop, s - col0);
+  // Strip positions are written bit-reversed so the strip transforms skip
+  // their permutation pass (pure data movement; see fft.hpp).
+  const int* brev = plan.bitrev_table();
 
   parallel_for(batch, [&](std::int64_t b) {
     float* buf = scratch.data() + b * plane * 2;
@@ -497,32 +594,40 @@ Var fft2c_crop_batch(const Var& masks, int crop) {
       buf[2 * p] = src[p];
       buf[2 * p + 1] = 0.0f;
     }
-    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
+    Fft2WorkspaceF& ws = train_ws();
     auto* z = reinterpret_cast<cfl*>(buf);
-    cfl* fscratch = ws->scratch_for(plan);
-    for (int rr = 0; rr < s; ++rr) {
-      plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, fscratch);
-    }
+    cfl* fscratch = ws.scratch_for(plan);
+    plan.forward_many(z, s, fscratch);
     // Only the crop's wrapped columns are ever read, and each column
     // transforms independently — transforming just those is bit-identical
-    // on the read positions.
-    cfl* col = ws->col_buffer(s);
-    for (int c = 0; c < crop; ++c) {
-      const int cc = cols[static_cast<std::size_t>(c)];
-      for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
-      plan.forward(col, fscratch);
-      for (int rr = 0; rr < s; ++rr) z[rr * s + cc] = col[rr];
+    // on the read positions.  All crop columns are gathered into one strip
+    // and transformed by one forward_many; the crop rows are read straight
+    // out of the strip (same values the old scatter-back round-tripped
+    // through the plane).
+    // Row-major gather: one sequential pass over the plane (the crop
+    // columns are two contiguous spans per row, cols ascending by 1 mod s);
+    // the strided writes land in the L1-resident strip.
+    cfl* strip = ws.col_buffer(crop * s);
+    for (int rr = 0; rr < s; ++rr) {
+      const cfl* zrow = z + static_cast<std::ptrdiff_t>(rr) * s;
+      const int pr = brev != nullptr ? brev[rr] : rr;
+      for (int c = 0; c < cseg; ++c) strip[c * s + pr] = zrow[col0 + c];
+      for (int c = cseg; c < crop; ++c) strip[c * s + pr] = zrow[c - cseg];
     }
-    train_ws_pool().release(std::move(ws));
+    if (brev != nullptr) {
+      plan.forward_many_prerev(strip, crop, fscratch);
+    } else {
+      plan.forward_many(strip, crop, fscratch);
+    }
     float* dst = out.data() + b * cplane;
+    // a-major so the dst writes are contiguous (each element written once).
     for (int a = 0; a < crop; ++a) {
-      const int rr = rows[static_cast<std::size_t>(a)];
+      const int ra = rows[static_cast<std::size_t>(a)];
       for (int c = 0; c < crop; ++c) {
-        const int cc = cols[static_cast<std::size_t>(c)];
-        const std::int64_t si = (static_cast<std::int64_t>(rr) * s + cc) * 2;
+        const cfl v = strip[static_cast<std::ptrdiff_t>(c) * s + ra];
         const std::int64_t di = (static_cast<std::int64_t>(a) * crop + c) * 2;
-        dst[di] = buf[si] * inv_n2;
-        dst[di + 1] = buf[si + 1] * inv_n2;
+        dst[di] = v.real() * inv_n2;
+        dst[di + 1] = v.imag() * inv_n2;
       }
     }
   });
@@ -537,29 +642,44 @@ Var fft2c_crop_batch(const Var& masks, int crop) {
         im.ensure_grad();
         const FftPlan<float>& plan = fft_plan_f(s);
         // vjp per sample: scatter the crop back, unnormalized inverse DFT
-        // (rows pruned to the crop's — zero rows transform to signed zeros,
-        // which enter the column pass additively), real part.
-        Tensor scatter = arena_tensor({batch, s, s, 2});
+        // (rows pruned to the crop's — zero rows transform to zeros, which
+        // enter the column pass additively), real part.  The scatter writes
+        // each band row densely (crop entries + explicit +0 gaps) so the
+        // plane needs no pre-zeroing (see ifft2_plane_pruned's contract).
+        Tensor scatter = arena_tensor({batch, s, s, 2}, /*zeroed=*/false);
+        const int col0 = cols[0];
+        const int cseg1 = std::min(crop, s - col0);
+        // Radix-2 sizes: bit-reversed row scatter so the pruned inverse's
+        // row pass skips its permutation pass (see fft.hpp bitrev_table()).
+        const int* brev = plan.bitrev_table();
         parallel_for(batch, [&](std::int64_t b) {
           float* buf = scatter.data() + b * plane * 2;
           const float* g = node.grad.data() + b * cplane;
           for (int a = 0; a < crop; ++a) {
             const int rr = rows[static_cast<std::size_t>(a)];
+            cfl* brow =
+                reinterpret_cast<cfl*>(buf) + static_cast<std::int64_t>(rr) * s;
+            if (brev != nullptr) {
+              // A permuted zero fill is still zeros -> one whole-row fill.
+              std::fill(brow, brow + s, cfl(0.0f, 0.0f));
+            } else {
+              std::fill(brow + (crop - cseg1), brow + col0, cfl(0.0f, 0.0f));
+              std::fill(brow + col0 + cseg1, brow + s, cfl(0.0f, 0.0f));
+            }
             for (int c = 0; c < crop; ++c) {
               const int cc = cols[static_cast<std::size_t>(c)];
-              const std::int64_t di =
-                  (static_cast<std::int64_t>(rr) * s + cc) * 2;
               const std::int64_t si =
                   (static_cast<std::int64_t>(a) * crop + c) * 2;
-              buf[di] = g[si] * inv_n2;
-              buf[di + 1] = g[si + 1] * inv_n2;
+              brow[brev != nullptr ? brev[cc] : cc] =
+                  cfl(g[si] * inv_n2, g[si + 1] * inv_n2);
             }
           }
-          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
-          ifft2_plane_pruned(buf, s, band_rows, plan, *ws);
-          train_ws_pool().release(std::move(ws));
-          float* mg = im.grad.data() + b * plane;
-          for (std::int64_t p = 0; p < plane; ++p) mg[p] += buf[2 * p];
+          // Pruned inverse with the real-part accumulate fused into its
+          // column write-back — the imaginary lanes and the full scattered
+          // plane are never stored.
+          ifft2_pruned_real_accum(buf, s, band_rows, plan, train_ws(),
+                                  im.grad.data() + b * plane,
+                                  brev != nullptr);
         });
       },
       "fft2c_crop_batch");
@@ -595,7 +715,11 @@ Var socs_field_from_spectrum_batch(const Var& spectra, const Tensor& kernels,
   std::sort(band_rows.begin(), band_rows.end());
 
   const FftPlan<float>& plan = fft_plan_f(s);
-  Tensor out = arena_tensor({batch, r, s, s, 2});
+  // Radix-2 sizes: bit-reversed row scatter, as in socs_field_batch.
+  const int* brev = plan.bitrev_table();
+  // Not pre-zeroed — see socs_field_batch: dense band rows + a pruned
+  // inverse that writes every row make the plane memset pure waste.
+  Tensor out = arena_tensor({batch, r, s, s, 2}, /*zeroed=*/false);
   Tensor ks = kernels;
 
   parallel_for(static_cast<std::int64_t>(batch) * r, [&](std::int64_t t) {
@@ -604,21 +728,34 @@ Var socs_field_from_spectrum_batch(const Var& spectra, const Tensor& kernels,
     float* dst = out.data() + t * plane;
     const float* k = ks.data() + i * kplane;
     const float* sp = spectra->value.data() + b * kplane;
+    // Same scatter as socs_field_batch: two contiguous segments per row
+    // (plain path) or products placed at bit-reversed positions (prerev
+    // path), with the fills making each band row dense either way.
+    const int col0 = cols[0];
+    const int seg1 = std::min(m, s - col0);
+    Fft2WorkspaceF& ws = train_ws();
+    cfl* tmp = brev != nullptr ? ws.col_buffer(m) : nullptr;
     for (int a = 0; a < n; ++a) {
       const int rr = rows[static_cast<std::size_t>(a)];
-      for (int c = 0; c < m; ++c) {
-        const int cc = cols[static_cast<std::size_t>(c)];
-        const std::int64_t ki = (static_cast<std::int64_t>(a) * m + c) * 2;
-        const float kr = k[ki], kim = k[ki + 1];
-        const float cr = sp[ki], ci = sp[ki + 1];
-        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2] = kr * cr - kim * ci;
-        dst[(static_cast<std::int64_t>(rr) * s + cc) * 2 + 1] =
-            kr * ci + kim * cr;
+      const cfl* krow =
+          reinterpret_cast<const cfl*>(k) + static_cast<std::int64_t>(a) * m;
+      const cfl* srow =
+          reinterpret_cast<const cfl*>(sp) + static_cast<std::int64_t>(a) * m;
+      cfl* drow =
+          reinterpret_cast<cfl*>(dst) + static_cast<std::int64_t>(rr) * s;
+      if (brev != nullptr) {
+        std::fill(drow, drow + s, cfl(0.0f, 0.0f));
+        simd::cmul(tmp, krow, srow, m);
+        for (int c = 0; c < seg1; ++c) drow[brev[col0 + c]] = tmp[c];
+        for (int c = seg1; c < m; ++c) drow[brev[c - seg1]] = tmp[c];
+      } else {
+        std::fill(drow + (m - seg1), drow + col0, cfl(0.0f, 0.0f));
+        std::fill(drow + col0 + seg1, drow + s, cfl(0.0f, 0.0f));
+        simd::cmul(drow + col0, krow, srow, seg1);
+        simd::cmul(drow, krow + seg1, srow + seg1, m - seg1);
       }
     }
-    std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
-    ifft2_plane_pruned(dst, s, band_rows, plan, *ws);
-    train_ws_pool().release(std::move(ws));
+    ifft2_plane_pruned(dst, s, band_rows, plan, ws, brev != nullptr);
   });
 
   return make_node(
@@ -636,42 +773,55 @@ Var socs_field_from_spectrum_batch(const Var& spectra, const Tensor& kernels,
         // are disjoint across b; within one sample the kernels accumulate
         // in ascending order — the same order as the per-mask op's serial
         // kernel loop.
+        const int col0 = cols[0];
+        const int cseg = std::min(m, s - col0);
+        // Strip positions are written bit-reversed so the strip transforms
+        // skip their permutation pass (pure data movement; see fft.hpp).
+        const int* brev = plan.bitrev_table();
         parallel_for(batch, [&](std::int64_t b) {
-          std::unique_ptr<Fft2WorkspaceF> ws = train_ws_pool().acquire();
-          cfl* scratch = ws->scratch_for(plan);
-          cfl* col = ws->col_buffer(s);
+          Fft2WorkspaceF& ws = train_ws();
+          cfl* scratch = ws.scratch_for(plan);
+          cfl* strip = ws.col_buffer(m * s);
           float* sg = is.grad.data() + b * kplane;
           for (std::int64_t i = 0; i < r; ++i) {
             float* g = node.grad.data() + (b * r + i) * plane;
             auto* z = reinterpret_cast<cfl*>(g);
+            plan.forward_many(z, s, scratch);
+            // Gather every crop column into one strip, then transform the
+            // strip as one forward_many — the columns stay independent.
+            // Row-major gather: one sequential pass over the plane (the crop
+            // columns are two contiguous spans per row, cols ascending by 1
+            // mod s); the strided writes land in the L1-resident strip.
             for (int rr = 0; rr < s; ++rr) {
-              plan.forward(z + static_cast<std::ptrdiff_t>(rr) * s, scratch);
+              const cfl* zrow = z + static_cast<std::ptrdiff_t>(rr) * s;
+              const int pr = brev != nullptr ? brev[rr] : rr;
+              for (int c = 0; c < cseg; ++c)
+                strip[c * s + pr] = zrow[col0 + c];
+              for (int c = cseg; c < m; ++c)
+                strip[c * s + pr] = zrow[c - cseg];
             }
-            for (int c = 0; c < m; ++c) {
-              const int cc = cols[static_cast<std::size_t>(c)];
-              for (int rr = 0; rr < s; ++rr) col[rr] = z[rr * s + cc];
-              plan.forward(col, scratch);
-              for (int rr = 0; rr < s; ++rr) z[rr * s + cc] = col[rr];
+            if (brev != nullptr) {
+              plan.forward_many_prerev(strip, m, scratch);
+            } else {
+              plan.forward_many(strip, m, scratch);
             }
             const float* k = ks.data() + i * kplane;
+            // a-major so the sg writes are contiguous; each (a, c) entry is
+            // distinct, so iterating a-major instead of c-major reorders no
+            // element's fold — the serial i loop is what accumulates.
             for (int a = 0; a < n; ++a) {
-              const int rr = rows[static_cast<std::size_t>(a)];
+              const int ra = rows[static_cast<std::size_t>(a)];
               for (int c = 0; c < m; ++c) {
-                const int cc = cols[static_cast<std::size_t>(c)];
-                const std::int64_t gi =
-                    (static_cast<std::int64_t>(rr) * s + cc) * 2;
-                const float gr = g[gi];
-                const float gim = g[gi + 1];
+                const cfl gz = strip[static_cast<std::ptrdiff_t>(c) * s + ra];
                 const std::int64_t ki =
                     (static_cast<std::int64_t>(a) * m + c) * 2;
                 const float kr = k[ki], kim = k[ki + 1];
                 // dC += conj(K) . dE
-                sg[ki] += gr * kr + gim * kim;
-                sg[ki + 1] += gim * kr - gr * kim;
+                sg[ki] += gz.real() * kr + gz.imag() * kim;
+                sg[ki + 1] += gz.imag() * kr - gz.real() * kim;
               }
             }
           }
-          train_ws_pool().release(std::move(ws));
         });
       },
       "socs_field_from_spectrum_batch");

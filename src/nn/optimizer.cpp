@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "nn/serialize.hpp"
 
 namespace nitho::nn {
@@ -31,15 +32,8 @@ void Adam::step() {
     if (p.grad.numel() != p.value.numel()) continue;  // never touched
     Tensor& m = m_[i];
     Tensor& v = v_[i];
-    const std::int64_t n = p.value.numel();
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float g = p.grad[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      const float mhat = m[j] / bc1;
-      const float vhat = v[j] / bc2;
-      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    simd::adam_update(p.value.data(), m.data(), v.data(), p.grad.data(),
+                      p.value.numel(), beta1_, beta2_, bc1, bc2, lr_, eps_);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "metrics/metrics.hpp"
 
 namespace nitho::serve {
@@ -120,6 +121,9 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
   check(options_.shards >= 1, "LithoServer needs at least one shard");
   metrics_ = options_.metrics ? options_.metrics
                               : std::make_shared<obs::MetricsRegistry>();
+  // Which SIMD arm the kernels dispatch to, so metric snapshots (and the
+  // bench CSVs derived from them) record which arm produced each number.
+  metrics_->gauge("simd_arm").set(static_cast<double>(simd::active_arm()));
   // Tracks 0..shards-1 belong to the shard workers, track `shards` to the
   // OPC worker — one writer per ring.
   tracer_ = std::make_unique<obs::Tracer>(

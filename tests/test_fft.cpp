@@ -310,6 +310,60 @@ TEST(FftPlan, ScratchOverloadBitIdentical) {
   }
 }
 
+TEST(FftPlan, ManyMatchesPerSegmentBitwise) {
+  // forward_many/inverse_many over contiguous segments must match calling
+  // the single-segment overloads per segment bit for bit, on radix-2 and
+  // Bluestein sizes alike.
+  Rng rng(91);
+  for (const int n : {8, 64, 31}) {
+    const int count = 5;
+    const FftPlan<double>& plan = fft_plan_d(n);
+    std::vector<cd> scratch(static_cast<std::size_t>(plan.scratch_size()));
+    cd* sc = scratch.empty() ? nullptr : scratch.data();
+    std::vector<cd> many = random_signal(n * count, rng);
+    std::vector<cd> single = many;
+    plan.forward_many(many.data(), count, sc);
+    for (int t = 0; t < count; ++t) plan.forward(single.data() + t * n, sc);
+    EXPECT_EQ(many, single) << "forward n=" << n;
+    plan.inverse_many(many.data(), count, sc);
+    for (int t = 0; t < count; ++t) plan.inverse(single.data() + t * n, sc);
+    EXPECT_EQ(many, single) << "inverse n=" << n;
+  }
+}
+
+TEST(FftPlan, PrerevMatchesPermutedInputBitwise) {
+  // Writing segment elements to their bit-reversed positions and calling
+  // the *_prerev entry points must reproduce the plain transforms bit for
+  // bit — the skipped permutation pass is pure data movement.
+  Rng rng(92);
+  for (const int n : {8, 64}) {
+    const int count = 3;
+    const FftPlan<double>& plan = fft_plan_d(n);
+    const int* rev = plan.bitrev_table();
+    ASSERT_NE(rev, nullptr) << "radix-2 plans expose their permutation";
+    const std::vector<cd> x = random_signal(n * count, rng);
+    std::vector<cd> plain = x;
+    std::vector<cd> pre(x.size());
+    for (int t = 0; t < count; ++t) {
+      for (int i = 0; i < n; ++i) pre[t * n + rev[i]] = x[t * n + i];
+    }
+    std::vector<cd> pre_fwd = pre;
+    plan.forward_many(plain.data(), count, nullptr);
+    plan.forward_many_prerev(pre_fwd.data(), count, nullptr);
+    EXPECT_EQ(plain, pre_fwd) << "forward n=" << n;
+    std::vector<cd> plain_inv = x;
+    std::vector<cd> pre_inv = pre;
+    plan.inverse_many(plain_inv.data(), count, nullptr);
+    plan.inverse_many_prerev(pre_inv.data(), count, nullptr);
+    EXPECT_EQ(plain_inv, pre_inv) << "inverse n=" << n;
+  }
+  // Bluestein sizes have no exposed permutation and reject prerev calls.
+  const FftPlan<double>& bs = fft_plan_d(31);
+  EXPECT_EQ(bs.bitrev_table(), nullptr);
+  std::vector<cd> x = random_signal(31, rng);
+  EXPECT_THROW(bs.forward_many_prerev(x.data(), 1, nullptr), check_error);
+}
+
 TEST(Spectral, DownsampleAreaAverages) {
   Grid<double> g(4, 4, 1.0);
   g(0, 0) = 5.0;

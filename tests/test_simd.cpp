@@ -1,0 +1,491 @@
+// Tests for the SIMD dispatch layer (common/simd.hpp): every vector arm the
+// build carries must be *bit-identical* to the scalar arm on every kernel —
+// across odd/even lengths, unaligned pointers, prime Bluestein FFT sizes,
+// odd/even engine output grids, and concurrent batched callers (the tsan
+// preset runs this suite).  Also pins the aligned-buffer contract
+// (common/aligned.hpp, DESIGN.md §13.3).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/simd.hpp"
+#include "fft/fft.hpp"
+#include "litho/engine.hpp"
+#include "nn/gemm.hpp"
+#include "support/test_support.hpp"
+
+namespace nitho {
+namespace {
+
+using test::make_rng;
+using test::random_kernels;
+using test::random_spectrum;
+
+// Restores the CPU-detected arm when a test scope ends, so a failing
+// EXPECT cannot leak a forced arm into later tests.
+struct ArmGuard {
+  ~ArmGuard() { simd::force_arm(simd::detected_arm()); }
+};
+
+// The non-scalar arms this build + CPU can actually run.
+std::vector<simd::Arm> vector_arms() {
+  std::vector<simd::Arm> arms;
+  if (!simd::simd_compiled()) return arms;
+  arms.push_back(simd::Arm::kSse2);
+  if (simd::detected_arm() == simd::Arm::kAvx2) {
+    arms.push_back(simd::Arm::kAvx2);
+  }
+  return arms;
+}
+
+template <typename T>
+::testing::AssertionResult bits_equal(const std::vector<T>& a,
+                                      const std::vector<T>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) != 0) {
+    return ::testing::AssertionFailure() << "bit mismatch";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+template <typename C>
+std::vector<C> random_cvec(int n, Rng& rng) {
+  std::vector<C> v(static_cast<std::size_t>(n));
+  for (auto& z : v) {
+    z = C(static_cast<typename C::value_type>(rng.normal()),
+          static_cast<typename C::value_type>(rng.normal()));
+  }
+  return v;
+}
+
+std::vector<float> random_fvec(int n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+TEST(Simd, DispatchAndForce) {
+  ArmGuard guard;
+  EXPECT_EQ(simd::active_arm(), simd::detected_arm());
+  if (!simd::simd_compiled()) {
+    // Scalar-only build: every request clamps to scalar.
+    EXPECT_EQ(simd::detected_arm(), simd::Arm::kScalar);
+    EXPECT_EQ(simd::force_arm(simd::Arm::kAvx2), simd::Arm::kScalar);
+    return;
+  }
+  EXPECT_EQ(simd::force_arm(simd::Arm::kScalar), simd::Arm::kScalar);
+  EXPECT_EQ(simd::active_arm(), simd::Arm::kScalar);
+  // Requests above what the CPU has clamp to the detected arm.
+  EXPECT_LE(static_cast<int>(simd::force_arm(simd::Arm::kAvx2)),
+            static_cast<int>(simd::detected_arm()));
+}
+
+TEST(Simd, ArmNames) {
+  EXPECT_STREQ(simd::arm_name(simd::Arm::kScalar), "scalar");
+  EXPECT_STREQ(simd::arm_name(simd::Arm::kSse2), "sse2");
+  EXPECT_STREQ(simd::arm_name(simd::Arm::kAvx2), "avx2");
+}
+
+TEST(Simd, AlignedVectorContract) {
+  aligned_vector<float> f(3);
+  aligned_vector<cd> zd(5);
+  aligned_vector<cf> zf(7);
+  EXPECT_TRUE(is_aligned(f.data()));
+  EXPECT_TRUE(is_aligned(zd.data()));
+  EXPECT_TRUE(is_aligned(zf.data()));
+  // Reallocation preserves alignment.
+  f.resize(1000);
+  EXPECT_TRUE(is_aligned(f.data()));
+}
+
+TEST(Simd, FftWorkspaceBuffersAligned) {
+  Fft2Workspace wd;
+  EXPECT_TRUE(is_aligned(wd.col_buffer(33)));
+  EXPECT_TRUE(is_aligned(wd.scratch_for(fft_plan_d(97))));
+  Fft2WorkspaceF wf;
+  EXPECT_TRUE(is_aligned(wf.col_buffer(64)));
+  EXPECT_TRUE(is_aligned(wf.scratch_for(fft_plan_f(251))));
+  // Power-of-two plans need no Bluestein scratch.
+  EXPECT_EQ(wd.scratch_for(fft_plan_d(64)), nullptr);
+}
+
+// Element kernels: scalar-arm output is the reference; every vector arm
+// must reproduce it bit for bit, including at unaligned offsets and with
+// lengths that leave every possible vector tail.
+template <typename Fn>
+void for_each_vector_arm(const Fn& fn) {
+  ArmGuard guard;
+  for (simd::Arm arm : vector_arms()) {
+    simd::force_arm(arm);
+    fn(arm);
+  }
+}
+
+TEST(Simd, CmulBitIdentical) {
+  Rng rng = make_rng(1);
+  for (const int n : {1, 2, 3, 4, 7, 8, 64, 97}) {
+    const auto ad = random_cvec<cd>(n + 1, rng);
+    const auto bd = random_cvec<cd>(n + 1, rng);
+    const auto af = random_cvec<cf>(n + 1, rng);
+    const auto bf = random_cvec<cf>(n + 1, rng);
+    std::vector<cd> refd(ad.size());
+    std::vector<cf> reff(af.size());
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      // Offset +1 exercises the unaligned path on both operands.
+      simd::cmul(refd.data() + 1, ad.data() + 1, bd.data() + 1, n);
+      simd::cmul(reff.data() + 1, af.data() + 1, bf.data() + 1, n);
+    }
+    for_each_vector_arm([&](simd::Arm) {
+      std::vector<cd> outd(ad.size());
+      std::vector<cf> outf(af.size());
+      simd::cmul(outd.data() + 1, ad.data() + 1, bd.data() + 1, n);
+      simd::cmul(outf.data() + 1, af.data() + 1, bf.data() + 1, n);
+      EXPECT_EQ(std::memcmp(outd.data() + 1, refd.data() + 1,
+                            static_cast<std::size_t>(n) * sizeof(cd)),
+                0)
+          << "cd n=" << n;
+      EXPECT_EQ(std::memcmp(outf.data() + 1, reff.data() + 1,
+                            static_cast<std::size_t>(n) * sizeof(cf)),
+                0)
+          << "cf n=" << n;
+      // In-place variant aliases dst == a.
+      std::vector<cd> ind = ad;
+      simd::cmul_inplace(ind.data() + 1, bd.data() + 1, n);
+      EXPECT_EQ(std::memcmp(ind.data() + 1, refd.data() + 1,
+                            static_cast<std::size_t>(n) * sizeof(cd)),
+                0);
+    });
+  }
+}
+
+TEST(Simd, Abs2ScaleAccumBitIdentical) {
+  Rng rng = make_rng(2);
+  for (const int n : {1, 3, 4, 5, 8, 33, 100}) {
+    const auto z = random_cvec<cd>(n, rng);
+    const auto acc0 = [&] {
+      std::vector<double> a(static_cast<std::size_t>(n));
+      for (auto& x : a) x = rng.normal();
+      return a;
+    }();
+    const double scale = 1089.0;  // 33^2, the engine's out^2 undo factor
+    std::vector<double> ref = acc0;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      simd::abs2_scale_accum(ref.data(), z.data(), scale, n);
+    }
+    for_each_vector_arm([&](simd::Arm) {
+      std::vector<double> acc = acc0;
+      simd::abs2_scale_accum(acc.data(), z.data(), scale, n);
+      EXPECT_TRUE(bits_equal(acc, ref)) << "n=" << n;
+    });
+  }
+}
+
+TEST(Simd, Abs2AccumBitIdentical) {
+  Rng rng = make_rng(3);
+  for (const int n : {1, 2, 5, 8, 9, 16, 63}) {
+    const auto e = random_fvec(2 * n, rng);
+    const auto acc0 = random_fvec(n, rng);
+    std::vector<float> ref = acc0;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      simd::abs2_accum(ref.data(), e.data(), n);
+    }
+    for_each_vector_arm([&](simd::Arm) {
+      std::vector<float> acc = acc0;
+      simd::abs2_accum(acc.data(), e.data(), n);
+      EXPECT_TRUE(bits_equal(acc, ref)) << "n=" << n;
+    });
+  }
+}
+
+TEST(Simd, AxpyAddInplaceBitIdentical) {
+  Rng rng = make_rng(4);
+  for (const int n : {1, 3, 7, 8, 15, 64, 101}) {
+    const auto b = random_fvec(n + 1, rng);
+    const auto c0 = random_fvec(n + 1, rng);
+    const float a = static_cast<float>(rng.normal());
+    std::vector<float> ref = c0, ref2 = c0;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      simd::axpy(ref.data() + 1, a, b.data() + 1, n);
+      simd::add_inplace(ref2.data() + 1, b.data() + 1, n);
+    }
+    for_each_vector_arm([&](simd::Arm) {
+      std::vector<float> c = c0, c2 = c0;
+      simd::axpy(c.data() + 1, a, b.data() + 1, n);
+      simd::add_inplace(c2.data() + 1, b.data() + 1, n);
+      EXPECT_TRUE(bits_equal(c, ref)) << "n=" << n;
+      EXPECT_TRUE(bits_equal(c2, ref2)) << "n=" << n;
+    });
+  }
+}
+
+// The register-blocked panel kernel: every row height, both A layouts
+// (gemm_nn's row-major strides and gemm_tn's transposed strides), and
+// column counts that leave 16-, 8-, 4-wide and scalar tails.
+TEST(Simd, GemmPanelBitIdentical) {
+  Rng rng = make_rng(9);
+  for (const std::int64_t mr : {1, 2, 3, 4}) {
+    for (const std::int64_t n : {1, 5, 8, 16, 17, 33}) {
+      const std::int64_t k = 7;
+      const auto a = random_fvec(static_cast<int>(mr * k), rng);
+      const auto b = random_fvec(static_cast<int>(k * n), rng);
+      const auto c0 = random_fvec(static_cast<int>(mr * n), rng);
+      // Layouts: (ars=k, aps=1) reads a row-major; (ars=1, aps=mr) reads
+      // the same buffer as a column-major (gemm_tn's A^T view).
+      struct Layout {
+        std::int64_t ars, aps;
+      };
+      for (const Layout lay : {Layout{k, 1}, Layout{1, mr}}) {
+        std::vector<float> ref = c0;
+        {
+          ArmGuard guard;
+          simd::force_arm(simd::Arm::kScalar);
+          simd::gemm_panel(ref.data(), n, a.data(), lay.ars, lay.aps,
+                           b.data(), n, mr, k, n);
+        }
+        for_each_vector_arm([&](simd::Arm arm) {
+          std::vector<float> c = c0;
+          simd::gemm_panel(c.data(), n, a.data(), lay.ars, lay.aps, b.data(),
+                           n, mr, k, n);
+          EXPECT_TRUE(bits_equal(c, ref))
+              << "mr=" << mr << " n=" << n << " ars=" << lay.ars
+              << " arm=" << simd::arm_name(arm);
+        });
+      }
+    }
+  }
+}
+
+TEST(Simd, Abs2BackpropBitIdentical) {
+  Rng rng = make_rng(10);
+  for (const int n : {1, 2, 3, 4, 7, 8, 63}) {
+    const auto e = random_fvec(2 * (n + 1), rng);
+    const auto gy = random_fvec(n + 1, rng);
+    const auto g0 = random_fvec(2 * (n + 1), rng);
+    std::vector<float> ref = g0;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      simd::abs2_backprop(ref.data() + 2, e.data() + 2, gy.data() + 1, n);
+    }
+    for_each_vector_arm([&](simd::Arm arm) {
+      std::vector<float> g = g0;
+      simd::abs2_backprop(g.data() + 2, e.data() + 2, gy.data() + 1, n);
+      EXPECT_TRUE(bits_equal(g, ref))
+          << "n=" << n << " arm=" << simd::arm_name(arm);
+    });
+  }
+}
+
+// Whole-transform pins: forward and inverse FFTs of every plan family
+// (radix-2 and prime Bluestein sizes) must not change a single bit across
+// arms — butterflies, stage tables, and the Bluestein pointwise multiply
+// all sit under the dispatch layer.
+template <typename R>
+void fft_bit_identity(const FftPlan<R>& plan, int salt) {
+  Rng rng = make_rng(100 + salt);
+  const int n = plan.size();
+  const auto x0 = random_cvec<std::complex<R>>(n, rng);
+  std::vector<std::complex<R>> fwd_ref = x0, inv_ref = x0;
+  {
+    ArmGuard guard;
+    simd::force_arm(simd::Arm::kScalar);
+    plan.forward(fwd_ref.data());
+    plan.inverse(inv_ref.data());
+  }
+  for_each_vector_arm([&](simd::Arm arm) {
+    std::vector<std::complex<R>> fwd = x0, inv = x0;
+    plan.forward(fwd.data());
+    plan.inverse(inv.data());
+    EXPECT_TRUE(bits_equal(fwd, fwd_ref))
+        << "forward n=" << n << " arm=" << simd::arm_name(arm);
+    EXPECT_TRUE(bits_equal(inv, inv_ref))
+        << "inverse n=" << n << " arm=" << simd::arm_name(arm);
+  });
+}
+
+TEST(Simd, FftBitIdenticalAcrossArms) {
+  int salt = 0;
+  for (const int n : {8, 64, 97, 251, 509, 512}) {
+    fft_bit_identity(fft_plan_d(n), ++salt);
+    fft_bit_identity(fft_plan_f(n), ++salt);
+  }
+}
+
+// Dense GEMM pins: the vector axpy path and the packed gemm_nt path (both
+// above and below its pack thresholds) must match the scalar arm bitwise,
+// with and without accumulation.
+TEST(Simd, GemmBitIdenticalAcrossArms) {
+  Rng rng = make_rng(5);
+  struct Shape {
+    std::int64_t m, n, k;
+  };
+  // (8, 32, 32) crosses the gemm_nt pack threshold; (3, 5, 4) stays under
+  // it; (5, 17, 9) leaves odd vector tails everywhere.
+  for (const Shape sh : {Shape{3, 5, 4}, Shape{5, 17, 9}, Shape{8, 32, 32}}) {
+    const auto a = random_fvec(static_cast<int>(sh.m * sh.k), rng);
+    const auto b_nn = random_fvec(static_cast<int>(sh.k * sh.n), rng);
+    const auto b_nt = random_fvec(static_cast<int>(sh.n * sh.k), rng);
+    const auto a_tn = random_fvec(static_cast<int>(sh.k * sh.m), rng);
+    const auto c0 = random_fvec(static_cast<int>(sh.m * sh.n), rng);
+    for (const bool accumulate : {false, true}) {
+      std::vector<float> ref_nn = c0, ref_nt = c0, ref_tn = c0;
+      {
+        ArmGuard guard;
+        simd::force_arm(simd::Arm::kScalar);
+        nn::gemm_nn<false>(sh.m, sh.n, sh.k, a.data(), b_nn.data(),
+                           ref_nn.data(), accumulate);
+        nn::gemm_nt(sh.m, sh.n, sh.k, a.data(), b_nt.data(), ref_nt.data(),
+                    accumulate);
+        nn::gemm_tn<false>(sh.m, sh.n, sh.k, a_tn.data(), b_nn.data(),
+                           ref_tn.data(), accumulate);
+      }
+      for_each_vector_arm([&](simd::Arm arm) {
+        std::vector<float> c_nn = c0, c_nt = c0, c_tn = c0;
+        nn::gemm_nn<false>(sh.m, sh.n, sh.k, a.data(), b_nn.data(),
+                           c_nn.data(), accumulate);
+        nn::gemm_nt(sh.m, sh.n, sh.k, a.data(), b_nt.data(), c_nt.data(),
+                    accumulate);
+        nn::gemm_tn<false>(sh.m, sh.n, sh.k, a_tn.data(), b_nn.data(),
+                           c_tn.data(), accumulate);
+        EXPECT_TRUE(bits_equal(c_nn, ref_nn))
+            << "nn m=" << sh.m << " acc=" << accumulate
+            << " arm=" << simd::arm_name(arm);
+        EXPECT_TRUE(bits_equal(c_nt, ref_nt))
+            << "nt m=" << sh.m << " acc=" << accumulate
+            << " arm=" << simd::arm_name(arm);
+        EXPECT_TRUE(bits_equal(c_tn, ref_tn))
+            << "tn m=" << sh.m << " acc=" << accumulate
+            << " arm=" << simd::arm_name(arm);
+      });
+    }
+  }
+}
+
+// The skip-zero GEMM variants stay scalar by design, but their std::fill
+// zero-fill must still produce exact zeros with the skip path engaged.
+TEST(Simd, AdamUpdateBitIdentical) {
+  // Every op in the update (mul, add, sub, div, sqrt) is IEEE
+  // exactly-rounded in scalar and vector form, so the arms must agree bit
+  // for bit on all three written streams, including vector tails.
+  Rng rng = make_rng(9);
+  const float beta1 = 0.9f, beta2 = 0.999f, lr = 1e-3f, eps = 1e-8f;
+  const float bc1 = 0.2f, bc2 = 0.05f;
+  for (const int n : {1, 3, 7, 8, 15, 64, 97}) {
+    const auto g = random_fvec(n, rng);
+    const auto p0 = random_fvec(n, rng);
+    const auto m0 = random_fvec(n, rng);
+    auto v0 = random_fvec(n, rng);
+    for (auto& x : v0) x *= x;  // second moments are nonnegative
+    std::vector<float> pr = p0, mr = m0, vr = v0;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      simd::adam_update(pr.data(), mr.data(), vr.data(), g.data(), n, beta1,
+                        beta2, bc1, bc2, lr, eps);
+    }
+    for_each_vector_arm([&](simd::Arm arm) {
+      std::vector<float> p = p0, m = m0, v = v0;
+      simd::adam_update(p.data(), m.data(), v.data(), g.data(), n, beta1,
+                        beta2, bc1, bc2, lr, eps);
+      EXPECT_TRUE(bits_equal(p, pr)) << simd::arm_name(arm) << " n=" << n;
+      EXPECT_TRUE(bits_equal(m, mr)) << simd::arm_name(arm) << " n=" << n;
+      EXPECT_TRUE(bits_equal(v, vr)) << simd::arm_name(arm) << " n=" << n;
+    });
+  }
+}
+
+TEST(Simd, GemmSkipZeroLhsUnchanged) {
+  Rng rng = make_rng(6);
+  const std::int64_t m = 4, n = 9, k = 6;
+  auto a = random_fvec(static_cast<int>(m * k), rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;  // ReLU-sparse
+  const auto b = random_fvec(static_cast<int>(k * n), rng);
+  std::vector<float> dense(static_cast<std::size_t>(m * n));
+  std::vector<float> sparse(static_cast<std::size_t>(m * n));
+  ArmGuard guard;
+  simd::force_arm(simd::Arm::kScalar);
+  nn::gemm_nn<false>(m, n, k, a.data(), b.data(), dense.data(), false);
+  simd::force_arm(simd::detected_arm());
+  nn::gemm_nn<true>(m, n, k, a.data(), b.data(), sparse.data(), false);
+  // Skipping av == 0 terms only removes exact-zero contributions of the
+  // form 0 * b, which cannot change the sum when b is finite.
+  EXPECT_TRUE(bits_equal(dense, sparse));
+}
+
+// Engine-level pin: the whole aerial pipeline (fused scatter, pruned FFTs,
+// abs2-scale accumulate, ordered reduction) across arms, on odd and even
+// output grids (odd/even change the scatter wrap split point).
+TEST(Simd, EngineAerialBitIdenticalAcrossArms) {
+  Rng rng = make_rng(7);
+  for (const int out_px : {32, 33}) {
+    const int kdim = 9;
+    AerialEngine engine(random_kernels(5, kdim, rng, /*dark_border=*/true),
+                        out_px);
+    const Grid<cd> spectrum = random_spectrum(kdim + 4, rng);
+    Grid<double> ref;
+    {
+      ArmGuard guard;
+      simd::force_arm(simd::Arm::kScalar);
+      ref = engine.aerial(spectrum);
+    }
+    for_each_vector_arm([&](simd::Arm arm) {
+      const Grid<double> got = engine.aerial(spectrum);
+      ASSERT_EQ(got.size(), ref.size());
+      EXPECT_EQ(std::memcmp(got.data(), ref.data(),
+                            ref.size() * sizeof(double)),
+                0)
+          << "out_px=" << out_px << " arm=" << simd::arm_name(arm);
+    });
+  }
+}
+
+// Concurrency: four threads hammer aerial_batch under the detected arm
+// (bit-compared against the scalar arm's serial answer).  Run under the
+// tsan preset, this also proves the dispatch atomic and workspace pool are
+// race-free with the SIMD kernels in play.
+TEST(Simd, ConcurrentAerialBatchBitIdentical) {
+  Rng rng = make_rng(8);
+  const int out_px = 24, kdim = 7;
+  AerialEngine engine(random_kernels(4, kdim, rng, /*dark_border=*/true),
+                      out_px);
+  std::vector<Grid<cd>> spectra;
+  for (int i = 0; i < 4; ++i) spectra.push_back(random_spectrum(kdim + 2, rng));
+  std::vector<Grid<double>> ref;
+  {
+    ArmGuard guard;
+    simd::force_arm(simd::Arm::kScalar);
+    ref = engine.aerial_batch(spectra);
+  }
+  std::vector<std::vector<Grid<double>>> got(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] { got[static_cast<std::size_t>(t)] =
+                                      engine.aerial_batch(spectra); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& batch : got) {
+    ASSERT_EQ(batch.size(), ref.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(std::memcmp(batch[i].data(), ref[i].data(),
+                            ref[i].size() * sizeof(double)),
+                0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nitho
