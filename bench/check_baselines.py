@@ -11,7 +11,7 @@ PR that introduced each subsystem must keep holding outright.
 
 Usage:
   check_baselines.py [--baseline-dir bench/baselines] [--out-dir build/bench_out]
-                     [--tol 0.25] [--require] [--self-test]
+                     [--tol 0.25] [--require] [--self-test] [--lint-config]
 
 Typical flow (see bench/README.md):
   1. cmake --preset release && cmake --build --preset release
@@ -201,6 +201,110 @@ def write_csv(path, header, rows):
         w = csv.writer(f)
         w.writerow(header)
         w.writerows(rows)
+
+
+def lint_gate_table(gates, baseline_dir):
+    """Structural lint of a GATES-style table; returns failure strings.
+
+    Guards the gate script itself: a typo'd column name, a gate whose
+    ceiling also claims a relative floor check, or a committed baseline
+    that no longer satisfies its own acceptance floor would all silently
+    weaken the perf gate.  Baseline checks are skipped for files with no
+    committed snapshot (the gate skips those at run time too).
+    """
+    failures = []
+    for name, entries in sorted(gates.items()):
+        if not name.endswith(".csv"):
+            failures.append(f"{name}: gated file name is not a .csv")
+        if not entries:
+            failures.append(f"{name}: gate list is empty")
+        seen = set()
+        for entry in entries:
+            if len(entry) != 5:
+                failures.append(f"{name}: entry {entry!r} is not a 5-tuple")
+                continue
+            key, column, floor, relative, ceiling = entry
+            where = f"{name}: {key}.{column}"
+            if not key or not column:
+                failures.append(f"{where}: empty row key or column")
+            if (key, column) in seen:
+                failures.append(f"{where}: duplicate gate")
+            seen.add((key, column))
+            if floor is not None and not floor > 0:
+                failures.append(f"{where}: floor {floor!r} must be > 0")
+            if ceiling is not None:
+                if not ceiling > 0:
+                    failures.append(f"{where}: ceiling {ceiling!r} must be > 0")
+                # A ceiling gates a smaller-is-better ratio; a floor or a
+                # relative (larger-is-better) check on the same value is a
+                # contradiction, not a stricter gate.
+                if relative or floor is not None:
+                    failures.append(
+                        f"{where}: ceiling-gated ratio must not also carry "
+                        f"a floor or relative check")
+            if floor is None and ceiling is None and not relative:
+                failures.append(f"{where}: gate checks nothing")
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            continue
+        try:
+            table = read_csv(baseline_path)
+        except ValueError as err:
+            failures.append(str(err))
+            continue
+        for key, column, floor, _relative, ceiling in entries:
+            try:
+                value = ratio(table, key, column, baseline_path)
+            except ValueError as err:
+                failures.append(f"lint-config: {err}")
+                continue
+            if floor is not None and value < floor:
+                failures.append(
+                    f"{name}: committed baseline {key}.{column} = {value} "
+                    f"is under its own acceptance floor {floor}")
+            if ceiling is not None and value > ceiling:
+                failures.append(
+                    f"{name}: committed baseline {key}.{column} = {value} "
+                    f"is over its own acceptance ceiling {ceiling}")
+    return failures
+
+
+def lint_config(baseline_dir):
+    """--lint-config: the real table must lint clean AND the linter must
+    catch each seeded defect (so the checker itself stays covered)."""
+    failures = list(lint_gate_table(GATES, baseline_dir))
+
+    def expect(broken, fragment, label):
+        hits = lint_gate_table(broken, baseline_dir)
+        if not any(fragment in h for h in hits):
+            failures.append(
+                f"lint-config self-check: seeded defect not caught ({label}: "
+                f"expected a failure mentioning {fragment!r}, got {hits!r})")
+
+    expect({"x.csv": [("row", "col", None, True, None),
+                      ("row", "col", None, True, None)]},
+           "duplicate gate", "duplicate")
+    expect({"x.csv": [("row", "col", None, False, None)]},
+           "checks nothing", "vacuous gate")
+    expect({"x.csv": [("row", "col", 1.2, True, 1.5)]},
+           "must not also carry", "floor+ceiling contradiction")
+    expect({"x.csv": [("row", "col", -1.0, True, None)]},
+           "must be > 0", "negative floor")
+    expect({"x.txt": [("row", "col", 1.0, True, None)]},
+           "not a .csv", "non-csv name")
+    expect({"fig5_runtime.csv": [("Nitho_batch", "no_such_column", 1.0,
+                                  True, None)]},
+           "no_such_column", "column missing from committed baseline")
+    expect({"fig5_runtime.csv": [("Nitho_batch", "vs_prerefactor", 99.0,
+                                  True, None)]},
+           "under its own acceptance floor", "baseline below floor")
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures:
+        print(f"lint-config OK ({sum(len(v) for v in GATES.values())} gates "
+              f"across {len(GATES)} files, 7 seeded defects caught)")
+    return 1 if failures else 0
 
 
 def self_test():
@@ -606,9 +710,15 @@ def main():
     ap.add_argument("--require", action="store_true",
                     help="fail when a gated bench output CSV is missing")
     ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--lint-config", action="store_true",
+                    help="lint the GATES table against the committed "
+                         "baselines and verify the linter catches seeded "
+                         "defects")
     args = ap.parse_args()
     if args.self_test:
         sys.exit(self_test())
+    if args.lint_config:
+        sys.exit(lint_config(args.baseline_dir))
     sys.exit(run(args.baseline_dir, args.out_dir, args.tol, args.require))
 
 

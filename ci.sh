@@ -27,6 +27,27 @@ cmake --preset tsan
 cmake --build --preset tsan -j "${jobs}" --target test_serve test_autotune test_engine test_common test_nn test_opc test_serialize test_rollout test_obs test_simd
 ctest --preset tsan -j 1
 
+echo "=== Lint: bit-identity protocol + gate-config self-tests ==="
+python3 tools/lint_bit_identity.py --root .
+python3 tools/lint_bit_identity.py --self-test
+python3 bench/check_baselines.py --lint-config
+
+echo "=== UndefinedBehaviorSanitizer (full suite) ==="
+cmake --preset ubsan
+cmake --build --preset ubsan -j "${jobs}"
+ctest --preset ubsan -j "${jobs}"
+
+echo "=== Thread-safety analysis (clang -Wthread-safety, whole tree) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset tsa
+  cmake --build --preset tsa -j "${jobs}"
+  ctest --preset tsa -j "${jobs}"   # negative_compile_* cases
+else
+  echo "clang++ not found; skipping (the analysis is clang-only and runs"
+  echo "in the CI thread-safety job — install clang to run it locally)."
+fi
+
 echo "CI OK: both configurations built warning-clean, all suites passed"
-echo "(including the scalar-only kernel arms), and the threaded suites are"
-echo "TSan-clean."
+echo "(including the scalar-only kernel arms), the threaded suites are"
+echo "TSan-clean, the suite is UBSan-clean, and the bit-identity linter"
+echo "and its self-tests are green."

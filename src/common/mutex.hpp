@@ -1,0 +1,149 @@
+#pragma once
+// Annotation-capable mutex wrappers for clang's thread-safety analysis
+// (DESIGN.md §14).
+//
+// The concurrent layers (serve / rollout / opc / obs / litho caches) keep
+// their lock discipline as *data*: every mutex-protected field is declared
+// NITHO_GUARDED_BY its mutex, every must-hold helper NITHO_REQUIRES it, and
+// the `tsa` preset (clang, -Wthread-safety -Werror=thread-safety) turns a
+// violation — an unguarded access, a REQUIRES call without the lock, a
+// scope that forgets to release — into a compile error.  Under GCC (which
+// does not implement the attributes) every macro expands to nothing and the
+// wrappers are zero-cost forwarding shims over the std primitives, so the
+// annotated build is bit-identical to the unannotated one.
+//
+// Protocol notes for annotators:
+//   * Condition-variable predicates must be written as explicit
+//     `while (!cond) cv.wait(lk);` loops over NITHO_REQUIRES-visible
+//     fields, not as lambdas passed to wait(): the analysis treats a
+//     lambda body as a separate unannotated function with an empty
+//     capability set, so guarded reads inside a predicate lambda would
+//     be (false-positive) violations.
+//   * Fields published before any thread can observe them (constructor
+//     writes) still take the lock — a trivially uncontended acquire is
+//     cheaper than a NITHO_NO_THREAD_SAFETY_ANALYSIS escape that also
+//     turns the analysis off for real bugs in the same function.
+//   * State kept consistent by a protocol the analysis cannot express
+//     (epoch-published job pointers, join-barrier handoff) stays
+//     unannotated with a comment saying so; the analysis only checks
+//     what is annotated, it never guesses.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros (clang Thread Safety Analysis; no-ops elsewhere).
+// ---------------------------------------------------------------------------
+#if defined(__clang__) && !defined(SWIG)
+#define NITHO_TSA(x) __attribute__((x))
+#else
+#define NITHO_TSA(x)  // GCC and friends: annotations compile away
+#endif
+
+#define NITHO_CAPABILITY(x) NITHO_TSA(capability(x))
+#define NITHO_SCOPED_CAPABILITY NITHO_TSA(scoped_lockable)
+#define NITHO_GUARDED_BY(x) NITHO_TSA(guarded_by(x))
+#define NITHO_PT_GUARDED_BY(x) NITHO_TSA(pt_guarded_by(x))
+#define NITHO_ACQUIRED_BEFORE(...) NITHO_TSA(acquired_before(__VA_ARGS__))
+#define NITHO_ACQUIRED_AFTER(...) NITHO_TSA(acquired_after(__VA_ARGS__))
+#define NITHO_REQUIRES(...) NITHO_TSA(requires_capability(__VA_ARGS__))
+#define NITHO_ACQUIRE(...) NITHO_TSA(acquire_capability(__VA_ARGS__))
+#define NITHO_RELEASE(...) NITHO_TSA(release_capability(__VA_ARGS__))
+#define NITHO_TRY_ACQUIRE(...) NITHO_TSA(try_acquire_capability(__VA_ARGS__))
+#define NITHO_EXCLUDES(...) NITHO_TSA(locks_excluded(__VA_ARGS__))
+#define NITHO_RETURN_CAPABILITY(x) NITHO_TSA(lock_returned(x))
+#define NITHO_ASSERT_CAPABILITY(x) NITHO_TSA(assert_capability(x))
+#define NITHO_NO_THREAD_SAFETY_ANALYSIS NITHO_TSA(no_thread_safety_analysis)
+
+namespace nitho {
+
+/// std::mutex with the `capability` annotation: fields declared
+/// NITHO_GUARDED_BY(mu_) can only be touched while mu_ is held, checked at
+/// compile time under the tsa preset.
+class NITHO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NITHO_ACQUIRE() { m_.lock(); }
+  void unlock() NITHO_RELEASE() { m_.unlock(); }
+  bool try_lock() NITHO_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The underlying std::mutex, for CondVar's wait plumbing only — going
+  /// through it for anything else bypasses the analysis.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard equivalent: acquires in the constructor, releases in the
+/// destructor, no unlock in between (use UniqueLock when a wait or an early
+/// release is needed).
+class NITHO_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) NITHO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() NITHO_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock equivalent: a scoped capability that can release and
+/// re-acquire (CondVar waits through it).  Always constructed locked; the
+/// destructor releases iff still held, which the analysis tracks through
+/// the relockable-scope protocol (clang >= 9).
+class NITHO_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) NITHO_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~UniqueLock() NITHO_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() NITHO_ACQUIRE() { lk_.lock(); }
+  void unlock() NITHO_RELEASE() { lk_.unlock(); }
+  bool owns_lock() const { return lk_.owns_lock(); }
+
+  /// For CondVar only (waits need the underlying std::unique_lock).
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable that waits through UniqueLock.  Deliberately has no
+/// predicate-taking overloads: predicates over guarded fields must be
+/// explicit `while (!cond) cv.wait(lk);` loops in the caller, where the
+/// analysis can see the capability being held (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.native(), tp);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lk.native(), d);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nitho

@@ -1,13 +1,12 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/mutex.hpp"
 
 namespace nitho {
 namespace {
@@ -38,15 +37,15 @@ class Pool {
       for (std::int64_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    std::unique_lock<std::mutex> run_lock(run_mutex_);  // one job at a time
+    LockGuard run_lock(run_mutex_);  // one job at a time
     ensure_threads(workers - 1);
     job_fn_ = &fn;
     job_n_ = n;
+    first_error_ = nullptr;
     next_.store(0, std::memory_order_relaxed);
     pending_.store(0, std::memory_order_relaxed);
-    first_error_ = nullptr;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard lk(mutex_);
       ++epoch_;
       active_ = std::min<std::int64_t>(workers - 1,
                                        static_cast<std::int64_t>(threads_.size()));
@@ -54,9 +53,10 @@ class Pool {
     }
     cv_.notify_all();
     work();  // caller participates
-    // Wait for helpers to finish.
-    std::unique_lock<std::mutex> lk(mutex_);
-    done_cv_.wait(lk, [&] { return pending_.load(std::memory_order_acquire) == 0; });
+    // Wait for helpers to finish.  pending_ is an atomic, not a guarded
+    // field — the lock here only pairs the wait with done_cv_'s notify.
+    UniqueLock lk(mutex_);
+    while (pending_.load(std::memory_order_acquire) != 0) done_cv_.wait(lk);
     job_fn_ = nullptr;
     if (first_error_) std::rethrow_exception(first_error_);
   }
@@ -65,16 +65,18 @@ class Pool {
   Pool() = default;
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      LockGuard lk(mutex_);
       stop_ = true;
       ++epoch_;
     }
     cv_.notify_all();
+    // threads_ is stable here: ensure_threads only runs under run_mutex_,
+    // and no run() can be active while the process-lifetime pool dies.
     for (auto& t : threads_) t.join();
   }
 
-  void ensure_threads(int n) {
-    std::lock_guard<std::mutex> lk(mutex_);
+  void ensure_threads(int n) NITHO_REQUIRES(run_mutex_) {
+    LockGuard lk(mutex_);
     while (static_cast<int>(threads_.size()) < n) {
       threads_.emplace_back([this] { worker_loop(); });
     }
@@ -84,8 +86,8 @@ class Pool {
     std::uint64_t seen_epoch = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lk(mutex_);
-        cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+        UniqueLock lk(mutex_);
+        while (!stop_ && epoch_ == seen_epoch) cv_.wait(lk);
         seen_epoch = epoch_;
         if (stop_) return;
         if (active_ <= 0) continue;  // not a participant this round
@@ -93,7 +95,7 @@ class Pool {
       }
       work();
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lk(mutex_);
+        LockGuard lk(mutex_);
         done_cv_.notify_all();
       }
     }
@@ -108,24 +110,34 @@ class Pool {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(mutex_);
+        LockGuard lk(mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
     }
   }
 
-  std::mutex run_mutex_;
-  std::mutex mutex_;
-  std::condition_variable cv_, done_cv_;
+  /// Serializes whole jobs; always taken before mutex_ (the only two-lock
+  /// ordering in the codebase — DESIGN.md §14.3).
+  Mutex run_mutex_ NITHO_ACQUIRED_BEFORE(mutex_);
+  Mutex mutex_;
+  CondVar cv_, done_cv_;
+  /// Grown under mutex_ (ensure_threads), but read lock-free by run() —
+  /// safe because ensure_threads is REQUIRES(run_mutex_) and run() holds
+  /// it, so the vector cannot grow under a reader.  Left unannotated: the
+  /// analysis cannot express "guarded by either of two locks".
   std::vector<std::thread> threads_;
-  bool stop_ = false;
-  std::uint64_t epoch_ = 0;
-  std::int64_t active_ = 0;
+  bool stop_ NITHO_GUARDED_BY(mutex_) = false;
+  std::uint64_t epoch_ NITHO_GUARDED_BY(mutex_) = 0;
+  std::int64_t active_ NITHO_GUARDED_BY(mutex_) = 0;
   std::atomic<std::int64_t> next_{0};
   std::atomic<std::int64_t> pending_{0};
+  /// Epoch-published: written by run() before the epoch_ bump that wakes
+  /// the workers, read by them only after observing the new epoch under
+  /// mutex_ (and cleared only after pending_ drains).  That protocol, not a
+  /// lock, is the guard — deliberately unannotated (common/mutex.hpp).
   const std::function<void(std::int64_t)>* job_fn_ = nullptr;
   std::int64_t job_n_ = 0;
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_ NITHO_GUARDED_BY(mutex_);
 };
 
 }  // namespace

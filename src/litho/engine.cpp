@@ -74,7 +74,7 @@ AerialEngine::~AerialEngine() = default;
 std::unique_ptr<AerialEngine::Workspace> AerialEngine::acquire_workspace()
     const {
   {
-    std::lock_guard<std::mutex> lk(ws_mu_);
+    LockGuard lk(ws_mu_);
     if (!ws_pool_.empty()) {
       std::unique_ptr<Workspace> ws = std::move(ws_pool_.back());
       ws_pool_.pop_back();
@@ -89,7 +89,7 @@ void AerialEngine::release_workspace(std::unique_ptr<Workspace> ws) const {
   // external callers (serving shards); beyond that, burst workspaces are
   // cheaper to reallocate than to pin for the engine's lifetime.
   const std::size_t cap = static_cast<std::size_t>(parallel_workers()) + 4;
-  std::lock_guard<std::mutex> lk(ws_mu_);
+  LockGuard lk(ws_mu_);
   if (ws_pool_.size() < cap) ws_pool_.push_back(std::move(ws));
 }
 

@@ -26,9 +26,9 @@
 // pinning memory for the engine's lifetime.
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "fft/fft.hpp"
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
@@ -92,8 +92,9 @@ class AerialEngine {
   /// transform's row pass must touch.
   std::vector<int> band_rows_;
 
-  mutable std::mutex ws_mu_;
-  mutable std::vector<std::unique_ptr<Workspace>> ws_pool_;
+  mutable Mutex ws_mu_;
+  mutable std::vector<std::unique_ptr<Workspace>> ws_pool_
+      NITHO_GUARDED_BY(ws_mu_);
 };
 
 /// Ordered sum of per-chunk partial intensities.  Shared by the engine and

@@ -34,23 +34,25 @@ FastLitho FastLitho::from_model(const NithoModel& model,
   return FastLitho(model.export_kernels(), resist_threshold);
 }
 
-std::shared_ptr<const AerialEngine> FastLitho::engine_for(int out_px) const {
-  const auto lookup = [&]() -> std::shared_ptr<const AerialEngine> {
-    auto& engines = engines_->engines;
-    for (std::size_t i = 0; i < engines.size(); ++i) {
-      if (engines[i].first == out_px) {
-        // Touch: rotate the hit to the back (most recently used).
-        std::rotate(engines.begin() + static_cast<std::ptrdiff_t>(i),
-                    engines.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                    engines.end());
-        return engines.back().second;
-      }
+std::shared_ptr<const AerialEngine> FastLitho::cache_lookup(EngineCache& cache,
+                                                            int out_px) {
+  auto& engines = cache.engines;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    if (engines[i].first == out_px) {
+      // Touch: rotate the hit to the back (most recently used).
+      std::rotate(engines.begin() + static_cast<std::ptrdiff_t>(i),
+                  engines.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  engines.end());
+      return engines.back().second;
     }
-    return nullptr;
-  };
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const AerialEngine> FastLitho::engine_for(int out_px) const {
   {
-    std::lock_guard<std::mutex> lk(engines_->mu);
-    if (auto hit = lookup()) return hit;
+    LockGuard lk(engines_->mu);
+    if (auto hit = cache_lookup(*engines_, out_px)) return hit;
   }
   // Miss: build outside the lock so concurrent callers (warm hits at other
   // resolutions included) are not stalled behind the plan/scatter setup,
@@ -58,8 +60,8 @@ std::shared_ptr<const AerialEngine> FastLitho::engine_for(int out_px) const {
   // case this copy is simply dropped (engines are immutable and cheap next
   // to the kernels they share).
   auto engine = std::make_shared<const AerialEngine>(kernels_, out_px);
-  std::lock_guard<std::mutex> lk(engines_->mu);
-  if (auto hit = lookup()) return hit;
+  LockGuard lk(engines_->mu);
+  if (auto hit = cache_lookup(*engines_, out_px)) return hit;
   auto& engines = engines_->engines;
   engines.emplace_back(out_px, engine);
   while (static_cast<int>(engines.size()) > engines_->capacity) {
@@ -70,7 +72,7 @@ std::shared_ptr<const AerialEngine> FastLitho::engine_for(int out_px) const {
 
 void FastLitho::set_engine_cache_capacity(int capacity) {
   check(capacity >= 1, "engine cache capacity must be >= 1");
-  std::lock_guard<std::mutex> lk(engines_->mu);
+  LockGuard lk(engines_->mu);
   engines_->capacity = capacity;
   auto& engines = engines_->engines;
   while (static_cast<int>(engines.size()) > capacity) {
@@ -79,17 +81,17 @@ void FastLitho::set_engine_cache_capacity(int capacity) {
 }
 
 int FastLitho::engine_cache_capacity() const {
-  std::lock_guard<std::mutex> lk(engines_->mu);
+  LockGuard lk(engines_->mu);
   return engines_->capacity;
 }
 
 int FastLitho::engine_cache_size() const {
-  std::lock_guard<std::mutex> lk(engines_->mu);
+  LockGuard lk(engines_->mu);
   return static_cast<int>(engines_->engines.size());
 }
 
 std::vector<int> FastLitho::engine_cache_pxs() const {
-  std::lock_guard<std::mutex> lk(engines_->mu);
+  LockGuard lk(engines_->mu);
   std::vector<int> pxs;
   pxs.reserve(engines_->engines.size());
   for (const auto& [px, engine] : engines_->engines) pxs.push_back(px);

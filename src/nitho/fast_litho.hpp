@@ -7,11 +7,11 @@
 // resolution.
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "litho/engine.hpp"
 #include "litho/golden.hpp"
 #include "math/cplx.hpp"
@@ -108,11 +108,20 @@ class FastLitho {
   Grid<cd> spectrum_of(const Grid<double>& mask_raster) const;
 
   struct EngineCache {
-    std::mutex mu;
-    int capacity = 8;
+    Mutex mu;
+    int capacity NITHO_GUARDED_BY(mu) = 8;
     /// LRU order: front = least recently used, back = most recent.
-    std::vector<std::pair<int, std::shared_ptr<const AerialEngine>>> engines;
+    std::vector<std::pair<int, std::shared_ptr<const AerialEngine>>> engines
+        NITHO_GUARDED_BY(mu);
   };
+
+  /// LRU probe: returns the cached engine for out_px (rotating it to the
+  /// most-recently-used slot) or null on a miss.  A named REQUIRES helper
+  /// rather than a local lambda — the analysis treats lambda bodies as
+  /// separate unannotated functions, so this is the only shape it can check.
+  static std::shared_ptr<const AerialEngine> cache_lookup(EngineCache& cache,
+                                                          int out_px)
+      NITHO_REQUIRES(cache.mu);
 
   std::shared_ptr<const std::vector<Grid<cd>>> kernels_;
   int kdim_;

@@ -130,7 +130,7 @@ HistogramSnapshot& HistogramSnapshot::operator+=(
 MetricsRegistry::Entry& MetricsRegistry::entry(const std::string& name,
                                                MetricKind kind) {
   check(!name.empty(), "metric name must not be empty");
-  std::lock_guard<std::mutex> lk(mu_);
+  LockGuard lk(mu_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry e;
@@ -167,7 +167,7 @@ LogHistogram& MetricsRegistry::histogram(const std::string& name) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lk(mu_);
+  LockGuard lk(mu_);
   snap.metrics.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {
     MetricValue v;
@@ -190,7 +190,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  LockGuard lk(mu_);
   return entries_.size();
 }
 

@@ -32,9 +32,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace nitho::obs {
 
@@ -173,8 +174,10 @@ class MetricsRegistry {
   };
   Entry& entry(const std::string& name, MetricKind kind);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  /// Guards the name table only — metric *values* are atomics updated
+  /// lock-free through the references entry() hands out.
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ NITHO_GUARDED_BY(mu_);
 };
 
 }  // namespace nitho::obs

@@ -12,7 +12,12 @@ Tracer::Tracer(TraceConfig cfg, std::uint32_t tracks)
   check(cfg_.sample_every >= 1, "Tracer: sample_every must be >= 1");
   check(cfg_.ring_capacity >= 1, "Tracer: ring_capacity must be >= 1");
   rings_ = std::vector<Ring>(tracks);
-  for (Ring& r : rings_) r.buf.resize(cfg_.ring_capacity);
+  // No writer exists yet, but the guarded resize still takes its
+  // (trivially uncontended) lock — see common/mutex.hpp's protocol notes.
+  for (Ring& r : rings_) {
+    LockGuard lk(r.mu);
+    r.buf.resize(cfg_.ring_capacity);
+  }
 }
 
 bool Tracer::sample() {
@@ -36,7 +41,7 @@ void Tracer::record(const TraceEvent& ev) {
   if (!cfg_.enabled) return;
   check(ev.track < rings_.size(), "Tracer::record: track out of range");
   Ring& r = rings_[ev.track];
-  std::lock_guard<std::mutex> lk(r.mu);
+  LockGuard lk(r.mu);
   if (r.size == r.buf.size()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);  // overwriting oldest
   } else {
@@ -49,7 +54,7 @@ void Tracer::record(const TraceEvent& ev) {
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
   for (const Ring& r : rings_) {
-    std::lock_guard<std::mutex> lk(r.mu);
+    LockGuard lk(r.mu);
     // Oldest-first: the ring's logical start is next - size (mod capacity).
     const std::size_t cap = r.buf.size();
     const std::size_t start = (r.next + cap - r.size) % cap;

@@ -24,8 +24,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace nitho::obs {
 
@@ -80,10 +81,11 @@ class Tracer {
 
  private:
   struct Ring {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> buf;  ///< capacity cfg_.ring_capacity, circular
-    std::size_t next = 0;         ///< write cursor
-    std::size_t size = 0;         ///< valid entries (<= capacity)
+    mutable Mutex mu;
+    /// Capacity cfg_.ring_capacity, circular.
+    std::vector<TraceEvent> buf NITHO_GUARDED_BY(mu);
+    std::size_t next NITHO_GUARDED_BY(mu) = 0;  ///< write cursor
+    std::size_t size NITHO_GUARDED_BY(mu) = 0;  ///< entries (<= capacity)
   };
 
   TraceConfig cfg_;

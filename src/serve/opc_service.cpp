@@ -12,7 +12,7 @@ namespace {
 /// Marks the job done and resolves its future exactly once.
 void finish(detail::OpcJobState& state, OpcJobResult result) {
   {
-    std::lock_guard<std::mutex> lk(state.mu);
+    LockGuard lk(state.mu);
     state.progress.iteration = result.iterations_done;
     state.progress.done = true;
     state.progress.cancelled = !result.completed;
@@ -24,7 +24,7 @@ void finish(detail::OpcJobState& state, OpcJobResult result) {
 
 OpcJobProgress OpcJobHandle::progress() const {
   check(state_ != nullptr, "OpcJobHandle::progress on an empty handle");
-  std::lock_guard<std::mutex> lk(state_->mu);
+  LockGuard lk(state_->mu);
   return state_->progress;
 }
 
@@ -78,7 +78,7 @@ OpcJobHandle OpcService::enqueue(Job job) {
   if (job.checkpoint) job.state->progress.iteration = job.checkpoint->iteration;
   OpcJobHandle handle(job.state);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     check(!stopped_, "OpcService: submit on a stopped service");
     queue_.push_back(std::move(job));
   }
@@ -88,7 +88,7 @@ OpcJobHandle OpcService::enqueue(Job job) {
 
 void OpcService::stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
@@ -99,7 +99,7 @@ void OpcService::stop() {
   // still must resolve (shutdown never breaks a promise).
   std::deque<Job> leftover;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    LockGuard lk(mu_);
     leftover.swap(queue_);
   }
   for (Job& job : leftover) {
@@ -116,8 +116,9 @@ void OpcService::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stopped_ || !queue_.empty(); });
+      UniqueLock lk(mu_);
+      // Explicit wait loop over the guarded fields (DESIGN.md §14.2).
+      while (!stopped_ && queue_.empty()) cv_.wait(lk);
       if (stopped_) return;  // stop() resolves whatever is still queued
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -188,7 +189,7 @@ void OpcService::run_job(Job& job) {
                              ? engine.mean_epe_px()
                              : std::numeric_limits<double>::quiet_NaN();
       {
-        std::lock_guard<std::mutex> lk(state.mu);
+        LockGuard lk(state.mu);
         state.progress.iteration = engine.iteration();
         state.progress.fit_loss = stats.fit_loss;
         if (epe_due) state.progress.mean_epe_px = epe;
@@ -208,7 +209,7 @@ void OpcService::run_job(Job& job) {
     finish(state, std::move(result));
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lk(state.mu);
+      LockGuard lk(state.mu);
       state.progress.done = true;
       state.progress.cancelled = true;
     }

@@ -26,17 +26,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "math/cplx.hpp"
 #include "math/grid.hpp"
 #include "obs/metrics.hpp"
@@ -88,9 +87,12 @@ struct OpcJobResult {
 
 namespace detail {
 struct OpcJobState {
-  mutable std::mutex mu;
-  OpcJobProgress progress;
+  mutable Mutex mu;
+  OpcJobProgress progress NITHO_GUARDED_BY(mu);
   std::atomic<bool> cancel{false};
+  /// Resolved exactly once, by the worker (or stop() for never-started
+  /// jobs) — single-resolver discipline, not a lock, is what keeps the
+  /// promise safe.
   std::promise<OpcJobResult> promise;
   std::shared_future<OpcJobResult> future;
 };
@@ -161,10 +163,10 @@ class OpcService {
   obs::Tracer* tracer_ = nullptr;             ///< borrowed; may be null
   std::uint32_t track_ = 0;
   std::atomic<bool> stop_{false};
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> queue_;
-  bool stopped_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<Job> queue_ NITHO_GUARDED_BY(mu_);
+  bool stopped_ NITHO_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

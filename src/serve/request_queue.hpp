@@ -17,15 +17,14 @@
 // outstanding future on shutdown.
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
+#include "common/mutex.hpp"
 #include "math/grid.hpp"
 #include "nitho/fast_litho.hpp"
 
@@ -106,14 +105,17 @@ class RequestQueue {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  bool push_locked(std::unique_lock<std::mutex>& lk, ServeRequest& req);
+  /// Files the request unless the queue is closed; the caller still holds
+  /// mu_ afterwards and is responsible for the not_empty_ notify once the
+  /// lock is dropped.
+  bool push_locked(ServeRequest& req) NITHO_REQUIRES(mu_);
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<ServeRequest> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<ServeRequest> items_ NITHO_GUARDED_BY(mu_);
+  bool closed_ NITHO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nitho::serve

@@ -38,16 +38,16 @@ struct LithoServer::Shard {
 
   /// Current kernel snapshot + its generation number; replaced wholesale
   /// (as a pair, under one lock) by swap_kernels.
-  mutable std::mutex snap_mu;
-  std::shared_ptr<const FastLitho> snapshot;
-  std::uint64_t generation = 0;
+  mutable Mutex snap_mu;
+  std::shared_ptr<const FastLitho> snapshot NITHO_GUARDED_BY(snap_mu);
+  std::uint64_t generation NITHO_GUARDED_BY(snap_mu) = 0;
 
   /// Current SLO policy (null = admission control off); replaced wholesale
   /// by swap_slo, exactly like the kernel snapshot.  The submit path reads
   /// it per request; the worker re-reads it per dequeue and rebuilds its
   /// autotuner when the pointer changes.
-  mutable std::mutex slo_mu;
-  std::shared_ptr<const SloPolicy> slo;
+  mutable Mutex slo_mu;
+  std::shared_ptr<const SloPolicy> slo NITHO_GUARDED_BY(slo_mu);
 
   /// Counters + latency accounting.  submitted is atomic — it sits on
   /// the client-facing submit path, which must not contend on stats_mu
@@ -63,12 +63,13 @@ struct LithoServer::Shard {
   /// by stats_mu, the histogram is lock-free.
   static constexpr std::size_t kExactWindow = 64;
   std::atomic<std::uint64_t> submitted{0};
-  mutable std::mutex stats_mu;
-  std::uint64_t completed = 0;
-  std::uint64_t completed_ok = 0;  ///< resolved with a value (goodput)
-  std::uint64_t batches = 0;
-  std::uint64_t lat_count = 0;
-  std::vector<double> exact_latencies;
+  mutable Mutex stats_mu;
+  std::uint64_t completed NITHO_GUARDED_BY(stats_mu) = 0;
+  /// Resolved with a value (goodput).
+  std::uint64_t completed_ok NITHO_GUARDED_BY(stats_mu) = 0;
+  std::uint64_t batches NITHO_GUARDED_BY(stats_mu) = 0;
+  std::uint64_t lat_count NITHO_GUARDED_BY(stats_mu) = 0;
+  std::vector<double> exact_latencies NITHO_GUARDED_BY(stats_mu);
 
   /// Admission-control accounting.  shed_at_submit sits on client threads,
   /// shed_in_queue on the worker; both are read by stats readers.
@@ -103,15 +104,15 @@ struct LithoServer::Shard {
   obs::LogHistogram* latency = nullptr;
 
   std::shared_ptr<const FastLitho> current_snapshot() const {
-    std::lock_guard<std::mutex> lk(snap_mu);
+    LockGuard lk(snap_mu);
     return snapshot;
   }
   std::uint64_t current_generation() const {
-    std::lock_guard<std::mutex> lk(snap_mu);
+    LockGuard lk(snap_mu);
     return generation;
   }
   std::shared_ptr<const SloPolicy> current_slo() const {
-    std::lock_guard<std::mutex> lk(slo_mu);
+    LockGuard lk(slo_mu);
     return slo;
   }
 };
@@ -146,12 +147,20 @@ LithoServer::LithoServer(FastLitho litho, ServeOptions options)
     shard->m_est_service_us = &metrics_->gauge(prefix + "est_service_us");
     shard->latency = &metrics_->histogram(prefix + "latency_us");
     // Shard 0 adopts the caller's instance (keeping any engines it has
-    // already warmed); the rest share its kernels with fresh caches.
-    shard->snapshot =
-        s == 0 ? std::make_shared<const FastLitho>(std::move(litho))
-               : std::make_shared<const FastLitho>(
-                     FastLitho(kernels, threshold));
-    shard->slo = slo;
+    // already warmed); the rest share its kernels with fresh caches.  No
+    // worker exists yet, but the guarded writes still take their (trivially
+    // uncontended) locks — see common/mutex.hpp's protocol notes.
+    {
+      LockGuard lk(shard->snap_mu);
+      shard->snapshot =
+          s == 0 ? std::make_shared<const FastLitho>(std::move(litho))
+                 : std::make_shared<const FastLitho>(
+                       FastLitho(kernels, threshold));
+    }
+    {
+      LockGuard lk(shard->slo_mu);
+      shard->slo = slo;
+    }
     shard->cur_max_batch.store(options_.batch.max_batch,
                                std::memory_order_relaxed);
     shard->cur_max_delay_us.store(options_.batch.max_delay.count(),
@@ -328,7 +337,7 @@ std::uint64_t LithoServer::swap_kernels(FastLitho fresh) {
       1 + generation_.fetch_add(1, std::memory_order_relaxed);
   for (auto& shard : shards_) {
     auto snap = std::make_shared<const FastLitho>(FastLitho(kernels, threshold));
-    std::lock_guard<std::mutex> lk(shard->snap_mu);
+    LockGuard lk(shard->snap_mu);
     shard->snapshot = std::move(snap);
     shard->generation = gen;
   }
@@ -339,7 +348,7 @@ void LithoServer::swap_slo(std::optional<SloPolicy> slo) {
   const std::shared_ptr<const SloPolicy> snap =
       slo ? std::make_shared<const SloPolicy>(*slo) : nullptr;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->slo_mu);
+    LockGuard lk(shard->slo_mu);
     shard->slo = snap;
   }
 }
@@ -360,7 +369,7 @@ std::shared_ptr<const SloPolicy> LithoServer::slo(int shard) const {
 }
 
 void LithoServer::stop() {
-  std::lock_guard<std::mutex> lk(stop_mu_);
+  LockGuard lk(stop_mu_);
   if (stopped_) return;
   stopped_ = true;
   // OPC first: its worker probes shard queue depths between steps, and its
@@ -417,7 +426,7 @@ void LithoServer::shard_loop(Shard& shard) {
     std::vector<ServeRequest> shed = batcher.take_shed();
     if (shed.empty()) return;
     {
-      std::lock_guard<std::mutex> lk(shard.stats_mu);
+      LockGuard lk(shard.stats_mu);
       shard.completed += shed.size();
     }
     shard.shed_in_queue.fetch_add(shed.size(), std::memory_order_release);
@@ -513,7 +522,7 @@ void LithoServer::execute_batch(Shard& shard, Batch batch,
   // exact window always finds at least that many samples in the histogram.
   for (const double us : batch_latencies_us) shard.latency->record(us);
   {
-    std::lock_guard<std::mutex> lk(shard.stats_mu);
+    LockGuard lk(shard.stats_mu);
     shard.completed += batch.requests.size();
     if (!err) shard.completed_ok += batch.requests.size();
     ++shard.batches;
@@ -614,7 +623,7 @@ ShardStats LithoServer::shard_stats(int shard) const {
   st.shed.shed_in_queue = sh.shed_in_queue.load(std::memory_order_acquire);
   st.shed.shed_at_submit = sh.shed_at_submit.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lk(sh.stats_mu);
+    LockGuard lk(sh.stats_mu);
     st.completed = sh.completed;
     completed_ok = sh.completed_ok;
     st.batches = sh.batches;
@@ -672,7 +681,7 @@ ShardStats LithoServer::stats() const {
     total.shed.shed_at_submit +=
         sh.shed_at_submit.load(std::memory_order_acquire);
     {
-      std::lock_guard<std::mutex> lk(sh.stats_mu);
+      LockGuard lk(sh.stats_mu);
       total.completed += sh.completed;
       completed_ok += sh.completed_ok;
       total.batches += sh.batches;

@@ -52,12 +52,12 @@
 #include <future>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/autotune.hpp"
@@ -311,8 +311,8 @@ class LithoServer {
   /// OPC job runner; stopped (and its futures resolved) before the shard
   /// queues close, so a draining job stops probing shard state.
   std::unique_ptr<OpcService> opc_;
-  std::mutex stop_mu_;
-  bool stopped_ = false;
+  Mutex stop_mu_;
+  bool stopped_ NITHO_GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace nitho::serve

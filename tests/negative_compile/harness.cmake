@@ -1,0 +1,45 @@
+# Negative-compilation harness for the clang thread-safety preset
+# (DESIGN.md §14).  Runs one fixture through `clang++ -fsyntax-only
+# -Wthread-safety -Werror=thread-safety` and asserts the expected outcome:
+#
+#   cmake -DCLANGXX=<clang++> -DSRC_DIR=<repo>/src
+#         -DCASE=<fixture.cpp> -DEXPECT=FAIL|PASS -P harness.cmake
+#
+# EXPECT=FAIL additionally requires the diagnostic to be a thread-safety
+# one — a fixture that fails to compile for any other reason (a typo, a
+# missing include) is a broken test, not a proven violation.
+
+foreach(var CLANGXX SRC_DIR CASE EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "harness.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CLANGXX} -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          -I${SRC_DIR} ${CASE}
+  RESULT_VARIABLE rv
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(EXPECT STREQUAL "FAIL")
+  if(rv EQUAL 0)
+    message(FATAL_ERROR
+            "expected a thread-safety violation, but ${CASE} compiled clean "
+            "— the annotations (or the preset flags) have lost their teeth")
+  endif()
+  if(NOT err MATCHES "thread-safety" AND NOT err MATCHES "-Wthread-safety")
+    message(FATAL_ERROR
+            "${CASE} failed to compile, but not with a thread-safety "
+            "diagnostic — the fixture is broken, not the invariant:\n${err}")
+  endif()
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT rv EQUAL 0)
+    message(FATAL_ERROR
+            "control case ${CASE} must compile clean under the preset, "
+            "but failed:\n${err}")
+  endif()
+else()
+  message(FATAL_ERROR "harness.cmake: EXPECT must be FAIL or PASS")
+endif()

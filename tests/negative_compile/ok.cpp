@@ -1,0 +1,38 @@
+// Control case: correctly disciplined code must compile clean under
+// -Wthread-safety -Werror=thread-safety, or the FAIL cases prove nothing
+// (a harness that rejects everything would also "reject" the violations).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    nitho::LockGuard lk(mu_);
+    ++n_;
+    bump_locked();
+  }
+  long value() const {
+    nitho::LockGuard lk(mu_);
+    return n_;
+  }
+  void wait_nonzero() {
+    nitho::UniqueLock lk(mu_);
+    while (n_ == 0) cv_.wait(lk);
+  }
+
+ private:
+  void bump_locked() NITHO_REQUIRES(mu_) { ++n_; }
+
+  mutable nitho::Mutex mu_;
+  nitho::CondVar cv_;
+  long n_ NITHO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.value() == 2 ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: calls a
+// REQUIRES(mu_) helper without holding the capability.  The ctest harness
+// asserts the compiler rejects this with a thread-safety diagnostic.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_without_lock() {
+    bump_locked();  // violation: caller does not hold mu_
+  }
+
+ private:
+  void bump_locked() NITHO_REQUIRES(mu_) { ++n_; }
+
+  nitho::Mutex mu_;
+  long n_ NITHO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_without_lock();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: writes a
+// GUARDED_BY field without holding its mutex.  The ctest harness asserts
+// the compiler rejects this with a thread-safety diagnostic.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unlocked() {
+    ++n_;  // violation: mu_ is not held
+  }
+
+ private:
+  nitho::Mutex mu_;
+  long n_ NITHO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_unlocked();
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/flags.hpp"
+#include "common/mutex.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
@@ -223,6 +224,71 @@ TEST(Parallel, ConcurrentDispatchersFromPlainThreadsSerialize) {
     ASSERT_EQ(hits[i].load(), 1) << i;
   }
   set_parallel_workers(0);
+}
+
+TEST(Mutex, GuardsCountsAcrossContendingThreads) {
+  // The annotated wrappers must behave exactly like the std primitives
+  // they forward to: mutual exclusion (no lost increments), try_lock
+  // refusal while held, and CondVar wakeups through UniqueLock.
+  struct Counted {
+    Mutex mu;
+    long n NITHO_GUARDED_BY(mu) = 0;
+  } state;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        LockGuard lk(state.mu);
+        ++state.n;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  LockGuard lk(state.mu);
+  EXPECT_EQ(state.n, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Mutex, TryLockRefusesWhileHeld) {
+  Mutex mu;
+  mu.lock();
+  std::thread probe([&] {
+    EXPECT_FALSE(mu.try_lock());
+  });
+  probe.join();
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(CondVar, ExplicitWaitLoopObservesNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (local, so no annotation to attach)
+  std::thread producer([&] {
+    {
+      LockGuard lk(mu);
+      ready = true;
+    }
+    cv.notify_one();
+  });
+  {
+    UniqueLock lk(mu);
+    while (!ready) cv.wait(lk);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVar, WaitUntilTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  UniqueLock lk(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(cv.wait_until(lk, deadline), std::cv_status::timeout);
+  EXPECT_TRUE(lk.owns_lock());  // a timed-out wait re-acquires
 }
 
 TEST(Timer, MeasuresForwardTime) {

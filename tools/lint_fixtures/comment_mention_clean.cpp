@@ -1,0 +1,19 @@
+// Clean fixture for lint_bit_identity --self-test: every forbidden token
+// below lives in a comment or a string literal, so the linter must stay
+// quiet — this pins the comment/string stripping pass.
+//
+// Discussing std::fma(a, b, c) in prose is fine; so is explaining why
+// -ffast-math and std::reduce( are banned.
+#include <string>
+
+/* Block comments too: __builtin_fma(x, y, z) must not fire,
+   nor -ffp-contract=fast mentioned mid-paragraph. */
+
+std::string docs() {
+  return "never call std::fma(a, b, c) or pass -ffast-math; "
+         "std::execution::par is also banned";
+}
+
+double good_mul_add(double x, double y, double z) {
+  return x * y + z;  // two roundings under -ffp-contract=off
+}

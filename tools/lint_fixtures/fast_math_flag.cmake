@@ -1,0 +1,4 @@
+# Seeded violation for lint_bit_identity --self-test: R2 must flag
+# fast-math / contraction flags in build configuration.
+add_compile_options(-O2 -ffast-math)
+target_compile_options(fixture PRIVATE -ffp-contract=fast)

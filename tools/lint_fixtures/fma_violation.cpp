@@ -1,0 +1,20 @@
+// Seeded violation for lint_bit_identity --self-test: R1 must flag every
+// fused-multiply-add spelling below.  Never compiled, never linted as part
+// of the real tree (tools/ is outside the linter's src/ walk).
+#include <cmath>
+
+double bad_dot(const double* a, const double* b, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc = std::fma(a[i], b[i], acc);  // R1: single rounding
+  }
+  return acc;
+}
+
+float bad_dot_f(float x, float y, float z) {
+  return fmaf(x, y, z);  // R1: C spelling
+}
+
+double bad_builtin(double x, double y, double z) {
+  return __builtin_fma(x, y, z);  // R1: builtin spelling
+}

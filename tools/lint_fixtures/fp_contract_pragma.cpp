@@ -1,0 +1,7 @@
+// Seeded violation for lint_bit_identity --self-test: R2 must flag a local
+// re-enable of FP contraction even though the flag never appears.
+#pragma STDC FP_CONTRACT ON
+
+double locally_contracted(double x, double y, double z) {
+  return x * y + z;  // compiler may now fuse this despite -ffp-contract=off
+}

@@ -1,0 +1,22 @@
+// R4 fixture (lint_bit_identity --self-test): a miniature simd.cpp with two
+// kernels.  `waxpy` has a per-arm test in missing_arm_test_simd.cpp;
+// `frobnicate` does not and must be flagged.
+namespace fixture {
+
+void waxpy_sse2(float* y, const float* x, float a, int n) {
+  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void waxpy_avx2(float* y, const float* x, float a, int n) {
+  for (int i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void frobnicate_sse2(float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = -y[i];
+}
+
+void frobnicate2_avx2(float* y, int n) {  // helper lane: same base kernel
+  for (int i = 0; i < n; ++i) y[i] = -y[i];
+}
+
+}  // namespace fixture

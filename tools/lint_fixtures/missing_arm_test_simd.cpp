@@ -1,0 +1,14 @@
+// R4 fixture (lint_bit_identity --self-test): the matching miniature
+// test_simd.cpp.  It drives `waxpy` under for_each_vector_arm but never
+// touches `frobnicate`, so the linter must flag exactly the latter.
+namespace fixture {
+
+void for_each_vector_arm(void (*fn)()) { fn(); }
+
+void check_waxpy() {
+  float y[4] = {0, 0, 0, 0};
+  float x[4] = {1, 2, 3, 4};
+  waxpy(y, x, 2.0f, 4);
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded violation for lint_bit_identity --self-test: R3 must flag
+// reductions whose summation order is unspecified.
+#include <execution>
+#include <numeric>
+#include <vector>
+
+double bad_sum(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end(), 0.0);  // R3: unordered
+}
+
+double bad_par_sum(const std::vector<double>& v) {
+  return std::reduce(std::execution::par_unseq, v.begin(), v.end(), 0.0);
+}
+
+double bad_transform_reduce(const std::vector<double>& v) {
+  return std::transform_reduce(v.begin(), v.end(), v.begin(), 0.0);
+}
