@@ -41,11 +41,11 @@ class Pool {
     ensure_threads(workers - 1);
     job_fn_ = &fn;
     job_n_ = n;
-    first_error_ = nullptr;
     next_.store(0, std::memory_order_relaxed);
     pending_.store(0, std::memory_order_relaxed);
     {
       LockGuard lk(mutex_);
+      first_error_ = nullptr;
       ++epoch_;
       active_ = std::min<std::int64_t>(workers - 1,
                                        static_cast<std::int64_t>(threads_.size()));
