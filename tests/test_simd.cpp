@@ -166,6 +166,43 @@ TEST(Simd, CmulBitIdentical) {
   }
 }
 
+TEST(Simd, FftStageBitIdentical) {
+  // Every radix-2 stage geometry a pow2 transform can produce: block count
+  // len/(2*half) from many blocks of tiny halves down to one block of
+  // half = len/2, covering every vector tail in the k-within-block lanes.
+  Rng rng = make_rng(11);
+  for (const int len : {8, 16, 64}) {
+    for (int half = 1; half < len; half <<= 1) {
+      const auto xd0 = random_cvec<cd>(len, rng);
+      const auto xf0 = random_cvec<cf>(len, rng);
+      // fft_stage contracts only on bit-identity across arms, not on the
+      // table's values — random twiddles exercise it just as well.
+      const auto twd = random_cvec<cd>(half, rng);
+      const auto twf = random_cvec<cf>(half, rng);
+      std::vector<cd> refd = xd0;
+      std::vector<cf> reff = xf0;
+      {
+        ArmGuard guard;
+        simd::force_arm(simd::Arm::kScalar);
+        simd::fft_stage(refd.data(), len, half, twd.data());
+        simd::fft_stage(reff.data(), len, half, twf.data());
+      }
+      for_each_vector_arm([&](simd::Arm arm) {
+        std::vector<cd> xd = xd0;
+        std::vector<cf> xf = xf0;
+        simd::fft_stage(xd.data(), len, half, twd.data());
+        simd::fft_stage(xf.data(), len, half, twf.data());
+        EXPECT_TRUE(bits_equal(xd, refd))
+            << "cd len=" << len << " half=" << half << " arm="
+            << simd::arm_name(arm);
+        EXPECT_TRUE(bits_equal(xf, reff))
+            << "cf len=" << len << " half=" << half << " arm="
+            << simd::arm_name(arm);
+      });
+    }
+  }
+}
+
 TEST(Simd, Abs2ScaleAccumBitIdentical) {
   Rng rng = make_rng(2);
   for (const int n : {1, 3, 4, 5, 8, 33, 100}) {
