@@ -339,8 +339,10 @@ void abs2_backprop_sse2(float* g, const float* e, const float* gy,
   std::int64_t i = 0;
   for (; i + 2 <= n; i += 2) {
     const __m128 ev = _mm_loadu_ps(e + 2 * i);  // [x0,y0,x1,y1]
-    const __m128 gv2 = _mm_castpd_ps(
-        _mm_load_sd(reinterpret_cast<const double*>(gy + i)));  // [g0,g1,·,·]
+    // 64-bit unaligned load of [g0,g1]: gy is only 4-byte aligned, so
+    // _mm_load_sd (a plain double dereference under GCC) would be UB here.
+    const __m128 gv2 = _mm_castsi128_ps(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(gy + i)));
     const __m128 gyp = _mm_shuffle_ps(gv2, gv2, _MM_SHUFFLE(1, 1, 0, 0));
     const __m128 t = _mm_mul_ps(_mm_mul_ps(two, ev), gyp);
     _mm_storeu_ps(g + 2 * i, _mm_add_ps(_mm_loadu_ps(g + 2 * i), t));
